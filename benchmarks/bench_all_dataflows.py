@@ -1,0 +1,44 @@
+"""Grand comparison: every implemented dataflow on one dense graph.
+
+All seven engines -- the paper's three (OP, RWP, HyMM), the Table I
+proxies (CWP for AWB-GCN, G-CoD), and the extension OP variants
+(deferred, tiled) -- on Amazon-Photo.  This is the capstone artifact: a
+single table placing each design point by cycles, traffic, utilisation
+and hit rate.
+"""
+
+from repro.bench import format_table
+from repro.bench.runner import ALL_ACCELERATORS, aggregation_cycles, run_suite
+
+
+def test_all_dataflows(benchmark, emit):
+    def run_all():
+        runs = run_suite("amazon-photo", kinds=ALL_ACCELERATORS)
+        headers = ["dataflow", "total cycles", "agg cycles", "DRAM MB",
+                   "ALU util", "hit rate", "preproc ms"]
+        rows = []
+        for kind in ALL_ACCELERATORS:
+            r = runs[kind]
+            rows.append([
+                kind, r.stats.cycles, int(aggregation_cycles(r)),
+                r.stats.dram_total_bytes() / (1024 * 1024),
+                r.stats.alu_utilization(), r.stats.hit_rate(), r.sort_ms,
+            ])
+        return runs, format_table(headers, rows)
+
+    runs, text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("all_dataflows", text)
+
+    # Sanity ordering of the main trio.
+    assert runs["hymm"].stats.cycles < runs["op"].stats.cycles
+    assert runs["rwp"].stats.cycles < runs["op"].stats.cycles
+    # HyMM moves the least DRAM of all seven design points.
+    assert runs["hymm"].stats.dram_total_bytes() == min(
+        r.stats.dram_total_bytes() for r in runs.values()
+    )
+    # Every engine computed the same matrix (spot check vs RWP).
+    import numpy as np
+
+    base = runs["rwp"].outputs[-1]
+    for kind, r in runs.items():
+        np.testing.assert_allclose(r.outputs[-1], base, rtol=1e-2, atol=1e-3)

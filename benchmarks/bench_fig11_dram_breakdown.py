@@ -1,0 +1,28 @@
+"""Fig. 11: DRAM access breakdown.
+
+Paper: by exploiting locality with the hybrid dataflow, HyMM cuts
+off-chip accesses by 91% (AP) and 89% (AC) versus the conventional
+(outer-product) dataflow.
+"""
+
+from repro.bench import figures
+
+
+def test_fig11_dram_breakdown(benchmark, emit):
+    result = benchmark.pedantic(figures.fig11_dram_breakdown, rounds=1, iterations=1)
+    emit("fig11_dram_breakdown", result["text"])
+    reduction = result["reduction_vs_op"]
+
+    # HyMM reduces DRAM traffic vs OP everywhere.
+    for abbr, pct in reduction.items():
+        assert pct > 0, abbr
+    # The dense Amazon graphs show the paper's headline-scale reduction.
+    assert reduction["AP"] > 70
+    assert reduction["AC"] > 70
+
+    # HyMM's partial-output traffic is a small fraction of OP's.
+    for abbr, by_kind in result["breakdown"].items():
+        op_partial = by_kind["op"].get("partial", 0)
+        hymm_partial = by_kind["hymm"].get("partial", 0)
+        if op_partial:
+            assert hymm_partial < op_partial, abbr

@@ -1,0 +1,21 @@
+"""Fig. 2: graph degree distribution.
+
+Paper's claim: "the top 20% of high-degree nodes account for more than
+70% of the total edge count" -- the observation motivating the hybrid
+dataflow.
+"""
+
+from repro.bench import figures
+
+
+def test_fig2_degree_distribution(benchmark, emit):
+    result = benchmark.pedantic(
+        figures.fig2_degree_distribution, rounds=1, iterations=1
+    )
+    emit("fig2_degree_distribution", result["text"])
+    # Every synthesised dataset must reproduce the power-law headline.
+    for abbr, share in result["top20_share"].items():
+        assert share > 0.55, f"{abbr}: top-20% share {share:.2f} too flat"
+    # And most should clear the paper's 70% bar.
+    above = sum(1 for s in result["top20_share"].values() if s > 0.7)
+    assert above >= len(result["top20_share"]) // 2

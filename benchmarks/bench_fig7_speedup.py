@@ -1,0 +1,29 @@
+"""Fig. 7: speedup of the dataflows, normalised to the outer product.
+
+Paper shape: HyMM fastest on every dataset (up to 4.78x over OP at
+Amazon-Photo); the row-wise product beats the outer product.  Absolute
+factors depend on the memory-system details, but the ordering and the
+location of the maximum must reproduce.
+"""
+
+from repro.bench import figures
+
+
+def test_fig7_speedup(benchmark, emit):
+    result = benchmark.pedantic(figures.fig7_speedup, rounds=1, iterations=1)
+    emit("fig7_speedup", result["text"])
+    agg = result["aggregation_speedup"]
+    total = result["total_speedup"]
+    datasets = list(agg["hymm"])
+
+    # HyMM wins the aggregation SpDeMM on every dataset.
+    for abbr in datasets:
+        assert agg["hymm"][abbr] >= agg["rwp"][abbr], abbr
+        assert agg["hymm"][abbr] > 1.0, abbr
+
+    # RWP is at least as fast as OP in aggregation (GROW vs GCNAX).
+    for abbr in datasets:
+        assert agg["rwp"][abbr] >= 0.95, abbr
+
+    # Somewhere HyMM's total win over OP is large (paper: 4.78x at AP).
+    assert max(total["hymm"].values()) > 2.0

@@ -1,0 +1,38 @@
+"""Fig. 8: ALU utilisation of each dataflow.
+
+Paper shape: the outer product has the lowest utilisation (merge
+disruption + memory waits); HyMM improves on the row-wise product (up
+to +27% at Amazon-Computers); CR/CS/PH run lower than the rest for
+everyone because of feature sparsity and very long feature vectors.
+"""
+
+from repro.bench import figures
+
+
+def test_fig8_alu_utilization(benchmark, emit):
+    result = benchmark.pedantic(figures.fig8_alu_utilization, rounds=1, iterations=1)
+    emit("fig8_alu_utilization", result["text"])
+    util = result["utilization"]
+    datasets = list(util["hymm"])
+
+    for abbr in datasets:
+        for kind in ("op", "rwp", "hymm"):
+            assert 0.0 < util[kind][abbr] <= 1.0
+
+    # HyMM >= RWP on every dataset (paper: up to +27% at AC).
+    for abbr in datasets:
+        assert util["hymm"][abbr] >= util["rwp"][abbr] - 0.02, abbr
+
+    # On the dense graphs the paper highlights, HyMM is the clear best.
+    # (On tiny fully-cached graphs OP's merge adds inflate its "busy"
+    # count -- the paper's metric also counts the adder -- so OP can
+    # look artificially busy there; the dense graphs are the signal.)
+    for abbr in ("AP", "AC", "FR", "YP"):
+        assert util["hymm"][abbr] > util["op"][abbr], abbr
+        assert util["hymm"][abbr] > util["rwp"][abbr], abbr
+
+    # The long-feature/feature-sparse datasets (CR, CS, PH) drag
+    # whole-inference utilisation down -- the paper's Fig. 8 note.
+    whole = result["whole_run"]["hymm"]
+    assert whole["CS"] < whole["AP"]
+    assert whole["PH"] < whole["AC"]

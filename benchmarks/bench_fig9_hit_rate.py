@@ -1,0 +1,27 @@
+"""Fig. 9: dense-matrix-buffer hit rates.
+
+Paper shape: both homogeneous dataflows leave hits on the table; HyMM
+achieves the best hit rate by confining request address ranges per
+region and merging partials at the buffer.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9_hit_rate(benchmark, emit):
+    result = benchmark.pedantic(figures.fig9_hit_rate, rounds=1, iterations=1)
+    emit("fig9_hit_rate", result["text"])
+    hits = result["hit_rate"]
+    datasets = list(hits["hymm"])
+
+    for abbr in datasets:
+        for kind in ("op", "rwp", "hymm"):
+            assert 0.0 <= hits[kind][abbr] <= 1.0
+
+    # HyMM has the best hit rate on (almost) every dataset.
+    wins = sum(
+        1
+        for d in datasets
+        if hits["hymm"][d] >= max(hits["rwp"][d], hits["op"][d]) - 0.02
+    )
+    assert wins >= len(datasets) - 1

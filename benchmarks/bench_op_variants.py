@@ -1,0 +1,53 @@
+"""Outer-product design points (extension study).
+
+Three ways to organise an OP engine's partial outputs, against HyMM:
+
+* ``op``          -- naive scattered read-modify-write (the paper's proxy);
+* ``op-deferred`` -- append-all-partials, merge later (OuterSpace);
+* ``op-tiled``    -- output-row tiling so partials always hit on-chip,
+                     paying dense-operand re-streaming per band (what
+                     GCNAX's loop optimisation actually buys).
+
+The interesting crossover: tiling is excellent while the output fits in
+a handful of bands, but its re-streaming traffic grows with the band
+count, i.e. with graph size -- exactly the regime where HyMM's hybrid
+(which streams the dense operand once) keeps its advantage.
+"""
+
+from repro.bench import format_table
+from repro.bench.runner import aggregation_cycles, run_suite
+from repro.graphs.registry import get_spec
+
+_KINDS = ("op", "op-deferred", "op-tiled", "hymm")
+_DATASETS = ("cora", "amazon-photo", "flickr", "yelp")
+
+
+def test_op_variants(benchmark, emit):
+    def run_all():
+        headers = ["dataset", "variant", "total cycles", "agg cycles", "DRAM MB"]
+        rows, data = [], {}
+        for name in _DATASETS:
+            runs = run_suite(name, kinds=_KINDS)
+            abbr = get_spec(name).abbrev
+            data[abbr] = runs
+            for kind in _KINDS:
+                r = runs[kind]
+                rows.append([
+                    abbr, kind, r.stats.cycles,
+                    int(aggregation_cycles(r)),
+                    r.stats.dram_total_bytes() / (1024 * 1024),
+                ])
+        return data, format_table(headers, rows)
+
+    data, text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("op_variants", text)
+
+    for abbr, runs in data.items():
+        # Tiling always beats the naive OP (it removes the thrash).
+        assert runs["op-tiled"].stats.cycles < runs["op"].stats.cycles, abbr
+        # The deferred organisation always moves the most DRAM bytes.
+        assert runs["op-deferred"].stats.dram_total_bytes() == max(
+            r.stats.dram_total_bytes() for r in runs.values()
+        ), abbr
+        # HyMM never loses to the naive OP.
+        assert runs["hymm"].stats.cycles <= runs["op"].stats.cycles, abbr

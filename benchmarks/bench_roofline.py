@@ -1,0 +1,48 @@
+"""Roofline validation of every Fig. 7 run.
+
+Two jobs: (a) a hard consistency check -- no simulated run may finish
+faster than max(compute bound, bandwidth bound); (b) a bottleneck map
+showing *why* each dataflow performs as it does (HyMM should push runs
+toward the compute roof; OP should sit deep in memory-bound territory
+on the dense graphs).
+"""
+
+from repro.analysis import analyze_run
+from repro.bench import format_table
+from repro.bench.runner import run_suite
+from repro.bench.workloads import BENCH_DATASETS
+from repro.graphs.registry import get_spec
+
+
+def test_roofline_validation(benchmark, emit):
+    def run_all():
+        headers = ["dataset", "dataflow", "cycles", "compute bound",
+                   "bandwidth bound", "bottleneck", "efficiency", "FLOPs/byte"]
+        rows, reports = [], {}
+        for name in BENCH_DATASETS:
+            runs = run_suite(name)
+            abbr = get_spec(name).abbrev
+            for kind in ("op", "rwp", "hymm"):
+                report = analyze_run(runs[kind])
+                reports[(abbr, kind)] = (runs[kind], report)
+                rows.append([
+                    abbr, kind, report.attained_cycles,
+                    int(report.compute_bound), int(report.bandwidth_bound),
+                    report.bottleneck, report.efficiency,
+                    report.arithmetic_intensity,
+                ])
+        return reports, format_table(headers, rows)
+
+    reports, text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("roofline", text)
+
+    for (abbr, kind), (run, report) in reports.items():
+        # (a) the consistency bound, for every dataflow on every dataset.
+        assert run.stats.cycles >= report.roofline_cycles - 1, (abbr, kind)
+        assert 0.0 < report.efficiency <= 1.0, (abbr, kind)
+
+    # (b) HyMM achieves the highest roofline efficiency on the dense
+    # graphs (it removes the memory stalls the baselines suffer).
+    for abbr in ("AP", "AC"):
+        eff = {k: reports[(abbr, k)][1].efficiency for k in ("op", "rwp", "hymm")}
+        assert eff["hymm"] >= max(eff.values()) - 1e-9, abbr

@@ -1,0 +1,9 @@
+"""Table I: qualitative dataflow comparison of the implemented engines."""
+
+from repro.bench import tables
+
+
+def test_table1_comparison(benchmark, emit):
+    text = benchmark.pedantic(tables.table1, rounds=1, iterations=1)
+    emit("table1_comparison", text)
+    assert "Hybrid (row + outer)" in text

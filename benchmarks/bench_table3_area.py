@@ -1,0 +1,15 @@
+"""Table III: hardware parameters and estimated area (7 nm + 40 nm)."""
+
+import pytest
+
+from repro.bench import tables
+
+
+def test_table3_area(benchmark, emit):
+    result = benchmark.pedantic(tables.table3, rounds=1, iterations=1)
+    emit("table3_area", result["text"])
+    # The calibrated model must land on the paper's 7 nm column.
+    assert result["ours_7nm"]["DMB"] == pytest.approx(0.077, rel=0.05)
+    assert result["ours_7nm"]["Total"] == pytest.approx(0.106, abs=0.005)
+    # 40 nm via node scaling stays within 10% of the paper's total.
+    assert result["ours_40nm"]["Total"] == pytest.approx(3.215, rel=0.10)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bring your own graph: run the accelerator on a user-defined dataset.
+
+Builds a graph from a plain edge list (here: a small synthetic social
+network generated with networkx if available, else a hand-rolled
+preferential-attachment process), attaches random sparse features,
+wraps everything in a :class:`repro.GraphDataset`, and compares the
+dataflows -- exactly what a user with their own graph data would do.
+
+Run:  python examples/custom_graph.py
+"""
+
+import numpy as np
+
+from repro import (
+    GCNModel,
+    GraphDataset,
+    HyMMAccelerator,
+    OPAccelerator,
+    RWPAccelerator,
+)
+from repro.bench import format_table
+from repro.graphs.synthetic import sparse_feature_matrix
+from repro.sparse import COOMatrix, degree_stats
+
+
+def make_edge_list(n_nodes: int = 600, m: int = 4, seed: int = 7):
+    """An undirected preferential-attachment (Barabasi-Albert) edge list."""
+    try:
+        import networkx as nx
+
+        graph = nx.barabasi_albert_graph(n_nodes, m, seed=seed)
+        return list(graph.edges())
+    except ImportError:
+        rng = np.random.default_rng(seed)
+        edges, targets = [], list(range(m))
+        for u in range(m, n_nodes):
+            for v in set(rng.choice(targets, size=m)):
+                edges.append((u, int(v)))
+            targets.extend([u] * m + [v for _, v in edges[-m:]])
+        return edges
+
+
+def edge_list_to_dataset(edges, n_nodes: int, feature_length: int = 96) -> GraphDataset:
+    """Public-API path from raw edges to an accelerator-ready dataset."""
+    src = np.array([u for u, v in edges] + [v for u, v in edges])
+    dst = np.array([v for u, v in edges] + [u for u, v in edges])
+    adjacency = COOMatrix(
+        (n_nodes, n_nodes), src, dst, np.ones(src.size, dtype=np.float32)
+    )
+    features = sparse_feature_matrix(n_nodes, feature_length, density=0.15, seed=11)
+    return GraphDataset("my-social-net", adjacency, features, hidden_dim=16)
+
+
+def main() -> None:
+    n_nodes = 600
+    edges = make_edge_list(n_nodes)
+    dataset = edge_list_to_dataset(edges, n_nodes)
+    stats = degree_stats(dataset.adjacency)
+    print(f"Custom dataset: {dataset}")
+    print(f"  top-20% edge share: {stats.top20_edge_share:.2f} "
+          f"(power-law graphs favour the hybrid dataflow)")
+
+    model = GCNModel(dataset, n_layers=1, seed=0)
+    rows = []
+    for accelerator in (OPAccelerator(), RWPAccelerator(), HyMMAccelerator()):
+        result = accelerator.run_inference(model)
+        rows.append([
+            result.accelerator,
+            result.stats.cycles,
+            result.stats.dram_total_bytes() / 1024,
+            result.stats.hit_rate(),
+        ])
+    print()
+    print(format_table(["dataflow", "cycles", "DRAM KB", "hit rate"], rows))
+
+
+if __name__ == "__main__":
+    main()

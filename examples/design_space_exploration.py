@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-space exploration: buffer size, tiling threshold, PE count.
+
+Sweeps the key hardware parameters of Section IV around the paper's
+design point, pairing each configuration's simulated performance with
+its silicon cost from the Table III area model -- the trade-off a
+designer adopting HyMM would actually study.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import AreaModel, GCNModel, HyMMAccelerator, HyMMConfig, load_dataset
+from repro.bench import format_table
+
+
+def run(model, config):
+    return HyMMAccelerator(config).run_inference(model)
+
+
+def main() -> None:
+    model = GCNModel(
+        load_dataset("amazon-photo", scale=0.15, seed=5, feature_length=128),
+        n_layers=1,
+        seed=6,
+    )
+    print(f"Workload: {model.dataset}\n")
+
+    print("DMB capacity sweep (performance vs area):")
+    rows = []
+    for kb in (16, 32, 64, 128, 256):
+        cfg = HyMMConfig(dmb_bytes=kb * 1024)
+        result = run(model, cfg)
+        rows.append([
+            f"{kb} KB",
+            result.stats.cycles,
+            result.stats.dram_total_bytes() / 1024,
+            AreaModel(cfg).total_mm2("7nm"),
+        ])
+    print(format_table(["DMB", "cycles", "DRAM KB", "area mm^2"], rows))
+
+    print("\nTiling-threshold sweep (Section IV-E fixes 20%):")
+    rows = []
+    for frac in (0.05, 0.1, 0.2, 0.4, 0.8):
+        cfg = HyMMConfig(dmb_bytes=32 * 1024, threshold_fraction=frac)
+        result = run(model, cfg)
+        rows.append([
+            f"{int(frac * 100)}%",
+            result.stats.cycles,
+            result.stats.hit_rate(),
+        ])
+    print(format_table(["threshold", "cycles", "hit rate"], rows))
+
+    print("\nPE-array width sweep (Table III uses 16 MACs):")
+    rows = []
+    for pes in (8, 16, 32):
+        cfg = HyMMConfig(n_pes=pes)
+        result = run(model, cfg)
+        rows.append([
+            pes,
+            result.stats.cycles,
+            AreaModel(cfg).report("7nm").components["PE Array"],
+        ])
+    print(format_table(["PEs", "cycles", "PE area mm^2"], rows))
+
+
+if __name__ == "__main__":
+    main()

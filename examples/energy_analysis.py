@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Energy and roofline analysis of the dataflows (extension).
+
+The paper measures DRAM accesses (Fig. 11); this example turns those
+byte counts into joules with a Horowitz-style energy model and locates
+every run against its compute/bandwidth roofline -- showing that HyMM's
+traffic reduction is simultaneously a performance win (it lifts runs to
+the compute roof) and an energy win (DRAM bytes dominate the budget).
+
+Run:  python examples/energy_analysis.py
+"""
+
+from repro import (
+    GCNModel,
+    HyMMAccelerator,
+    HyMMConfig,
+    OPAccelerator,
+    RWPAccelerator,
+    load_dataset,
+)
+from repro.analysis import analyze_run
+from repro.area.energy import energy_of_run
+from repro.bench import format_table
+
+
+def main() -> None:
+    model = GCNModel(
+        load_dataset("amazon-photo", scale=0.1, seed=1, feature_length=128),
+        n_layers=1,
+        seed=2,
+    )
+    # A 32 KB buffer recreates the paper-scale working-set pressure at
+    # this reduced dataset size (see EXPERIMENTS.md on scales).
+    small = 32 * 1024
+    accelerators = {
+        "op": OPAccelerator(HyMMConfig(dmb_bytes=small, unified_buffer=False)),
+        "rwp": RWPAccelerator(HyMMConfig(dmb_bytes=small, unified_buffer=False)),
+        "hymm": HyMMAccelerator(HyMMConfig(dmb_bytes=small)),
+    }
+
+    rows = []
+    for name, accelerator in accelerators.items():
+        result = accelerator.run_inference(model)
+        energy = energy_of_run(result)
+        roofline = analyze_run(result)
+        rows.append([
+            name,
+            result.stats.cycles,
+            roofline.bottleneck,
+            roofline.efficiency,
+            roofline.arithmetic_intensity,
+            energy.total_uj,
+            100 * energy.breakdown()["dram"],
+        ])
+
+    print(f"Workload: {model.dataset}\n")
+    print(format_table(
+        ["dataflow", "cycles", "bottleneck", "roofline eff.",
+         "FLOPs/byte", "energy uJ", "DRAM energy %"],
+        rows,
+    ))
+    op_uj, hymm_uj = rows[0][5], rows[2][5]
+    print(f"\nHyMM consumes {op_uj / hymm_uj:.1f}x less energy than the "
+          f"outer product on this workload; the gap is almost entirely "
+          f"the DRAM traffic the hybrid dataflow avoids (Fig. 11).")
+
+
+if __name__ == "__main__":
+    main()

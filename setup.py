@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (pure-setuptools editable install)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Post-run analysis tools.
+
+:mod:`repro.analysis.roofline` bounds every simulated run by its two
+hard limits -- PE-array throughput and DRAM bandwidth -- and classifies
+the bottleneck.  The bounds double as an internal consistency check:
+no simulation may ever finish faster than its roofline.
+"""
+
+from repro.analysis.roofline import (
+    RooflineReport,
+    analyze_run,
+    bandwidth_bound_cycles,
+    compute_bound_cycles,
+)
+from repro.analysis.pareto import pareto_front, dominated
+
+__all__ = [
+    "RooflineReport",
+    "analyze_run",
+    "bandwidth_bound_cycles",
+    "compute_bound_cycles",
+    "pareto_front",
+    "dominated",
+]

@@ -1,0 +1,44 @@
+"""Pareto-front utilities for design-space exploration.
+
+The DMB/threshold/PE sweeps produce (cost, performance) points; a
+designer cares about the non-dominated subset.  Points are
+``(cost, value, payload)`` tuples where *lower* cost and *lower* value
+are better (e.g. area mm^2 vs cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def pareto_front(points: Iterable[Sequence]) -> List[Tuple]:
+    """Return the non-dominated points, sorted by ascending cost.
+
+    A point dominates another if it is no worse in both dimensions and
+    strictly better in at least one.  Payload elements beyond the first
+    two are carried through untouched.
+    """
+    pts = [tuple(p) for p in points]
+    for p in pts:
+        if len(p) < 2:
+            raise ValueError("each point needs at least (cost, value)")
+    pts.sort(key=lambda p: (p[0], p[1]))
+    front: List[Tuple] = []
+    best_value = float("inf")
+    for p in pts:
+        if p[1] < best_value:
+            front.append(p)
+            best_value = p[1]
+    return front
+
+
+def dominated(point: Sequence, others: Iterable[Sequence]) -> bool:
+    """Whether ``point`` is dominated by any of ``others``."""
+    c, v = point[0], point[1]
+    for other in others:
+        oc, ov = other[0], other[1]
+        if (oc, ov) == (c, v):
+            continue
+        if oc <= c and ov <= v and (oc < c or ov < v):
+            return True
+    return False

@@ -1,0 +1,76 @@
+"""Roofline bounds and bottleneck classification for simulated runs.
+
+An accelerator run can never be faster than either of:
+
+* the **compute bound** -- its useful vector operations issued at one
+  per cycle through the PE array;
+* the **bandwidth bound** -- its total off-chip traffic moved at the
+  DRAM's peak bytes-per-cycle.
+
+``analyze_run`` reports both bounds, the attained cycles, the
+efficiency against the binding roof, and the arithmetic intensity
+(useful FLOPs per DRAM byte) that decides which roof binds -- the
+quantity HyMM's locality optimisations raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hymm.base import RunResult
+
+
+def compute_bound_cycles(result: RunResult) -> float:
+    """Minimum cycles if memory were free: one vector op per cycle."""
+    return float(result.stats.busy_cycles)
+
+
+def bandwidth_bound_cycles(result: RunResult) -> float:
+    """Minimum cycles if compute were free: traffic at peak bandwidth."""
+    return result.stats.dram_total_bytes() / result.config.dram.bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """Bounds and attained performance of one run."""
+
+    attained_cycles: int
+    compute_bound: float
+    bandwidth_bound: float
+    arithmetic_intensity: float  # FLOPs per DRAM byte
+
+    @property
+    def roofline_cycles(self) -> float:
+        """The binding lower bound."""
+        return max(self.compute_bound, self.bandwidth_bound)
+
+    @property
+    def bottleneck(self) -> str:
+        """``"compute"`` or ``"memory"`` -- which roof binds."""
+        return "compute" if self.compute_bound >= self.bandwidth_bound else "memory"
+
+    @property
+    def efficiency(self) -> float:
+        """Roofline cycles / attained cycles, in (0, 1]."""
+        if self.attained_cycles <= 0:
+            return 0.0
+        return min(1.0, self.roofline_cycles / self.attained_cycles)
+
+    @property
+    def slack_cycles(self) -> float:
+        """Cycles lost to latency/occupancy effects beyond the roofs."""
+        return self.attained_cycles - self.roofline_cycles
+
+
+def analyze_run(result: RunResult, lane_width: int = None) -> RooflineReport:
+    """Build the roofline report for one simulated inference."""
+    lanes = lane_width if lane_width is not None else result.config.n_pes
+    flops = 2.0 * result.stats.busy_cycles * lanes
+    dram_bytes = result.stats.dram_total_bytes()
+    intensity = flops / dram_bytes if dram_bytes else float("inf")
+    return RooflineReport(
+        attained_cycles=result.stats.cycles,
+        compute_bound=compute_bound_cycles(result),
+        bandwidth_bound=bandwidth_bound_cycles(result),
+        arithmetic_intensity=intensity,
+    )

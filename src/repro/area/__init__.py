@@ -1,0 +1,34 @@
+"""Analytical area model (paper Table III).
+
+The paper estimates component areas with Synopsys Design Compiler on
+the ASAP 7 nm PDK plus CACTI 7.0 for memories, then scales to TSMC
+40 nm to compare against prior accelerators.  Neither tool can run
+here, so this package provides a CACTI-style analytical substitute:
+linear SRAM area curves plus per-MAC logic area, with coefficients
+calibrated so the default :class:`repro.hymm.config.HyMMConfig`
+reproduces Table III, and classical node-length-squared scaling between
+technology nodes.  The model extrapolates sensibly when the design
+space benches sweep buffer sizes or PE counts.
+"""
+
+from repro.area.sram import sram_area_mm2, cam_area_mm2
+from repro.area.logic import mac_area_mm2, control_area_mm2
+from repro.area.model import AreaModel, AreaReport, node_scale_factor
+from repro.area.energy import (
+    EnergyReport,
+    energy_of_run,
+    energy_efficiency_gflops_per_watt,
+)
+
+__all__ = [
+    "sram_area_mm2",
+    "cam_area_mm2",
+    "mac_area_mm2",
+    "control_area_mm2",
+    "AreaModel",
+    "AreaReport",
+    "node_scale_factor",
+    "EnergyReport",
+    "energy_of_run",
+    "energy_efficiency_gflops_per_watt",
+]

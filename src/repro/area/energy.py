@@ -1,0 +1,95 @@
+"""Energy model (extension beyond the paper's area-only Table III).
+
+The paper compares against GCNAX, whose headline is energy efficiency,
+but reports only area; this module adds the standard back-of-envelope
+energy accounting used across the accelerator literature (Horowitz
+ISSCC'14 figures, scaled): per-operation energies for MACs, on-chip
+SRAM accesses and off-chip DRAM transfers, composed with a simulated
+run's counters.
+
+All per-op constants are in picojoules at ~7 nm-class logic; DRAM
+energy is node-independent (it is dominated by the interface).  These
+are order-of-magnitude figures -- the interesting output is the
+*relative* energy of the dataflows, which is dominated by the DRAM
+term the paper's Fig. 11 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hymm.base import RunResult
+
+#: Energy per 32-bit MAC (multiply + add), pJ.
+MAC_PJ = 0.9
+#: Energy per byte read/written in a ~256 KB SRAM, pJ.
+SRAM_PJ_PER_BYTE = 0.12
+#: Energy per byte moved over the DRAM interface, pJ (LPDDR-class).
+DRAM_PJ_PER_BYTE = 15.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one simulated inference, joule-denominated."""
+
+    compute_pj: float
+    sram_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.compute_pj + self.sram_pj + self.dram_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component shares (fractions of total)."""
+        total = self.total_pj or 1.0
+        return {
+            "compute": self.compute_pj / total,
+            "sram": self.sram_pj / total,
+            "dram": self.dram_pj / total,
+        }
+
+
+def energy_of_run(result: RunResult, lane_width: int = 16) -> EnergyReport:
+    """Estimate the energy of one simulated inference.
+
+    * compute: every busy PE-array cycle is ``lane_width`` MACs;
+    * SRAM: every buffer hit or miss moves one 64-byte line through the
+      DMB (misses additionally fill it), and LSQ forwards move a line
+      within the LSQ (charged as SRAM too);
+    * DRAM: the byte counters the simulator already keeps.
+    """
+    stats = result.stats
+    line = result.config.line_bytes
+    compute = stats.busy_cycles * lane_width * MAC_PJ
+    buffer_ops = (
+        sum(stats.buffer_hits.values())
+        + 2 * sum(stats.buffer_misses.values())  # fill + read
+        + stats.lsq_forwards
+    )
+    sram = buffer_ops * line * SRAM_PJ_PER_BYTE
+    dram = stats.dram_total_bytes() * DRAM_PJ_PER_BYTE
+    return EnergyReport(compute_pj=compute, sram_pj=sram, dram_pj=dram)
+
+
+def energy_efficiency_gflops_per_watt(
+    result: RunResult, clock_ghz: float = 1.0, lane_width: int = 16
+) -> float:
+    """Achieved GFLOPS/W for one run (2 FLOPs per MAC)."""
+    report = energy_of_run(result, lane_width)
+    seconds = result.stats.cycles / (clock_ghz * 1e9)
+    if seconds <= 0 or report.total_pj <= 0:
+        return 0.0
+    flops = stats_flops(result, lane_width)
+    watts = (report.total_pj * 1e-12) / seconds
+    return (flops / seconds) / 1e9 / watts
+
+
+def stats_flops(result: RunResult, lane_width: int = 16) -> float:
+    """Useful floating-point operations of a run (2 per MAC lane-cycle)."""
+    return 2.0 * result.stats.busy_cycles * lane_width

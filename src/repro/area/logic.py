@@ -1,0 +1,26 @@
+"""Logic area: MAC units and control (calibrated to Table III at 7 nm)."""
+
+from __future__ import annotations
+
+#: One single-precision MAC at 7 nm: Table III's PE array is 16 MACs at
+#: 0.006 mm^2.
+MAC_MM2_7NM = 0.006 / 16
+
+#: Controller, interconnect and the DMB-side accumulator ("Others" in
+#: Table III).
+CONTROL_BASE_MM2_7NM = 0.004
+
+
+def mac_area_mm2(n_macs: int) -> float:
+    """PE-array area at 7 nm."""
+    if n_macs < 0:
+        raise ValueError("n_macs must be non-negative")
+    return MAC_MM2_7NM * n_macs
+
+
+def control_area_mm2(n_macs: int = 16) -> float:
+    """Control/others area at 7 nm; grows mildly with the PE count
+    (wider broadcast and reduction fabric)."""
+    if n_macs < 0:
+        raise ValueError("n_macs must be non-negative")
+    return CONTROL_BASE_MM2_7NM * max(1.0, n_macs / 16) ** 0.5

@@ -1,0 +1,30 @@
+"""Baseline dataflow accelerators.
+
+The paper compares HyMM against homogeneous dataflows on the same
+memory hierarchy: "The RWP dataflow represents GROW [21], and the OP
+architecture represents GCNAX [19]."  This package provides those
+proxies plus a column-wise-product accelerator in the spirit of
+AWB-GCN [17] as an extension baseline:
+
+* :class:`RWPAccelerator` -- row-wise product everywhere (GROW-proxy);
+* :class:`OPAccelerator` -- outer product everywhere (GCNAX-proxy);
+  its ``merge_mode`` selects how partial outputs merge (``"pe"``
+  read-modify-write by default, ``"deferred"`` for the OuterSpace-style
+  two-phase organisation used in the Figure 10 comparison);
+* :class:`CWPAccelerator` -- column-wise product with PE-local
+  accumulators (AWB-GCN-style extension).
+"""
+
+from repro.baselines.rwp import RWPAccelerator
+from repro.baselines.op import OPAccelerator
+from repro.baselines.op_tiled import TiledOPAccelerator
+from repro.baselines.cwp import CWPAccelerator
+from repro.baselines.gcod import GCoDAccelerator
+
+__all__ = [
+    "RWPAccelerator",
+    "OPAccelerator",
+    "TiledOPAccelerator",
+    "CWPAccelerator",
+    "GCoDAccelerator",
+]

@@ -1,0 +1,113 @@
+"""Column-wise-product baseline with PE-local accumulators (AWB-GCN-style).
+
+AWB-GCN (Table I) processes the sparse operand column-wise and keeps
+partial results in accumulation buffers local to the PEs, rebalancing
+work at runtime.  This extension baseline models the dataflow's memory
+behaviour without the rebalancing network: partial output rows
+accumulate in a bounded PE-local register pool (LRU); when the pool
+overflows, the evicted row's running sum is merged into the DMB by a
+read-modify-write through the PE array.  With a large enough pool this
+approaches an ideal output-stationary engine; with a small pool it
+degrades toward the plain outer product.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.gcn.model import GCNModel
+from repro.hymm.base import AcceleratorBase
+from repro.hymm.config import HyMMConfig
+from repro.hymm.kernels import KernelContext, finalize_op_partials
+from repro.sim.buffer import CLASS_PARTIAL, CLASS_XW
+from repro.sparse import coo_to_csc
+from repro.sparse.coo import VALUE_DTYPE
+
+
+class CWPAccelerator(AcceleratorBase):
+    """Column-wise product with a bounded PE-local accumulator pool."""
+
+    name = "cwp"
+
+    def __init__(
+        self,
+        config: Optional[HyMMConfig] = None,
+        local_accumulator_rows: int = 256,
+    ):
+        if config is None:
+            # Prior-accelerator organisation: split input/output buffers.
+            config = HyMMConfig(unified_buffer=False)
+        super().__init__(config)
+        if local_accumulator_rows <= 0:
+            raise ValueError("local_accumulator_rows must be positive")
+        self.local_accumulator_rows = local_accumulator_rows
+
+    def prepare(self, model: GCNModel) -> dict:
+        prep = super().prepare(model)
+        prep["adj_csc"] = coo_to_csc(model.norm_adj)
+        return prep
+
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+        adj_csc = prep["adj_csc"]
+        h = xw.shape[1]
+        lpr = ctx.config.lines_per_row(h)
+        passes = ctx.config.compute_passes(h)
+        n = adj_csc.shape[0]
+        out = np.zeros((n, h), dtype=np.float64)
+
+        engine = ctx.engine
+        xw_base = ctx.amap.xw_addr(ctx.layer, 0, h)
+        out_base = ctx.amap.out_addr(ctx.layer, 0, h)
+        from repro.hymm.kernels import AGGREGATION_PRIORITY
+
+        ctx.buffer.evict_priority = AGGREGATION_PRIORITY
+
+        # PE-local accumulator pool: output row -> present (LRU order).
+        pool: OrderedDict = OrderedDict()
+        touched = set()
+
+        def spill_row(row: int):
+            """Merge an evicted local accumulation into the DMB."""
+            for ln in range(lpr):
+                addr = out_base + row * lpr + ln
+                engine.stats.partials_produced += 1
+                if addr in touched:
+                    engine.rmw(addr, CLASS_PARTIAL, "partial")
+                else:
+                    touched.add(addr)
+                    engine.store(addr, CLASS_PARTIAL, "partial")
+
+        for entry in ctx.smq.iter_csc(adj_csc):
+            engine.stream(entry.stream_bytes, "A")
+            j = entry.pointer
+            base = xw_base + j * lpr
+            for ln in range(lpr):
+                # Sequential (ascending-column) dense-row stream.
+                engine.mac_stream_load(base + ln, CLASS_XW, "XW")
+            count = entry.indices.size * max(lpr, passes)
+            if count > lpr:
+                engine.mac_local(count - lpr)
+            for i in entry.indices.tolist():
+                if i in pool:
+                    pool.move_to_end(i)  # accumulate locally, no traffic
+                else:
+                    pool[i] = True
+                    if len(pool) > self.local_accumulator_rows:
+                        victim, _ = pool.popitem(last=False)
+                        spill_row(victim)
+            np.add.at(
+                out,
+                entry.indices,
+                entry.values.astype(np.float64)[:, None]
+                * xw[j].astype(np.float64)[None, :],
+            )
+
+        # Drain the pool, then write resident partials back as outputs.
+        for row in list(pool):
+            spill_row(row)
+        pool.clear()
+        finalize_op_partials(ctx)
+        return out.astype(VALUE_DTYPE)

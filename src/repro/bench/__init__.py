@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each public function returns structured rows/series *and* a formatted
+text table, so the pytest benches in ``benchmarks/`` and the scripts in
+``examples/`` share one implementation.  Simulation results are memoised
+per (dataset, scale, accelerator, config) within a process, so the four
+figure benches that read the same runs (Fig. 7/8/9/11) only simulate
+once.
+"""
+
+from repro.bench.workloads import (
+    BENCH_DATASETS,
+    bench_scale,
+    full_scale_requested,
+    make_model,
+)
+from repro.bench.runner import run_accelerator, run_suite, clear_cache
+from repro.bench.report import format_table, render_series
+from repro.bench import tables, figures
+
+__all__ = [
+    "BENCH_DATASETS",
+    "bench_scale",
+    "full_scale_requested",
+    "make_model",
+    "run_accelerator",
+    "run_suite",
+    "clear_cache",
+    "format_table",
+    "render_series",
+    "tables",
+    "figures",
+]

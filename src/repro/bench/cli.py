@@ -1,0 +1,125 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.bench all                 # every table and figure
+    python -m repro.bench fig7 fig11          # specific experiments
+    python -m repro.bench fig7 --datasets cora amazon-photo
+    python -m repro.bench table2 --full-scale
+    python -m repro.bench list                # what's available
+
+Each experiment prints its table and, with ``--output DIR``, also
+writes ``<experiment>.txt`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import figures, tables
+from repro.bench.workloads import BENCH_DATASETS
+
+
+def _table_text(fn: Callable) -> Callable[[Optional[List[str]]], str]:
+    def run(datasets):
+        out = fn()
+        return out if isinstance(out, str) else out["text"]
+
+    return run
+
+
+def _figure_text(fn: Callable) -> Callable[[Optional[List[str]]], str]:
+    def run(datasets):
+        kwargs = {"datasets": datasets} if datasets else {}
+        return fn(**kwargs)["text"]
+
+    return run
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": _table_text(tables.table1),
+    "table2": _table_text(tables.table2),
+    "table3": _table_text(tables.table3),
+    "fig2": _figure_text(figures.fig2_degree_distribution),
+    "fig6": _figure_text(figures.fig6_storage_overhead),
+    "fig7": _figure_text(figures.fig7_speedup),
+    "fig8": _figure_text(figures.fig8_alu_utilization),
+    "fig9": _figure_text(figures.fig9_hit_rate),
+    "fig10": _figure_text(figures.fig10_partial_outputs),
+    "fig11": _figure_text(figures.fig11_dram_breakdown),
+}
+
+#: Run order for "all" (cheap first; Figs. 7-11 share memoised runs).
+ALL_ORDER = (
+    "table1", "table3", "table2", "fig2", "fig6",
+    "fig7", "fig8", "fig9", "fig10", "fig11",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the HyMM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (e.g. fig7 table2), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        metavar="NAME",
+        help=f"restrict figure experiments to these datasets "
+             f"(default: all of {', '.join(BENCH_DATASETS)})",
+    )
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="run at paper scale (sets REPRO_FULL_SCALE=1; slow)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write each experiment's text to DIR/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if "list" in args.experiments:
+        print("Available experiments:")
+        for name in ALL_ORDER:
+            print(f"  {name}")
+        return 0
+
+    if args.full_scale:
+        os.environ["REPRO_FULL_SCALE"] = "1"
+
+    names = list(ALL_ORDER) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_ORDER)}", file=sys.stderr)
+        return 2
+
+    out_dir = pathlib.Path(args.output) if args.output else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        text = EXPERIMENTS[name](args.datasets)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Shared simulation runner with per-process memoisation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines import (
+    CWPAccelerator,
+    GCoDAccelerator,
+    OPAccelerator,
+    RWPAccelerator,
+    TiledOPAccelerator,
+)
+from repro.bench.workloads import bench_scale, make_model
+from repro.hymm import HyMMAccelerator, HyMMConfig
+from repro.hymm.base import RunResult
+
+#: The dataflows of the paper's Figure 7 comparison, plus extensions.
+DEFAULT_ACCELERATORS = ("op", "rwp", "hymm")
+ALL_ACCELERATORS = ("op", "rwp", "cwp", "gcod", "op-deferred", "op-tiled", "hymm")
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def make_accelerator(kind: str, config: Optional[HyMMConfig] = None):
+    """Instantiate an accelerator by its report name."""
+    if kind == "rwp":
+        return RWPAccelerator(config)
+    if kind == "op":
+        return OPAccelerator(config)
+    if kind == "op-deferred":
+        return OPAccelerator(config, merge_mode="deferred")
+    if kind == "op-tiled":
+        return TiledOPAccelerator(config)
+    if kind == "gcod":
+        return GCoDAccelerator(config)
+    if kind == "cwp":
+        return CWPAccelerator(config)
+    if kind == "hymm":
+        return HyMMAccelerator(config if config is not None else HyMMConfig())
+    raise ValueError(f"unknown accelerator kind {kind!r}")
+
+
+def run_accelerator(
+    dataset: str,
+    kind: str,
+    scale: Optional[float] = None,
+    n_layers: int = 1,
+    seed: int = 0,
+    config: Optional[HyMMConfig] = None,
+    cache: bool = True,
+) -> RunResult:
+    """Simulate one accelerator on one dataset (memoised).
+
+    ``config=None`` uses each accelerator's paper-default configuration
+    (HyMM unified buffer, baselines split buffers).
+    """
+    if scale is None:
+        scale = bench_scale(dataset)
+    key = (dataset, kind, scale, n_layers, seed, config)
+    if cache and key in _CACHE:
+        return _CACHE[key]
+    model = make_model(dataset, scale, n_layers=n_layers, seed=seed)
+    result = make_accelerator(kind, config).run_inference(model)
+    if cache:
+        _CACHE[key] = result
+    return result
+
+
+def run_suite(
+    dataset: str,
+    kinds=DEFAULT_ACCELERATORS,
+    scale: Optional[float] = None,
+    n_layers: int = 1,
+    seed: int = 0,
+) -> Dict[str, RunResult]:
+    """Simulate several accelerators on one dataset."""
+    return {
+        kind: run_accelerator(dataset, kind, scale=scale, n_layers=n_layers, seed=seed)
+        for kind in kinds
+    }
+
+
+def aggregation_cycles(result: RunResult) -> float:
+    """Cycles spent in aggregation phases (the SpDeMM under study)."""
+    return sum(v for k, v in result.phase_cycles.items() if k.endswith("aggregation"))
+
+
+def _aggregation_phase_sums(result: RunResult):
+    phases = [v for k, v in result.phase_stats.items() if k.endswith("aggregation")]
+    return {
+        key: sum(p[key] for p in phases)
+        for key in ("cycles", "busy", "hits", "misses", "forwards")
+    }
+
+
+def aggregation_utilization(result: RunResult) -> float:
+    """ALU utilisation within the aggregation phases (Fig. 8's subject:
+    the SpDeMM dataflow, uncontaminated by the shared combination)."""
+    sums = _aggregation_phase_sums(result)
+    return sums["busy"] / sums["cycles"] if sums["cycles"] else 0.0
+
+
+def aggregation_hit_rate(result: RunResult) -> float:
+    """Buffer hit rate within the aggregation phases (Fig. 9's subject);
+    LSQ forwards count as on-chip hits."""
+    sums = _aggregation_phase_sums(result)
+    total = sums["hits"] + sums["forwards"] + sums["misses"]
+    return (sums["hits"] + sums["forwards"]) / total if total else 0.0
+
+
+def clear_cache() -> int:
+    """Drop memoised runs; returns how many were cached."""
+    n = len(_CACHE)
+    _CACHE.clear()
+    return n

@@ -1,0 +1,25 @@
+"""GCN model substrate.
+
+A minimal-but-complete GCN inference stack (Kipf & Welling, the model
+all compared accelerators execute): seeded Glorot weight initialisation,
+the combination-first layer schedule the paper adopts from AWB-GCN
+(compute ``XW`` first, then aggregate ``A_hat (XW)``), and a pure-NumPy
+reference inference used as the functional oracle for every simulated
+dataflow.
+"""
+
+from repro.gcn.weights import glorot_weights, layer_dims
+from repro.gcn.layer import GCNLayer, combination, aggregation
+from repro.gcn.model import GCNModel
+from repro.gcn.reference import reference_inference, relu
+
+__all__ = [
+    "glorot_weights",
+    "layer_dims",
+    "GCNLayer",
+    "combination",
+    "aggregation",
+    "GCNModel",
+    "reference_inference",
+    "relu",
+]

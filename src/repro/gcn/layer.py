@@ -1,0 +1,71 @@
+"""One GCN layer: combination then aggregation (combination-first).
+
+The paper follows AWB-GCN's combination-first schedule: computing
+``XW`` before ``A_hat (XW)`` shrinks the aggregation operand from
+``feature_length`` to ``hidden_dim`` columns, reducing multiplications
+and SpDeMM-engine cost (Section II-A).  Both phases are SpDeMMs:
+
+* **combination** -- sparse ``X`` (CSR) times dense ``W``;
+* **aggregation** -- sparse ``A_hat`` times dense ``XW``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse import COOMatrix, CSRMatrix, spmm_coo, spmm_csr
+from repro.sparse.coo import VALUE_DTYPE
+
+
+def combination(features: CSRMatrix, weights: np.ndarray) -> np.ndarray:
+    """Combination phase: ``XW`` via the row-wise-product oracle."""
+    if features.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"feature length {features.shape[1]} != weight fan-in {weights.shape[0]}"
+        )
+    return spmm_csr(features, weights)
+
+
+def aggregation(norm_adj: COOMatrix, combined: np.ndarray) -> np.ndarray:
+    """Aggregation phase: ``A_hat (XW)`` via the order-independent oracle."""
+    if norm_adj.shape[1] != combined.shape[0]:
+        raise ValueError(
+            f"adjacency width {norm_adj.shape[1]} != combined rows {combined.shape[0]}"
+        )
+    return spmm_coo(norm_adj, combined)
+
+
+@dataclass
+class GCNLayer:
+    """A single inference layer ``H' = act(A_hat (H W))``.
+
+    ``activation`` is applied element-wise after aggregation; pass
+    ``None`` for the final (logit) layer.
+    """
+
+    weights: np.ndarray
+    activation: object = None  # callable or None
+
+    def forward(self, norm_adj: COOMatrix, h) -> np.ndarray:
+        """Run the layer.  ``h`` may be a CSR matrix (layer 0, sparse
+        features) or a dense array (subsequent layers)."""
+        if isinstance(h, CSRMatrix):
+            combined = combination(h, self.weights)
+        else:
+            combined = (
+                np.asarray(h, dtype=np.float64) @ self.weights.astype(np.float64)
+            ).astype(VALUE_DTYPE)
+        out = aggregation(norm_adj, combined)
+        if self.activation is not None:
+            out = self.activation(out)
+        return out.astype(VALUE_DTYPE)
+
+    @property
+    def fan_in(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.weights.shape[1]

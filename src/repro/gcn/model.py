@@ -1,0 +1,68 @@
+"""Multi-layer GCN model built from :class:`repro.gcn.layer.GCNLayer`."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gcn.layer import GCNLayer
+from repro.gcn.reference import relu
+from repro.gcn.weights import glorot_weights, layer_dims
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.preprocess import gcn_normalize
+from repro.sparse import COOMatrix
+
+
+class GCNModel:
+    """An ``n_layers``-deep GCN with seeded Glorot weights.
+
+    This is the *workload definition* shared by the NumPy oracle and all
+    simulated dataflows: it owns the weight matrices and the normalised
+    adjacency, and exposes layer-by-layer forward execution.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        n_layers: int = 2,
+        n_classes: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if n_layers < 1:
+            raise ValueError("n_layers must be at least 1")
+        self.dataset = dataset
+        self.norm_adj: COOMatrix = gcn_normalize(dataset.adjacency)
+        dims = layer_dims(
+            dataset.feature_length, dataset.hidden_dim, n_layers, n_classes
+        )
+        self.layers: List[GCNLayer] = []
+        for idx, (fan_in, fan_out) in enumerate(dims):
+            act = relu if idx < n_layers - 1 else None
+            self.layers.append(
+                GCNLayer(glorot_weights(fan_in, fan_out, seed=seed + idx), act)
+            )
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def weight_list(self) -> List[np.ndarray]:
+        """The raw weight matrices, layer order."""
+        return [layer.weights for layer in self.layers]
+
+    def forward(self) -> List[np.ndarray]:
+        """Run inference with the oracle kernels; returns all layer outputs."""
+        h = self.dataset.features
+        outputs: List[np.ndarray] = []
+        for layer in self.layers:
+            h = layer.forward(self.norm_adj, h)
+            outputs.append(h)
+        return outputs
+
+    def __repr__(self):
+        dims = " -> ".join(
+            [str(self.layers[0].fan_in)] + [str(l.fan_out) for l in self.layers]
+        )
+        return f"GCNModel({self.dataset.name!r}, dims={dims})"

@@ -1,0 +1,39 @@
+"""Pure-NumPy reference GCN inference (the functional oracle)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.preprocess import gcn_normalize
+from repro.sparse.coo import VALUE_DTYPE
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectifier, the paper's sigma in Eq. 1."""
+    return np.maximum(x, 0.0)
+
+
+def reference_inference(
+    dataset: GraphDataset, weight_list: List[np.ndarray]
+) -> List[np.ndarray]:
+    """Run full multi-layer GCN inference with dense NumPy matmuls.
+
+    Returns the post-activation output of every layer (ReLU between
+    layers, raw logits at the end).  This is intentionally the most
+    boring possible implementation: every simulated dataflow must agree
+    with it to float tolerance.
+    """
+    norm = gcn_normalize(dataset.adjacency).to_dense().astype(np.float64)
+    h = dataset.features.to_dense().astype(np.float64)
+    outputs: List[np.ndarray] = []
+    for layer_idx, weights in enumerate(weight_list):
+        combined = h @ weights.astype(np.float64)
+        aggregated = norm @ combined
+        if layer_idx < len(weight_list) - 1:
+            aggregated = relu(aggregated)
+        h = aggregated
+        outputs.append(aggregated.astype(VALUE_DTYPE))
+    return outputs

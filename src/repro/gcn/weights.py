@@ -1,0 +1,43 @@
+"""Weight initialisation for GCN layers."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.coo import VALUE_DTYPE
+
+
+def glorot_weights(fan_in: int, fan_out: int, seed: int = 0) -> np.ndarray:
+    """Glorot/Xavier-uniform weight matrix of shape ``(fan_in, fan_out)``.
+
+    Deterministic given the seed; dtype matches the accelerator's
+    single-precision datapath (Table III).
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    rng = np.random.default_rng(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(VALUE_DTYPE)
+
+
+def layer_dims(
+    feature_length: int, hidden_dim: int, n_layers: int = 2, n_classes: int = None
+) -> List[Tuple[int, int]]:
+    """Per-layer ``(fan_in, fan_out)`` for an ``n_layers``-deep GCN.
+
+    All hidden layers use ``hidden_dim`` (Table II: 16); the final layer
+    emits ``n_classes`` (defaults to ``hidden_dim``, as the paper's
+    workload keeps a fixed layer dimension).
+    """
+    if n_layers < 1:
+        raise ValueError("n_layers must be at least 1")
+    out_dim = n_classes if n_classes is not None else hidden_dim
+    dims: List[Tuple[int, int]] = []
+    fan_in = feature_length
+    for layer in range(n_layers):
+        fan_out = out_dim if layer == n_layers - 1 else hidden_dim
+        dims.append((fan_in, fan_out))
+        fan_in = fan_out
+    return dims

@@ -1,0 +1,95 @@
+"""The dataset container the rest of the library consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sparse import COOMatrix, CSRMatrix, degree_stats, sparsity
+
+
+@dataclass
+class GraphDataset:
+    """A graph + node features, ready for GCN inference.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"cora"``) or a user-chosen label.
+    adjacency:
+        Square adjacency matrix in canonical COO (unnormalised, no
+        self-loops; preprocessing adds both).
+    features:
+        Node feature matrix ``X`` in CSR (``n_nodes x feature_length``);
+        most Table II datasets have sparse features, so CSR is the
+        storage the combination engine streams.
+    hidden_dim:
+        GCN hidden layer width (Table II "Layer dimension", 16 for all
+        paper datasets).
+    scale:
+        Scale factor relative to the full Table II size (1.0 = paper
+        scale).  Recorded so experiment reports can name the scale used.
+    """
+
+    name: str
+    adjacency: COOMatrix
+    features: CSRMatrix
+    hidden_dim: int = 16
+    scale: float = 1.0
+
+    def __post_init__(self):
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        if self.features.shape[0] != n:
+            raise ValueError(
+                f"features have {self.features.shape[0]} rows for {n} nodes"
+            )
+        if self.hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return self.adjacency.nnz
+
+    @property
+    def feature_length(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def adjacency_sparsity(self) -> float:
+        """Fraction of zero cells in the adjacency matrix (Table II)."""
+        return sparsity(self.adjacency)
+
+    @property
+    def feature_sparsity(self) -> float:
+        """Fraction of zero cells in the feature matrix (Table II)."""
+        cells = self.features.shape[0] * self.features.shape[1]
+        return 1.0 - self.features.nnz / cells if cells else 0.0
+
+    def summary(self) -> dict:
+        """Table II-style row for this dataset."""
+        stats = degree_stats(self.adjacency, axis="row")
+        return {
+            "name": self.name,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "adjacency_sparsity": self.adjacency_sparsity,
+            "feature_sparsity": self.feature_sparsity,
+            "feature_length": self.feature_length,
+            "hidden_dim": self.hidden_dim,
+            "scale": self.scale,
+            "top20_edge_share": stats.top20_edge_share,
+            "max_degree": stats.max,
+        }
+
+    def __repr__(self):
+        return (
+            f"GraphDataset({self.name!r}, nodes={self.n_nodes}, "
+            f"edges={self.n_edges}, features={self.feature_length}, "
+            f"scale={self.scale})"
+        )

@@ -1,0 +1,112 @@
+"""Region planning: the paper's tiling rules (Section IV-E).
+
+The tiling threshold is 20% of the graph's nodes, clamped so that the
+resident working set of each high-degree tile -- AXW output rows during
+outer-product (region 1), XW input rows during row-wise product
+(region 2) -- fits in the DMB.  When 20% of the nodes exceeds the DMB
+capacity, the high-degree band is cut into capacity-sized sub-tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sparse import COOMatrix, RegionTiledMatrix
+
+#: Paper Section IV-E: "The maximum tiling size, referred to as the tiling
+#: threshold, is set to 20% of the total number of graph nodes."
+DEFAULT_THRESHOLD_FRACTION = 0.2
+
+#: Fraction of the DMB reserved for the resident tile working set; the
+#: remainder streams the non-resident operand.
+DEFAULT_RESIDENT_FRACTION = 0.75
+
+
+def tiling_threshold(n_nodes: int, fraction: float = DEFAULT_THRESHOLD_FRACTION) -> int:
+    """Number of nodes in the high-degree band (at least 1 for non-empty graphs)."""
+    if n_nodes <= 0:
+        return 0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, int(round(n_nodes * fraction)))
+
+
+def dmb_resident_rows(
+    dmb_bytes: int,
+    hidden_dim: int,
+    resident_fraction: float = DEFAULT_RESIDENT_FRACTION,
+    value_bytes: int = 4,
+) -> int:
+    """How many ``hidden_dim``-wide vectors the DMB can keep resident."""
+    if dmb_bytes <= 0 or hidden_dim <= 0:
+        raise ValueError("dmb_bytes and hidden_dim must be positive")
+    vector_bytes = hidden_dim * value_bytes
+    return max(1, int(dmb_bytes * resident_fraction) // vector_bytes)
+
+
+@dataclass(frozen=True)
+class RegionPlan:
+    """A concrete tiling of one degree-sorted adjacency matrix.
+
+    Attributes
+    ----------
+    threshold:
+        Size of the high-degree band (rows for region 1, columns for
+        region 2).
+    band:
+        Sub-tile height/width when the band exceeds DMB capacity
+        (equals ``threshold`` when no sub-tiling is needed).
+    tiled:
+        The region-tiled matrix ready for the hybrid scheduler.
+    """
+
+    threshold: int
+    band: int
+    tiled: RegionTiledMatrix
+
+    @property
+    def n_region1_tiles(self) -> int:
+        return len(self.tiled.tiles_in_region(1))
+
+    @property
+    def n_region2_tiles(self) -> int:
+        return len(self.tiled.tiles_in_region(2))
+
+
+def plan_regions(
+    sorted_adj: COOMatrix,
+    hidden_dim: int,
+    dmb_bytes: int,
+    threshold_fraction: float = DEFAULT_THRESHOLD_FRACTION,
+    resident_fraction: float = DEFAULT_RESIDENT_FRACTION,
+    threshold: Optional[int] = None,
+) -> RegionPlan:
+    """Apply the paper's tiling rules to a degree-sorted adjacency matrix.
+
+    Parameters
+    ----------
+    sorted_adj:
+        Adjacency matrix *after* :func:`repro.graphs.preprocess.degree_sort`.
+    hidden_dim:
+        Width of the XW / AXW vectors (Table II layer dimension).
+    dmb_bytes:
+        Dense matrix buffer capacity (Table III: 256 KB).
+    threshold_fraction / resident_fraction:
+        Tiling knobs; defaults follow the paper.
+    threshold:
+        Explicit band size override (used by the threshold-sweep bench).
+    """
+    n = sorted_adj.shape[0]
+    if threshold is None:
+        threshold = tiling_threshold(n, threshold_fraction)
+    threshold = min(threshold, n)
+    capacity = dmb_resident_rows(dmb_bytes, hidden_dim, resident_fraction)
+    band = min(threshold, capacity) if threshold else 0
+    tiled = RegionTiledMatrix.build(
+        sorted_adj,
+        threshold,
+        row_band=band if band and band < threshold else None,
+        col_band=band if band and band < threshold else None,
+    )
+    return RegionPlan(threshold=threshold, band=band or threshold, tiled=tiled)

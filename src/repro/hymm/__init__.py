@@ -1,0 +1,41 @@
+"""HyMM: the paper's hybrid-dataflow GCN accelerator.
+
+The public entry point is :class:`repro.hymm.accelerator.HyMMAccelerator`:
+
+>>> from repro.graphs import load_dataset
+>>> from repro.gcn import GCNModel
+>>> from repro.hymm import HyMMAccelerator, HyMMConfig
+>>> model = GCNModel(load_dataset("cora", scale=0.1))
+>>> result = HyMMAccelerator(HyMMConfig()).run_inference(model)
+>>> result.stats.cycles > 0
+True
+
+Internally it composes the hardware units of the paper's Figure 3:
+SMQ (:mod:`repro.hymm.smq`), LSQ + PE array
+(:class:`repro.sim.engine.AccessExecuteEngine`,
+:mod:`repro.hymm.pe`), the unified DMB with near-memory accumulator
+(:mod:`repro.hymm.dmb`), and the hybrid OP-then-RWP schedule over the
+degree-sorted, region-tiled adjacency matrix
+(:mod:`repro.hymm.kernels`).
+"""
+
+from repro.hymm.config import HyMMConfig
+from repro.hymm.dmb import AddressMap, DenseMatrixBuffer, SplitBufferPair
+from repro.hymm.smq import SparseMatrixQueue, csr_row_stream_bytes, csc_col_stream_bytes
+from repro.hymm.pe import PEArray
+from repro.hymm.base import AcceleratorBase, RunResult
+from repro.hymm.accelerator import HyMMAccelerator
+
+__all__ = [
+    "HyMMConfig",
+    "AddressMap",
+    "DenseMatrixBuffer",
+    "SplitBufferPair",
+    "SparseMatrixQueue",
+    "csr_row_stream_bytes",
+    "csc_col_stream_bytes",
+    "PEArray",
+    "AcceleratorBase",
+    "RunResult",
+    "HyMMAccelerator",
+]

@@ -1,0 +1,204 @@
+"""Accelerator scaffolding shared by HyMM and the baseline dataflows.
+
+:class:`AcceleratorBase` owns the run loop -- build the memory
+hierarchy, execute combination then aggregation per layer, collect
+statistics -- while subclasses choose the dataflow by overriding
+:meth:`AcceleratorBase.prepare` (operand formats, preprocessing) and
+:meth:`AcceleratorBase.run_aggregation` /
+:meth:`AcceleratorBase.run_combination`.
+
+All accelerators share the same hierarchy (PEs, DMB, SMQ, LSQ, DRAM),
+matching the paper's evaluation setup: "We assume the GCN accelerators
+employ the similar memory hierarchy such as sparse/dense buffers and
+PEs."
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gcn.model import GCNModel
+from repro.gcn.reference import relu
+from repro.hymm.config import HyMMConfig
+from repro.hymm.dmb import AddressMap, make_buffer
+from repro.hymm.kernels import KernelContext, combination_dense, combination_rwp
+from repro.hymm.pe import PEArray
+from repro.hymm.smq import SparseMatrixQueue
+from repro.sim.buffer import CLASS_W, CLASS_XW
+from repro.sim.engine import AccessExecuteEngine
+from repro.sim.memory import DRAM
+from repro.sim.stats import SimStats
+from repro.sparse import CSRMatrix
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated inference produces.
+
+    ``outputs`` are per-layer result matrices in *original* node order
+    (accelerators that degree-sort map their results back), so results
+    from different accelerators are directly comparable.
+    """
+
+    accelerator: str
+    dataset: str
+    config: HyMMConfig
+    stats: SimStats
+    outputs: List[np.ndarray]
+    phase_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Per-phase counter deltas: phase -> {"cycles", "busy", "hits",
+    #: "misses", "forwards", "occupancy"}.  Lets experiments separate
+    #: combination behaviour from the aggregation SpDeMM the paper's
+    #: Figs. 8/9 characterise, and exposes the end-of-phase buffer
+    #: composition (Section III's dynamic space management).
+    phase_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    sort_ms: float = 0.0
+    wall_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def runtime_ms(self) -> float:
+        """Wall time of the simulated inference at the configured clock
+        (lets the Table II sorting cost be compared against inference
+        time directly)."""
+        return self.stats.cycles / (self.config.clock_ghz * 1e6)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How many times faster this run is than ``other``."""
+        if self.stats.cycles == 0:
+            raise ValueError("run has zero cycles")
+        return other.stats.cycles / self.stats.cycles
+
+
+class AcceleratorBase:
+    """Template for a simulated GCN accelerator."""
+
+    #: Short name used in reports ("rwp", "op", "hymm", ...).
+    name = "base"
+
+    def __init__(self, config: Optional[HyMMConfig] = None):
+        self.config = config if config is not None else HyMMConfig()
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def prepare(self, model: GCNModel) -> dict:
+        """Build the operand representations this dataflow consumes.
+
+        Returns a dict; the base implementation provides the feature
+        matrix unchanged and no adjacency representation (subclasses
+        add theirs).  Keys consumed by the run loop: ``features``
+        (CSRMatrix), ``sort_ms`` (float), ``unpermute`` (callable or
+        None).
+        """
+        return {"features": model.dataset.features, "sort_ms": 0.0, "unpermute": None}
+
+    def run_combination(self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights):
+        """Combination dataflow; default is row-wise product (Table I)."""
+        return combination_rwp(ctx, features, weights)
+
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+        """Aggregation dataflow; must be provided by the subclass."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _snapshot(stats: SimStats):
+        return (
+            stats.busy_cycles,
+            sum(stats.buffer_hits.values()),
+            sum(stats.buffer_misses.values()),
+            stats.lsq_forwards,
+        )
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run_inference(self, model: GCNModel) -> RunResult:
+        """Simulate full inference of ``model`` on this accelerator."""
+        wall_start = time.perf_counter()
+        cfg = self.config
+        stats = SimStats()
+        dram = DRAM(cfg.dram, stats)
+        buffer = make_buffer(cfg, dram, stats)
+        engine = AccessExecuteEngine(
+            buffer,
+            dram,
+            stats,
+            lsq_depth=cfg.lsq_entries,
+            forwarding=cfg.forwarding,
+            smq_buffer_bytes=cfg.smq_bytes,
+        )
+        amap = AddressMap(cfg)
+        pe = PEArray(cfg.n_pes)
+        smq = SparseMatrixQueue(cfg.smq_pointer_bytes, cfg.smq_index_bytes)
+
+        prep = self.prepare(model)
+        features: CSRMatrix = prep["features"]
+        unpermute = prep.get("unpermute")
+
+        outputs: List[np.ndarray] = []
+        phase_cycles: Dict[str, float] = {}
+        phase_stats: Dict[str, Dict[str, float]] = {}
+        dense_h: Optional[np.ndarray] = None
+        mark = 0.0
+        snap = self._snapshot(stats)
+
+        def close_phase(name: str):
+            nonlocal mark, snap
+            now = engine.drain()
+            new_snap = self._snapshot(stats)
+            phase_cycles[name] = now - mark
+            phase_stats[name] = {
+                "cycles": now - mark,
+                "busy": new_snap[0] - snap[0],
+                "hits": new_snap[1] - snap[1],
+                "misses": new_snap[2] - snap[2],
+                "forwards": new_snap[3] - snap[3],
+                # End-of-phase buffer composition (Section III dynamics).
+                "occupancy": buffer.occupancy_by_class(),
+            }
+            mark = now
+            snap = new_snap
+
+        for layer_idx, layer in enumerate(model.layers):
+            ctx = KernelContext(cfg, engine, buffer, amap, pe, smq, layer=layer_idx)
+            if layer_idx == 0:
+                xw = self.run_combination(ctx, prep, features, layer.weights)
+            else:
+                xw = combination_dense(ctx, dense_h, layer.weights)
+            close_phase(f"layer{layer_idx}.combination")
+
+            axw = self.run_aggregation(ctx, prep, xw)
+            close_phase(f"layer{layer_idx}.aggregation")
+
+            if layer.activation is not None:
+                axw = relu(axw)
+            dense_h = axw
+            outputs.append(axw if unpermute is None else unpermute(axw))
+            # W and XW are dead after the aggregation consumed them.
+            buffer.invalidate(CLASS_W)
+            buffer.invalidate(CLASS_XW)
+
+        stats.cycles = int(math.ceil(max(engine.drain(), dram.busy_until)))
+        return RunResult(
+            accelerator=self.name,
+            dataset=model.dataset.name,
+            config=cfg,
+            stats=stats,
+            outputs=outputs,
+            phase_cycles=phase_cycles,
+            phase_stats=phase_stats,
+            sort_ms=prep.get("sort_ms", 0.0),
+            wall_seconds=time.perf_counter() - wall_start,
+            extra={k: v for k, v in prep.items()
+                   if k not in ("features", "unpermute")},
+        )

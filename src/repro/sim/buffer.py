@@ -1,0 +1,325 @@
+"""On-chip buffer model (the DMB's buffer memory, Section IV-D).
+
+A set of 64-byte lines managed with:
+
+* **class-aware priority eviction** -- every resident line belongs to a
+  traffic class (``W`` weights, ``XW`` combination results, ``AXW``
+  final outputs, ``partial`` partial outputs).  On capacity pressure the
+  victim comes from the lowest-priority non-empty class, LRU within the
+  class: the paper's "evicted to the off-chip memory in the order of W
+  and then XW, ensuring that partial outputs are retained ... the buffer
+  employs a least recently used (LRU) eviction policy";
+* **MSHRs** -- duplicate outstanding misses merge; when all MSHRs are
+  busy the requesting frontend stalls until the earliest miss returns;
+* a **near-memory accumulator** (:meth:`CacheBuffer.accumulate`) --
+  partial outputs of the same index merge in place without occupying the
+  PE array; partial lines evicted to DRAM are re-fetched and re-merged
+  if touched again, and the partial-output footprint (resident +
+  spilled) is tracked for the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.sim.memory import DRAM
+from repro.sim.stats import SimStats
+
+CLASS_W = "W"
+CLASS_XW = "XW"
+CLASS_OUT = "AXW"
+CLASS_PARTIAL = "partial"
+
+#: Every line class the buffer knows about.
+ALL_CLASSES = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
+
+#: Paper eviction order: weights first, then combination results; final
+#: outputs and partial outputs are retained as long as possible.
+DEFAULT_EVICT_PRIORITY = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
+
+
+@dataclass
+class _Line:
+    cls: str
+    dirty: bool
+    ready: float  # cycle at which the line's data is valid on-chip
+
+
+class CacheBuffer:
+    """Unified on-chip buffer with priority-LRU eviction and MSHRs."""
+
+    def __init__(
+        self,
+        capacity_lines: int,
+        line_bytes: int,
+        dram: DRAM,
+        stats: SimStats,
+        hit_latency: int = 1,
+        mshr_entries: int = 16,
+        evict_priority: Tuple[str, ...] = DEFAULT_EVICT_PRIORITY,
+        lru: bool = True,
+    ):
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        if mshr_entries <= 0:
+            raise ValueError("mshr_entries must be positive")
+        self.capacity_lines = capacity_lines
+        self.line_bytes = line_bytes
+        self.dram = dram
+        self.stats = stats
+        self.hit_latency = hit_latency
+        self.mshr_entries = mshr_entries
+        self.lru = lru
+        # Per-class LRU maps: addr -> _Line, insertion/MRU order at the end.
+        self._sets: Dict[str, OrderedDict] = {
+            cls: OrderedDict() for cls in ALL_CLASSES
+        }
+        self._evict_priority: Tuple[str, ...] = ()
+        self.evict_priority = evict_priority
+        self._size = 0
+        # MSHRs: addr -> ready cycle, plus a heap for capacity stalls.
+        self._outstanding: Dict[int, float] = {}
+        self._mshr_heap: list = []
+        # Partial lines evicted to DRAM whose value is a partial sum.
+        self._spilled_partials: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection / configuration
+    # ------------------------------------------------------------------
+    @property
+    def evict_priority(self) -> Tuple[str, ...]:
+        """Current victim-class order (first = evicted first).
+
+        Settable between phases: the unified DMB "can manage the space
+        for input and output data dynamically" (Section III), so the
+        hybrid scheduler biases eviction toward the class the current
+        dataflow will not reuse.
+        """
+        return self._evict_priority
+
+    @evict_priority.setter
+    def evict_priority(self, order):
+        order = tuple(order)
+        if sorted(order) != sorted(ALL_CLASSES):
+            raise ValueError(
+                f"evict_priority must be a permutation of {ALL_CLASSES}, got {order}"
+            )
+        self._evict_priority = order
+
+    @property
+    def size_lines(self) -> int:
+        """Lines currently resident."""
+        return self._size
+
+    def contains(self, addr: int) -> bool:
+        """Whether the address is resident (no LRU side effects)."""
+        return self._find(addr) is not None
+
+    def resident_lines(self, cls: str) -> int:
+        """Resident line count of one class."""
+        return len(self._sets[cls])
+
+    def occupancy_by_class(self) -> Dict[str, int]:
+        """Lines held per class -- the Section III "dynamic space
+        management" observable: during RWP phases the buffer fills with
+        XW, during OP phases with partial outputs."""
+        return {cls: len(lines) for cls, lines in self._sets.items()}
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def read(self, cycle: float, addr: int, cls: str, tag: str) -> Tuple[float, float]:
+        """Demand read of one line.
+
+        Returns ``(ready_cycle, issue_cycle)``; ``issue_cycle >= cycle``
+        when the request had to stall for a free MSHR.
+        """
+        line = self._find(addr)
+        if line is not None:
+            self._touch(addr, line.cls)
+            self.stats.buffer_hits[tag] += 1
+            return max(cycle + self.hit_latency, line.ready), cycle
+        if addr in self._outstanding:
+            # Secondary miss: merged into the pending MSHR, no new DRAM
+            # traffic, but the data was not on-chip -> counts as a miss.
+            self.stats.buffer_misses[tag] += 1
+            return max(cycle + self.hit_latency, self._outstanding[addr]), cycle
+        self.stats.buffer_misses[tag] += 1
+        issue = self._acquire_mshr(cycle)
+        ready = self.dram.read(issue, self.line_bytes, tag)
+        self._outstanding[addr] = ready
+        heapq.heappush(self._mshr_heap, (ready, addr))
+        self._insert(issue, addr, cls, dirty=False, ready=ready)
+        return ready, issue
+
+    def write(
+        self, cycle: float, addr: int, cls: str, tag: str, allocate: bool = True
+    ) -> float:
+        """Full-line write (no fetch needed).
+
+        ``allocate=False`` is write-through/no-allocate: the line goes
+        straight to DRAM, which is how streaming outputs (RWP final
+        results) avoid polluting the buffer.
+        """
+        line = self._find(addr)
+        if line is not None:
+            self.stats.buffer_hits[tag] += 1
+            line.dirty = True
+            line.ready = max(line.ready, cycle + self.hit_latency)
+            self._touch(addr, line.cls)
+            return cycle + self.hit_latency
+        self.stats.buffer_misses[tag] += 1
+        if allocate:
+            self._insert(cycle, addr, cls, dirty=True, ready=cycle + self.hit_latency)
+            return cycle + self.hit_latency
+        self.dram.write(cycle, self.line_bytes, tag)
+        return cycle + self.hit_latency
+
+    def accumulate(self, cycle: float, addr: int, tag: str = CLASS_PARTIAL) -> float:
+        """Merge one partial output into the buffer (near-memory adder).
+
+        If the line was previously spilled, its DRAM copy is fetched and
+        re-merged (demand read).  Footprint tracking feeds Fig. 10.
+        """
+        self.stats.partials_produced += 1
+        line = self._find(addr)
+        if line is not None:
+            self.stats.buffer_hits[tag] += 1
+            line.dirty = True
+            line.ready = max(line.ready, cycle + self.hit_latency)
+            self._touch(addr, line.cls)
+            self._update_partial_peak()
+            return cycle + self.hit_latency
+        self.stats.buffer_misses[tag] += 1
+        if addr in self._spilled_partials:
+            issue = self._acquire_mshr(cycle)
+            ready = self.dram.read(issue, self.line_bytes, tag)
+            self._spilled_partials.discard(addr)
+            self._insert(issue, addr, CLASS_PARTIAL, dirty=True, ready=ready)
+            self._update_partial_peak()
+            return ready
+        self._insert(cycle, addr, CLASS_PARTIAL, dirty=True, ready=cycle + self.hit_latency)
+        self._update_partial_peak()
+        return cycle + self.hit_latency
+
+    def flush(self, cycle: float, cls: Optional[str] = None, tag: Optional[str] = None) -> float:
+        """Write back and drop lines (all classes, or one).
+
+        Returns the cycle the last writeback finishes transferring.
+        Clean lines are dropped silently.
+        """
+        end = float(cycle)
+        classes = [cls] if cls is not None else list(self.evict_priority)
+        for c in classes:
+            lines = self._sets[c]
+            for addr, line in list(lines.items()):
+                if line.dirty:
+                    end = self.dram.write(end, self.line_bytes, tag or c)
+                    if c == CLASS_PARTIAL:
+                        self._spilled_partials.add(addr)
+                del lines[addr]
+                self._size -= 1
+        return end
+
+    def invalidate(self, cls: str) -> int:
+        """Drop all lines of a class *without* writeback.
+
+        Used between phases/layers for data that is dead (e.g. XW after
+        the aggregation that consumed it).  Returns lines dropped.
+        """
+        lines = self._sets[cls]
+        n = len(lines)
+        lines.clear()
+        self._size -= n
+        return n
+
+    def reclassify(self, from_cls: str, to_cls: str, cycle: float = 0.0) -> int:
+        """Relabel all lines of one class as another, preserving LRU order.
+
+        Used when partial outputs become final values (e.g. XW built by
+        an outer-product combination): the data stays resident but now
+        follows the destination class's eviction priority.  ``cycle`` is
+        unused here but kept for interface parity with the split-buffer
+        organisation, where reclassification costs writebacks.
+        """
+        src = self._sets[from_cls]
+        dst = self._sets[to_cls]
+        n = len(src)
+        for addr, line in src.items():
+            line.cls = to_cls
+            dst[addr] = line
+        src.clear()
+        return n
+
+    def drop_spilled_partials(self) -> int:
+        """Forget spill bookkeeping between phases; returns count dropped."""
+        n = len(self._spilled_partials)
+        self._spilled_partials.clear()
+        return n
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find(self, addr: int) -> Optional[_Line]:
+        for lines in self._sets.values():
+            line = lines.get(addr)
+            if line is not None:
+                return line
+        return None
+
+    def _touch(self, addr: int, cls: str):
+        if self.lru:
+            self._sets[cls].move_to_end(addr)
+
+    def _acquire_mshr(self, cycle: float) -> float:
+        """Wait for a free MSHR; returns the (possibly delayed) issue cycle."""
+        issue = float(cycle)
+        # Retire completed misses.
+        while self._mshr_heap and self._mshr_heap[0][0] <= issue:
+            ready, addr = heapq.heappop(self._mshr_heap)
+            if self._outstanding.get(addr) == ready:
+                del self._outstanding[addr]
+        while len(self._outstanding) >= self.mshr_entries:
+            ready, addr = heapq.heappop(self._mshr_heap)
+            if self._outstanding.get(addr) == ready:
+                del self._outstanding[addr]
+            issue = max(issue, ready)
+        return issue
+
+    def _insert(self, cycle: float, addr: int, cls: str, dirty: bool, ready: float):
+        if cls not in self._sets:
+            raise ValueError(f"unknown line class {cls!r}")
+        while self._size >= self.capacity_lines:
+            self._evict(cycle)
+        self._sets[cls][addr] = _Line(cls, dirty, ready)
+        self._size += 1
+
+    def _evict(self, cycle: float):
+        """Evict one line: lowest-priority non-empty class, LRU within."""
+        for cls in self.evict_priority:
+            lines = self._sets[cls]
+            if lines:
+                # Front of the ordered dict is LRU when hits re-append
+                # (self.lru) and plain FIFO when they do not.
+                addr, line = lines.popitem(last=False)
+                self._size -= 1
+                if line.dirty:
+                    self.dram.write(cycle, self.line_bytes, cls)
+                    if cls == CLASS_PARTIAL:
+                        self._spilled_partials.add(addr)
+                        self.stats.partial_spill_bytes += self.line_bytes
+                return
+        raise RuntimeError("evict called on an empty buffer")
+
+    def _update_partial_peak(self):
+        footprint = (
+            len(self._sets[CLASS_PARTIAL]) + len(self._spilled_partials)
+        ) * self.line_bytes
+        if footprint > self.stats.partial_peak_bytes:
+            self.stats.partial_peak_bytes = footprint
+        self.stats.sample_partial_footprint(footprint)

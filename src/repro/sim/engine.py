@@ -1,0 +1,216 @@
+"""Decoupled access/execute engine.
+
+Models the HyMM pipeline of SMQ -> LSQ -> PE array (Sections IV-A..C)
+at vector-op granularity:
+
+* the **frontend** (SMQ feeding the LSQ) issues one memory request per
+  cycle and may run ahead of the backend by up to ``lsq_depth``
+  requests -- exactly the latency-hiding role the paper gives the LSQ
+  ("while a missed load instruction waits ... subsequent load
+  instructions can continue execution");
+* the **backend** (the 16-MAC PE array) executes one scalar x vector
+  MAC per cycle, in order, waiting when its operand has not arrived;
+* **store-to-load forwarding**: a load whose address matches a recent
+  store is served from the LSQ without touching the DMB (Section IV-B);
+  the forwarding window is the LSQ's 128 entries;
+* the sparse operand itself (pointers + indices + values) arrives as an
+  SMQ **stream** that charges DRAM bandwidth; the stream can throttle
+  the frontend when bandwidth saturates, but its latency is hidden by
+  the SMQ's pointer/index buffers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sim.buffer import CacheBuffer
+from repro.sim.memory import DRAM
+from repro.sim.stats import SimStats
+
+
+class AccessExecuteEngine:
+    """One in-order decoupled pipeline over a shared memory hierarchy."""
+
+    def __init__(
+        self,
+        buffer: CacheBuffer,
+        dram: DRAM,
+        stats: SimStats,
+        lsq_depth: int = 128,
+        forwarding: bool = True,
+        smq_buffer_bytes: int = 16 * 1024,
+        start_cycle: float = 0.0,
+    ):
+        if lsq_depth <= 0:
+            raise ValueError("lsq_depth must be positive")
+        self.buffer = buffer
+        self.dram = dram
+        self.stats = stats
+        self.lsq_depth = lsq_depth
+        self.forwarding = forwarding
+        # Frontend slack granted by the SMQ's on-chip stream buffers.
+        self._stream_slack = smq_buffer_bytes / dram.config.bytes_per_cycle
+        #: Frontend load timeline: when the next read request can issue
+        #: (the DMB's read queue accepts one request per cycle).
+        self.issue_t = float(start_cycle)
+        #: Store timeline: the DMB's *write queue* is a separate port
+        #: (Fig. 3 shows distinct read/write queues), so stores and
+        #: accumulator traffic do not steal load-issue slots.
+        self.write_t = float(start_cycle)
+        #: Backend timeline: when the PE array finishes its last op.
+        self.exec_t = float(start_cycle)
+        # Ring of backend completion times, one slot per LSQ entry: the
+        # frontend reuses a slot only after the backend consumed it.
+        self._ring = [float(start_cycle)] * lsq_depth
+        self._k = 0
+        # Store-to-load forwarding window (bounded by LSQ depth).
+        self._store_map: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Compute + memory primitives
+    # ------------------------------------------------------------------
+    def mac_load(self, addr: int, cls: str, tag: str) -> None:
+        """One vector MAC whose dense operand is loaded from memory."""
+        self.stats.requests_issued += 1
+        slot = self._ring[self._k % self.lsq_depth]
+        issue = max(self.issue_t + 1.0, slot)
+        forwarded = self.forwarding and addr in self._store_map
+        if forwarded:
+            ready = max(issue, self._store_map[addr])
+            self.stats.lsq_forwards += 1
+        else:
+            ready, issue = self.buffer.read(issue, addr, cls, tag)
+        self.issue_t = issue
+        self.exec_t = max(self.exec_t + 1.0, ready)
+        self._ring[self._k % self.lsq_depth] = self.exec_t
+        self._k += 1
+        self.stats.busy_cycles += 1
+
+    def mac_stream_load(self, addr: int, cls: str, tag: str) -> None:
+        """One vector MAC whose operand arrives on a *sequential* stream.
+
+        OP-mode engines consume dense rows in ascending order ("The OP
+        architecture involves sequential input reads", Section III), so
+        a streaming prefetcher fetches them without occupying MSHRs or
+        paying per-access latency.  If the line is already on-chip it is
+        read from the buffer (a hit); otherwise it streams from DRAM --
+        counted as a miss (the data was off-chip) but charged only
+        bandwidth.  Streamed lines are not allocated: the PE stationary
+        buffer holds them and they have no further reuse this pass.
+        """
+        if self.buffer.contains(addr):
+            self.mac_load(addr, cls, tag)
+            return
+        self.stats.requests_issued += 1
+        self.stats.buffer_misses[tag] += 1
+        self.issue_t += 1.0
+        end = self.dram.stream_read(self.issue_t, self.buffer.line_bytes, tag)
+        throttled = end - self._stream_slack
+        if throttled > self.issue_t:
+            self.issue_t = throttled
+        self.exec_t = max(self.exec_t + 1.0, self.issue_t)
+        self.stats.busy_cycles += 1
+
+    def load(self, addr: int, cls: str, tag: str) -> None:
+        """Fetch one vector without issuing a MAC (the consuming ALU op
+        follows separately, e.g. the add of a PE-side read-modify-write).
+        The backend waits for the data but records no busy cycle."""
+        self.stats.requests_issued += 1
+        slot = self._ring[self._k % self.lsq_depth]
+        issue = max(self.issue_t + 1.0, slot)
+        if self.forwarding and addr in self._store_map:
+            ready = max(issue, self._store_map[addr])
+            self.stats.lsq_forwards += 1
+        else:
+            ready, issue = self.buffer.read(issue, addr, cls, tag)
+        self.issue_t = issue
+        self.exec_t = max(self.exec_t, ready)
+        self._ring[self._k % self.lsq_depth] = self.exec_t
+        self._k += 1
+
+    def mac_local(self, n: int = 1) -> None:
+        """``n`` vector MACs on operands already held in the PE
+        stationary buffers (no memory request)."""
+        self.exec_t += n
+        self.stats.busy_cycles += n
+
+    def alu_op(self, n: int = 1) -> None:
+        """``n`` PE-array cycles of non-MAC ALU work (e.g. merge adds);
+        counts as busy (the adder is doing useful work)."""
+        self.exec_t += n
+        self.stats.busy_cycles += n
+
+    def wait_until(self, cycle: float) -> None:
+        """Stall the backend until ``cycle`` (if it is in the future)."""
+        if cycle > self.exec_t:
+            self.exec_t = cycle
+
+    def store(self, addr: int, cls: str, tag: str, allocate: bool = True) -> None:
+        """Store one result vector through the LSQ into the DMB.
+
+        The store occupies an LSQ slot at issue time but does *not*
+        block the frontend until the data exists: the LSQ holds the
+        entry and performs the write once the producing op completes
+        (the paper's LSQ explicitly decouples stores this way).
+        ``allocate=False`` streams it to DRAM (write-through,
+        no-allocate) -- used for outputs with no expected reuse.
+        """
+        self.stats.requests_issued += 1
+        slot = self._ring[self._k % self.lsq_depth]
+        issue = max(self.write_t + 1.0, slot)
+        # The buffer/DRAM see the request at its (monotone) issue time;
+        # the LSQ entry is held until the producing op's data exists.
+        self.buffer.write(issue, addr, cls, tag, allocate=allocate)
+        self.write_t = issue
+        self._ring[self._k % self.lsq_depth] = max(issue + 1.0, self.exec_t)
+        self._k += 1
+        self._record_store(addr, self.exec_t)
+
+    def accumulate_store(self, addr: int, tag: str = "partial") -> None:
+        """Emit one partial output to the DMB's near-memory accumulator.
+
+        The add happens at the buffer, not in the PE array, so the
+        backend does not stall; the request still occupies an LSQ slot
+        and the DMB's write queue.
+        """
+        self.stats.requests_issued += 1
+        slot = self._ring[self._k % self.lsq_depth]
+        issue = max(self.write_t + 1.0, slot)
+        self.buffer.accumulate(issue, addr, tag)
+        self.write_t = issue
+        self._ring[self._k % self.lsq_depth] = max(issue + 1.0, self.exec_t)
+        self._k += 1
+        self._record_store(addr, self.exec_t)
+
+    def rmw(self, addr: int, cls: str, tag: str) -> None:
+        """Read-modify-write of one output vector *through the PE array*
+        (the no-near-memory-accumulator way to merge a partial output):
+        load the current value, spend an adder cycle, store it back."""
+        self.load(addr, cls, tag)
+        self.alu_op(1)
+        self.store(addr, cls, tag, allocate=True)
+
+    def stream(self, nbytes: int, tag: str) -> None:
+        """Consume ``nbytes`` of an SMQ-prefetched sequential stream.
+
+        Charges DRAM bandwidth; throttles the frontend only if the
+        stream falls more than one SMQ buffer behind the consumption
+        point.
+        """
+        end = self.dram.stream_read(self.issue_t, nbytes, tag)
+        throttled = end - self._stream_slack
+        if throttled > self.issue_t:
+            self.issue_t = throttled
+
+    # ------------------------------------------------------------------
+    def drain(self) -> float:
+        """Finish in-flight work; returns the final cycle of this engine."""
+        return max(self.issue_t, self.write_t, self.exec_t)
+
+    def _record_store(self, addr: int, ready: float) -> None:
+        if not self.forwarding:
+            return
+        self._store_map[addr] = ready
+        self._store_map.move_to_end(addr)
+        while len(self._store_map) > self.lsq_depth:
+            self._store_map.popitem(last=False)

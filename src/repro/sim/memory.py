@@ -1,0 +1,90 @@
+"""Off-chip DRAM model.
+
+The paper assumes 64 GB/s of off-chip bandwidth (Section IV).  At the
+accelerator's 1 GHz clock (32 GFLOPS over 16 two-op MACs, Table III)
+that is 64 bytes -- exactly one buffer line -- per cycle.
+
+The model is a single shared bandwidth channel plus a fixed access
+latency:
+
+* every access occupies the channel for ``ceil(bytes / bytes_per_cycle)``
+  cycles starting no earlier than both the request time and the time the
+  channel frees up -- so streamed and random traffic from all engines
+  contend for the same bytes;
+* reads complete ``latency_cycles`` after their data finishes
+  transferring; writes are posted (fire-and-forget) and only consume
+  bandwidth.
+
+``stream_read`` models SMQ-style sequential prefetch streams whose
+latency is hidden by buffering: it charges bandwidth but the caller
+does not wait for the latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Off-chip memory parameters (defaults follow the paper)."""
+
+    #: Peak bandwidth in bytes per accelerator cycle (64 GB/s at 1 GHz).
+    bytes_per_cycle: float = 64.0
+    #: Access latency in cycles from end of transfer to data available.
+    latency_cycles: int = 100
+
+    def __post_init__(self):
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+
+class DRAM:
+    """Shared-channel DRAM with bandwidth occupancy and read latency."""
+
+    def __init__(self, config: DRAMConfig, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        #: Cycle at which the bandwidth channel next becomes free.
+        self.next_free = 0.0
+
+    def _occupy(self, cycle: float, nbytes: int) -> float:
+        """Reserve channel time for ``nbytes``; returns transfer-end cycle."""
+        start = max(float(cycle), self.next_free)
+        self.next_free = start + nbytes / self.config.bytes_per_cycle
+        return self.next_free
+
+    def read(self, cycle: float, nbytes: int, tag: str) -> float:
+        """Demand read; returns the cycle the data is available on-chip."""
+        if nbytes <= 0:
+            return float(cycle)
+        self.stats.dram_read_bytes[tag] += nbytes
+        end = self._occupy(cycle, nbytes)
+        return end + self.config.latency_cycles
+
+    def write(self, cycle: float, nbytes: int, tag: str) -> float:
+        """Posted write; returns transfer-end (callers normally ignore it)."""
+        if nbytes <= 0:
+            return float(cycle)
+        self.stats.dram_write_bytes[tag] += nbytes
+        return self._occupy(cycle, nbytes)
+
+    def stream_read(self, cycle: float, nbytes: int, tag: str) -> float:
+        """Sequential prefetch stream: charges bandwidth, hides latency.
+
+        Returns the transfer-end cycle so a caller that outruns the
+        stream (consuming faster than bandwidth allows) can throttle.
+        """
+        if nbytes <= 0:
+            return float(cycle)
+        self.stats.dram_read_bytes[tag] += nbytes
+        return self._occupy(cycle, nbytes)
+
+    @property
+    def busy_until(self) -> float:
+        """Cycle when all accepted traffic has finished transferring."""
+        return self.next_free

@@ -1,0 +1,132 @@
+"""Simulation counters and derived metrics.
+
+One :class:`SimStats` instance is threaded through a whole simulated
+run (all phases, all engines); the experiment harness reads the derived
+metrics that correspond to the paper's figures:
+
+* total ``cycles`` -> Fig. 7 speedups,
+* :meth:`SimStats.alu_utilization` -> Fig. 8,
+* :meth:`SimStats.hit_rate` -> Fig. 9,
+* :meth:`SimStats.partial_peak_bytes` -> Fig. 10,
+* :meth:`SimStats.dram_breakdown` -> Fig. 11.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Mutable counter bundle for one simulation run."""
+
+    #: Final cycle count (set by the runner when all engines drain).
+    cycles: int = 0
+    #: Cycles in which the PE array issued a vector MAC (numerator of
+    #: ALU utilisation).
+    busy_cycles: int = 0
+    #: DRAM bytes read, keyed by traffic tag ("A", "X", "W", "XW",
+    #: "AXW", "partial").
+    dram_read_bytes: Counter = field(default_factory=Counter)
+    #: DRAM bytes written, keyed the same way.
+    dram_write_bytes: Counter = field(default_factory=Counter)
+    #: Buffer hits / misses, keyed by traffic tag.
+    buffer_hits: Counter = field(default_factory=Counter)
+    buffer_misses: Counter = field(default_factory=Counter)
+    #: Loads satisfied by LSQ store-to-load forwarding.
+    lsq_forwards: int = 0
+    #: Peak bytes occupied by partial outputs (on-chip + spilled).
+    partial_peak_bytes: int = 0
+    #: Bytes of partial outputs that overflowed to DRAM.
+    partial_spill_bytes: int = 0
+    #: Total partial outputs produced (for footprint-reduction ratios).
+    partials_produced: int = 0
+    #: Frontend memory requests issued (LSQ occupancy proxy).
+    requests_issued: int = 0
+    #: Sampled (partials_produced, footprint_bytes) pairs -- the Fig. 10
+    #: "memory usage over time" curve.  One sample per
+    #: ``PARTIAL_TIMELINE_STRIDE`` partials keeps it cheap.
+    partial_timeline: list = field(default_factory=list)
+
+    #: Sampling stride of :attr:`partial_timeline`.
+    PARTIAL_TIMELINE_STRIDE = 64
+
+    def sample_partial_footprint(self, footprint_bytes: int) -> None:
+        """Record one footprint sample (strided; call on every update)."""
+        if self.partials_produced % self.PARTIAL_TIMELINE_STRIDE == 0:
+            self.partial_timeline.append((self.partials_produced, footprint_bytes))
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def alu_utilization(self) -> float:
+        """Fraction of run cycles in which the PE array did useful MACs."""
+        return self.busy_cycles / self.cycles if self.cycles else 0.0
+
+    def hit_rate(self) -> float:
+        """Buffer hit fraction over all tags (LSQ forwards count as hits:
+        the target data was found on-chip)."""
+        hits = sum(self.buffer_hits.values()) + self.lsq_forwards
+        total = hits + sum(self.buffer_misses.values())
+        return hits / total if total else 0.0
+
+    def hit_rate_for(self, tag: str) -> float:
+        """Buffer hit fraction for a single traffic tag."""
+        hits = self.buffer_hits[tag]
+        total = hits + self.buffer_misses[tag]
+        return hits / total if total else 0.0
+
+    def dram_total_bytes(self) -> int:
+        """All off-chip traffic, read + write."""
+        return sum(self.dram_read_bytes.values()) + sum(self.dram_write_bytes.values())
+
+    def dram_breakdown(self) -> Dict[str, int]:
+        """Read+write bytes per traffic tag (Fig. 11 stacking)."""
+        tags = set(self.dram_read_bytes) | set(self.dram_write_bytes)
+        return {
+            tag: self.dram_read_bytes[tag] + self.dram_write_bytes[tag]
+            for tag in sorted(tags)
+        }
+
+    def partial_reduction(self) -> float:
+        """Fractional reduction of partial-output footprint vs the naive
+        one-entry-per-partial baseline (Fig. 10 ratio)."""
+        naive = self.partials_produced
+        if naive == 0:
+            return 0.0
+        # Footprint is tracked in bytes; normalise by the naive count in
+        # lines of the same size.  partial_peak_bytes / line is <= naive.
+        return 1.0 - (self.partial_peak_bytes / max(1, naive * 64))
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold another phase's counters into this one (cycles add;
+        peaks take the max)."""
+        self.cycles += other.cycles
+        self.busy_cycles += other.busy_cycles
+        self.dram_read_bytes.update(other.dram_read_bytes)
+        self.dram_write_bytes.update(other.dram_write_bytes)
+        self.buffer_hits.update(other.buffer_hits)
+        self.buffer_misses.update(other.buffer_misses)
+        self.lsq_forwards += other.lsq_forwards
+        self.partial_peak_bytes = max(self.partial_peak_bytes, other.partial_peak_bytes)
+        self.partial_spill_bytes += other.partial_spill_bytes
+        self.partials_produced += other.partials_produced
+        self.requests_issued += other.requests_issued
+        self.partial_timeline.extend(other.partial_timeline)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for report tables."""
+        return {
+            "cycles": self.cycles,
+            "busy_cycles": self.busy_cycles,
+            "alu_utilization": self.alu_utilization(),
+            "hit_rate": self.hit_rate(),
+            "dram_total_bytes": self.dram_total_bytes(),
+            "dram_breakdown": self.dram_breakdown(),
+            "lsq_forwards": self.lsq_forwards,
+            "partial_peak_bytes": self.partial_peak_bytes,
+            "partial_spill_bytes": self.partial_spill_bytes,
+            "partials_produced": self.partials_produced,
+        }

@@ -1,0 +1,59 @@
+"""Conversions between the sparse formats.
+
+All conversions round-trip exactly (the property-based tests in
+``tests/sparse/test_convert.py`` assert this): COO is the canonical hub
+format and every path goes through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Compress COO triplets into CSR."""
+    return CSRMatrix.from_coo(coo)
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """Compress COO triplets into CSC."""
+    return CSCMatrix.from_coo(coo)
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Expand CSR into canonical COO."""
+    return csr.to_coo()
+
+
+def csc_to_coo(csc: CSCMatrix) -> COOMatrix:
+    """Expand CSC into canonical COO."""
+    return csc.to_coo()
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """Re-compress a CSR matrix in column-major order."""
+    return CSCMatrix.from_coo(csr.to_coo())
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """Re-compress a CSC matrix in row-major order."""
+    return CSRMatrix.from_coo(csc.to_coo())
+
+
+def dense_to_coo(dense: np.ndarray) -> COOMatrix:
+    """Extract the non-zero triplets of a dense array."""
+    return COOMatrix.from_dense(dense)
+
+
+def dense_to_csr(dense: np.ndarray) -> CSRMatrix:
+    """Compress a dense array straight to CSR."""
+    return CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+
+
+def dense_to_csc(dense: np.ndarray) -> CSCMatrix:
+    """Compress a dense array straight to CSC."""
+    return CSCMatrix.from_coo(COOMatrix.from_dense(dense))

@@ -1,0 +1,115 @@
+"""Compressed sparse row (CSR) matrix.
+
+CSR is the format HyMM's row-wise-product (RWP) dataflow consumes
+(paper Table I: "CSR (others)").  The pointer array is what the SMQ's
+pointer buffer holds; ``indices``/``values`` fill the index buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix, INDEX_BYTES, INDEX_DTYPE, VALUE_BYTES, VALUE_DTYPE
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row storage.
+
+    ``indptr`` has ``shape[0] + 1`` entries; row ``i`` owns the slice
+    ``indices[indptr[i]:indptr[i+1]]`` / ``values[...]`` with column
+    indices sorted ascending within each row.
+    """
+
+    shape: tuple
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.shape = (int(self.shape[0]), int(self.shape[1]))
+        self.indptr = np.asarray(self.indptr, dtype=INDEX_DTYPE)
+        self.indices = np.asarray(self.indices, dtype=INDEX_DTYPE)
+        self.values = np.asarray(self.values, dtype=VALUE_DTYPE)
+        self._validate()
+
+    def _validate(self):
+        n_rows, n_cols = self.shape
+        if self.indptr.size != n_rows + 1:
+            raise ValueError(
+                f"indptr must have {n_rows + 1} entries, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.values.size:
+            raise ValueError("indices and values must have equal length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self.values.size)
+
+    def row(self, i: int):
+        """Return ``(col_indices, values)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def row_nnz(self, i: int) -> int:
+        """Non-zero count of row ``i``."""
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row_degrees(self) -> np.ndarray:
+        """Per-row non-zero counts (the out-degree vector for an adjacency matrix)."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self):
+        """Yield ``(row, col_indices, values)`` for every non-empty row."""
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            if hi > lo:
+                yield i, self.indices[lo:hi], self.values[lo:hi]
+
+    def storage_bytes(self, pointer_bytes: int = INDEX_BYTES) -> int:
+        """Bytes for the compressed stream: pointers + indices + values.
+
+        This is the quantity the paper's Figure 6 compares against the
+        region-tiled format.
+        """
+        return (
+            self.indptr.size * pointer_bytes
+            + self.nnz * INDEX_BYTES
+            + self.nnz * VALUE_BYTES
+        )
+
+    def to_coo(self) -> COOMatrix:
+        """Expand back to canonical COO triplets."""
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.values.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as dense ``float32`` (tests / small matrices only)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        out[rows, self.indices] = self.values
+        return out
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Compress canonical COO triplets (already row-major sorted)."""
+        indptr = np.zeros(coo.shape[0] + 1, dtype=INDEX_DTYPE)
+        np.add.at(indptr, coo.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(coo.shape, indptr, coo.cols.copy(), coo.values.copy())
+
+    def __repr__(self):
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,74 @@
+"""Reference SpDeMM (sparse x dense) kernels.
+
+These NumPy kernels are the *functional oracles* for the simulator: the
+cycle-accurate dataflow engines must produce numerically identical
+output matrices.  ``spmm_csr`` walks the sparse matrix exactly the way
+the row-wise-product hardware does, ``spmm_csc`` the way the
+outer-product hardware does, so each oracle doubles as an executable
+specification of its dataflow's arithmetic order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix, VALUE_DTYPE
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def spmm_csr(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Row-wise-product SpDeMM: ``out[i, :] = sum_j A[i, j] * D[j, :]``.
+
+    Mirrors the RWP engine (paper Fig. 1a): for each non-zero ``A[i, j]``
+    the row vector ``D[j, :]`` is scaled and accumulated into output row
+    ``i``.
+    """
+    _check_dims(sparse.shape, dense)
+    out = np.zeros((sparse.shape[0], dense.shape[1]), dtype=np.float64)
+    for i in range(sparse.shape[0]):
+        cols, vals = sparse.row(i)
+        if cols.size:
+            out[i] = vals.astype(np.float64) @ dense[cols].astype(np.float64)
+    return out.astype(VALUE_DTYPE)
+
+
+def spmm_csc(sparse: CSCMatrix, dense: np.ndarray) -> np.ndarray:
+    """Outer-product SpDeMM: column ``j`` of A scales dense row ``j``.
+
+    Mirrors the OP engine (paper Fig. 1b): each column of the sparse
+    matrix scatters partial products into the output rows named by its
+    row indices.
+    """
+    _check_dims(sparse.shape, dense)
+    out = np.zeros((sparse.shape[0], dense.shape[1]), dtype=np.float64)
+    for j in range(sparse.shape[1]):
+        rows, vals = sparse.col(j)
+        if rows.size:
+            np.add.at(
+                out,
+                rows,
+                vals.astype(np.float64)[:, None] * dense[j].astype(np.float64)[None, :],
+            )
+    return out.astype(VALUE_DTYPE)
+
+
+def spmm_coo(sparse: COOMatrix, dense: np.ndarray) -> np.ndarray:
+    """Order-independent SpDeMM over COO triplets (pure oracle)."""
+    _check_dims(sparse.shape, dense)
+    out = np.zeros((sparse.shape[0], dense.shape[1]), dtype=np.float64)
+    np.add.at(
+        out,
+        sparse.rows,
+        sparse.values.astype(np.float64)[:, None] * dense[sparse.cols].astype(np.float64),
+    )
+    return out.astype(VALUE_DTYPE)
+
+
+def _check_dims(sparse_shape, dense: np.ndarray):
+    if dense.ndim != 2:
+        raise ValueError("dense operand must be two-dimensional")
+    if sparse_shape[1] != dense.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: sparse is {sparse_shape}, dense is {dense.shape}"
+        )

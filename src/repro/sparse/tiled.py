@@ -1,0 +1,204 @@
+"""Region-tiled sparse storage (paper §III, §IV-E and Fig. 6).
+
+After degree sorting, HyMM splits the adjacency matrix into three
+regions and stores each in the format its dataflow consumes:
+
+* **Region 1** -- the top ``threshold`` high-degree *rows* (full width),
+  stored in CSC and processed by the outer-product engine.  When the
+  threshold exceeds what the DMB can hold, region 1 is cut into
+  multiple row bands, each a separate CSC tile.
+* **Region 2** -- the remaining rows restricted to the top ``threshold``
+  high-degree *columns*, stored in CSR and processed by the
+  row-wise-product engine (the hot XW rows of these columns fit in the
+  DMB).  Also cut into column bands when needed.
+* **Region 3** -- the residual low-degree x low-degree block, stored in
+  CSR and processed row-wise.
+
+Tiling costs extra pointer arrays (each tile carries its own ``indptr``),
+which is the storage overhead the paper reports in Figure 6 (10.2% for
+Cora, shrinking as graphs grow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csc, coo_to_csr
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+REGION_OP = 1
+REGION_RWP_DENSE_COLS = 2
+REGION_RWP_SPARSE = 3
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One stored tile of the region decomposition.
+
+    ``row_lo/row_hi/col_lo/col_hi`` locate the tile in the *sorted*
+    matrix; ``matrix`` holds the tile's non-zeros rebased to the tile
+    origin, in the format named by ``fmt`` (``"csc"`` for region 1,
+    ``"csr"`` otherwise).
+    """
+
+    region: int
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+    fmt: str
+    matrix: object  # CSRMatrix or CSCMatrix
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def storage_bytes(self) -> int:
+        return self.matrix.storage_bytes()
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Byte accounting behind Figure 6."""
+
+    baseline_bytes: int
+    tiled_bytes: int
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self.tiled_bytes - self.baseline_bytes
+
+    @property
+    def overhead_pct(self) -> float:
+        """Percentage overhead of tiled storage over a single CSR stream."""
+        if self.baseline_bytes == 0:
+            return 0.0
+        return 100.0 * self.overhead_bytes / self.baseline_bytes
+
+
+@dataclass
+class RegionTiledMatrix:
+    """The degree-sorted adjacency matrix cut into HyMM's three regions.
+
+    Build with :meth:`build`; the input must already be degree-sorted
+    (highest-degree node first) -- see
+    :func:`repro.graphs.preprocess.degree_sort`.
+    """
+
+    shape: tuple
+    threshold: int
+    tiles: List[Tile] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        sorted_adj: COOMatrix,
+        threshold: int,
+        row_band: Optional[int] = None,
+        col_band: Optional[int] = None,
+    ) -> "RegionTiledMatrix":
+        """Partition a degree-sorted matrix into region tiles.
+
+        Parameters
+        ----------
+        sorted_adj:
+            Degree-sorted adjacency matrix (square).
+        threshold:
+            Number of top rows/columns forming the high-degree band
+            (paper: min(20% of nodes, DMB capacity)).
+        row_band:
+            Max rows per region-1 tile; ``None`` keeps region 1 whole.
+        col_band:
+            Max columns per region-2 tile; ``None`` keeps region 2 whole.
+        """
+        n_rows, n_cols = sorted_adj.shape
+        if n_rows != n_cols:
+            raise ValueError("region tiling expects a square adjacency matrix")
+        if not 0 <= threshold <= n_rows:
+            raise ValueError(f"threshold {threshold} out of range [0, {n_rows}]")
+        t = threshold
+        tiles: List[Tile] = []
+
+        # Region 1: top rows, full width, CSC (outer product).
+        for lo, hi in _bands(0, t, row_band):
+            block = sorted_adj.submatrix(lo, hi, 0, n_cols)
+            tiles.append(Tile(REGION_OP, lo, hi, 0, n_cols, "csc", coo_to_csc(block)))
+
+        # Region 2: remaining rows x top columns, CSR (row-wise product).
+        if t < n_rows:
+            for lo, hi in _bands(0, t, col_band):
+                block = sorted_adj.submatrix(t, n_rows, lo, hi)
+                tiles.append(
+                    Tile(REGION_RWP_DENSE_COLS, t, n_rows, lo, hi, "csr", coo_to_csr(block))
+                )
+
+            # Region 3: the residual sparse block, CSR.
+            block = sorted_adj.submatrix(t, n_rows, t, n_cols)
+            tiles.append(
+                Tile(REGION_RWP_SPARSE, t, n_rows, t, n_cols, "csr", coo_to_csr(block))
+            )
+
+        return cls((n_rows, n_cols), t, tiles)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros across all tiles (must equal the source nnz)."""
+        return sum(tile.nnz for tile in self.tiles)
+
+    def tiles_in_region(self, region: int) -> List[Tile]:
+        """All tiles belonging to one of the three regions."""
+        return [tile for tile in self.tiles if tile.region == region]
+
+    def to_coo(self) -> COOMatrix:
+        """Reassemble the full matrix from its tiles (losslessness check)."""
+        rows, cols, vals = [], [], []
+        for tile in self.tiles:
+            coo = tile.matrix.to_coo()
+            rows.append(coo.rows + tile.row_lo)
+            cols.append(coo.cols + tile.col_lo)
+            vals.append(coo.values)
+        if not rows:
+            return COOMatrix.empty(self.shape)
+        return COOMatrix(
+            self.shape,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+        )
+
+    def storage_bytes(self) -> int:
+        """Bytes of all tile pointer/index/value streams."""
+        return sum(tile.storage_bytes() for tile in self.tiles)
+
+    def storage_report(self, baseline: Optional[CSRMatrix] = None) -> StorageReport:
+        """Compare tiled storage against a single CSR stream (Fig. 6).
+
+        ``baseline`` defaults to re-compressing the reassembled matrix.
+        """
+        if baseline is None:
+            baseline = coo_to_csr(self.to_coo())
+        return StorageReport(
+            baseline_bytes=baseline.storage_bytes(),
+            tiled_bytes=self.storage_bytes(),
+        )
+
+
+def _bands(lo: int, hi: int, band: Optional[int]):
+    """Split ``[lo, hi)`` into consecutive chunks of at most ``band``."""
+    if hi <= lo:
+        return
+    if band is None or band >= hi - lo:
+        yield lo, hi
+        return
+    if band <= 0:
+        raise ValueError("band size must be positive")
+    start = lo
+    while start < hi:
+        yield start, min(start + band, hi)
+        start += band

@@ -1,0 +1,93 @@
+"""Area model: Table III calibration and scaling behaviour."""
+
+import pytest
+
+from repro.area import (
+    AreaModel,
+    cam_area_mm2,
+    control_area_mm2,
+    mac_area_mm2,
+    node_scale_factor,
+    sram_area_mm2,
+)
+from repro.hymm import HyMMConfig
+
+
+class TestCurves:
+    def test_dmb_point(self):
+        assert sram_area_mm2(256) == pytest.approx(0.077, abs=0.001)
+
+    def test_smq_point(self):
+        assert sram_area_mm2(16) == pytest.approx(0.008, abs=0.0005)
+
+    def test_lsq_point(self):
+        assert cam_area_mm2(128 * 68 / 1024) == pytest.approx(0.009, abs=0.0005)
+
+    def test_zero_sram(self):
+        assert sram_area_mm2(0) == 0.0
+
+    def test_monotone(self):
+        assert sram_area_mm2(512) > sram_area_mm2(256) > sram_area_mm2(64)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(-1)
+
+    def test_mac_point(self):
+        assert mac_area_mm2(16) == pytest.approx(0.006)
+
+    def test_control_point(self):
+        assert control_area_mm2(16) == pytest.approx(0.004)
+
+    def test_control_grows_sublinearly(self):
+        assert control_area_mm2(64) == pytest.approx(0.008)
+
+    def test_node_scale(self):
+        assert node_scale_factor(7, 40) == pytest.approx((40 / 7) ** 2)
+
+    def test_node_scale_validation(self):
+        with pytest.raises(ValueError):
+            node_scale_factor(0, 40)
+
+
+class TestModel:
+    @pytest.fixture
+    def model(self):
+        return AreaModel(HyMMConfig())
+
+    def test_reproduces_table3_7nm(self, model):
+        paper = {"PE Array": 0.006, "DMB": 0.077, "SMQ": 0.008,
+                 "LSQ": 0.009, "Others": 0.004}
+        ours = model.report("7nm").components
+        for comp, value in paper.items():
+            assert ours[comp] == pytest.approx(value, rel=0.05), comp
+
+    def test_total_7nm_close_to_paper(self, model):
+        # Paper total is 0.106 (component sum is 0.104 -- rounding).
+        assert model.total_mm2("7nm") == pytest.approx(0.106, abs=0.005)
+
+    def test_40nm_close_to_paper(self, model):
+        # Paper: 3.215 mm^2 via per-component scaling; we use (40/7)^2.
+        assert model.total_mm2("40nm") == pytest.approx(3.215, rel=0.10)
+
+    def test_rows_ordered(self, model):
+        rows = model.report("7nm").rows()
+        assert [r[0] for r in rows] == ["PE Array", "DMB", "SMQ", "LSQ",
+                                        "Others", "Total"]
+
+    def test_invalid_node(self, model):
+        with pytest.raises(ValueError):
+            model.report("28nm")
+
+    def test_bigger_dmb_bigger_area(self):
+        base = AreaModel(HyMMConfig()).total_mm2()
+        double = AreaModel(HyMMConfig(dmb_bytes=512 * 1024)).total_mm2()
+        assert double > base
+
+    def test_more_pes_bigger_area(self):
+        base = AreaModel(HyMMConfig()).total_mm2()
+        wide = AreaModel(HyMMConfig(n_pes=64)).total_mm2()
+        assert wide > base
+
+    def test_default_config_used_when_none(self):
+        assert AreaModel().total_mm2() == AreaModel(HyMMConfig()).total_mm2()

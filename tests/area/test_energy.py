@@ -1,0 +1,64 @@
+"""Energy model (extension): composition with simulated runs."""
+
+import pytest
+
+from repro import HyMMAccelerator, HyMMConfig, OPAccelerator
+from repro.area.energy import (
+    EnergyReport,
+    energy_efficiency_gflops_per_watt,
+    energy_of_run,
+    stats_flops,
+)
+
+
+@pytest.fixture(scope="module")
+def hymm_run(request):
+    from repro import GCNModel, load_dataset
+
+    model = GCNModel(load_dataset("cora", scale=0.05, seed=0), n_layers=1, seed=1)
+    return HyMMAccelerator().run_inference(model), model
+
+
+class TestEnergyReport:
+    def test_total_sums_components(self):
+        report = EnergyReport(compute_pj=10.0, sram_pj=20.0, dram_pj=70.0)
+        assert report.total_pj == pytest.approx(100.0)
+        assert report.total_uj == pytest.approx(1e-4)
+
+    def test_breakdown_fractions(self):
+        report = EnergyReport(10.0, 20.0, 70.0)
+        bd = report.breakdown()
+        assert bd["dram"] == pytest.approx(0.7)
+        assert sum(bd.values()) == pytest.approx(1.0)
+
+    def test_breakdown_zero_total(self):
+        assert EnergyReport(0.0, 0.0, 0.0).breakdown()["dram"] == 0.0
+
+
+class TestEnergyOfRun:
+    def test_positive_components(self, hymm_run):
+        result, _ = hymm_run
+        report = energy_of_run(result)
+        assert report.compute_pj > 0
+        assert report.sram_pj > 0
+        assert report.dram_pj > 0
+
+    def test_dram_term_tracks_traffic(self, hymm_run):
+        result, _ = hymm_run
+        report = energy_of_run(result)
+        assert report.dram_pj == pytest.approx(
+            result.stats.dram_total_bytes() * 15.0
+        )
+
+    def test_flops_counts_lanes(self, hymm_run):
+        result, _ = hymm_run
+        assert stats_flops(result) == 2.0 * result.stats.busy_cycles * 16
+
+    def test_efficiency_positive(self, hymm_run):
+        result, _ = hymm_run
+        assert energy_efficiency_gflops_per_watt(result) > 0
+
+    def test_hymm_uses_less_energy_than_op(self, hymm_run):
+        result, model = hymm_run
+        op = OPAccelerator().run_inference(model)
+        assert energy_of_run(result).total_pj < energy_of_run(op).total_pj

@@ -1,0 +1,164 @@
+"""Baseline accelerators: correctness, defaults, and relative behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CWPAccelerator,
+    GCoDAccelerator,
+    OPAccelerator,
+    RWPAccelerator,
+    TiledOPAccelerator,
+)
+from repro.gcn import reference_inference
+from repro.hymm import HyMMConfig
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "cls", [RWPAccelerator, OPAccelerator, CWPAccelerator, GCoDAccelerator]
+    )
+    def test_matches_reference(self, cls, tiny_model, tiny_dataset):
+        result = cls().run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    @pytest.mark.parametrize("mode", ["pe", "dmb", "deferred"])
+    def test_op_all_merge_modes(self, mode, tiny_model, tiny_dataset):
+        result = OPAccelerator(merge_mode=mode).run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    def test_cwp_tiny_pool_still_correct(self, tiny_model, tiny_dataset):
+        result = CWPAccelerator(local_accumulator_rows=2).run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("cls", [RWPAccelerator, OPAccelerator, CWPAccelerator])
+    def test_split_buffer_by_default(self, cls):
+        assert cls().config.unified_buffer is False
+
+    def test_explicit_config_respected(self):
+        acc = RWPAccelerator(HyMMConfig())
+        assert acc.config.unified_buffer is True
+
+    def test_names(self):
+        assert RWPAccelerator().name == "rwp"
+        assert OPAccelerator().name == "op"
+        assert OPAccelerator(merge_mode="deferred").name == "op-deferred"
+        assert CWPAccelerator().name == "cwp"
+
+    def test_cwp_pool_size_validated(self):
+        with pytest.raises(ValueError):
+            CWPAccelerator(local_accumulator_rows=0)
+
+    def test_baselines_report_no_sort_cost(self, tiny_model):
+        result = RWPAccelerator().run_inference(tiny_model)
+        assert result.sort_ms == 0.0
+
+
+class TestGCoD:
+    def test_two_layers(self, tiny_dataset):
+        from repro.gcn import GCNModel
+
+        model = GCNModel(tiny_dataset, n_layers=2, seed=23)
+        result = GCoDAccelerator().run_inference(model)
+        ref = reference_inference(tiny_dataset, model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    def test_name_and_defaults(self):
+        acc = GCoDAccelerator()
+        assert acc.name == "gcod"
+        assert acc.config.unified_buffer is False
+
+    def test_partitioning_cost_reported(self, tiny_model):
+        result = GCoDAccelerator().run_inference(tiny_model)
+        assert result.sort_ms > 0
+
+    def test_outputs_in_original_order(self, tiny_model, tiny_dataset):
+        result = GCoDAccelerator().run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        row_errors = np.abs(result.outputs[-1] - ref[-1]).max(axis=1)
+        assert (row_errors < 1e-2).all()
+
+    def test_beats_naive_op_but_not_hymm_on_traffic(self, tiny_model):
+        """Partitioning helps the dense cluster, but staying OP in the
+        sparse cluster keeps G-CoD behind HyMM."""
+        from repro.hymm import HyMMAccelerator
+
+        gcod = GCoDAccelerator().run_inference(tiny_model)
+        op = OPAccelerator().run_inference(tiny_model)
+        hymm = HyMMAccelerator().run_inference(tiny_model)
+        assert gcod.stats.cycles <= op.stats.cycles
+        assert hymm.stats.dram_total_bytes() <= gcod.stats.dram_total_bytes() * 1.05
+
+
+class TestTiledOP:
+    def test_matches_reference(self, tiny_model, tiny_dataset):
+        result = TiledOPAccelerator().run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    def test_tiny_bands_still_correct(self, tiny_model, tiny_dataset):
+        result = TiledOPAccelerator(band_rows=3).run_inference(tiny_model)
+        ref = reference_inference(tiny_dataset, tiny_model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    def test_two_layers(self, tiny_dataset):
+        from repro.gcn import GCNModel
+
+        model = GCNModel(tiny_dataset, n_layers=2, seed=13)
+        result = TiledOPAccelerator().run_inference(model)
+        ref = reference_inference(tiny_dataset, model.weight_list)
+        np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+    def test_band_rows_auto_sized_to_half_buffer(self):
+        acc = TiledOPAccelerator(HyMMConfig(unified_buffer=False))
+        # 4096 lines -> 2048 output half -> 90% usable.
+        assert acc.band_rows(16) == 1843
+
+    def test_band_rows_explicit(self):
+        assert TiledOPAccelerator(band_rows=100).band_rows(16) == 100
+
+    def test_band_rows_validated(self):
+        with pytest.raises(ValueError):
+            TiledOPAccelerator(band_rows=0)
+
+    def test_name(self):
+        assert TiledOPAccelerator().name == "op-tiled"
+
+    def test_removes_partial_thrash(self, tiny_model):
+        """Within-band accumulation means partial lines never spill."""
+        tiled = TiledOPAccelerator().run_inference(tiny_model)
+        assert tiled.stats.partial_spill_bytes == 0
+
+    def test_more_bands_more_stream_traffic(self, tiny_model):
+        few = TiledOPAccelerator(band_rows=48).run_inference(tiny_model)
+        many = TiledOPAccelerator(band_rows=4).run_inference(tiny_model)
+        assert many.stats.dram_total_bytes() > few.stats.dram_total_bytes()
+
+
+class TestBehaviour:
+    def test_op_produces_partials(self, tiny_model):
+        result = OPAccelerator().run_inference(tiny_model)
+        assert result.stats.partials_produced > 0
+
+    def test_rwp_produces_no_partials(self, tiny_model):
+        result = RWPAccelerator().run_inference(tiny_model)
+        assert result.stats.partials_produced == 0
+
+    def test_op_deferred_tracks_peak(self, tiny_model):
+        result = OPAccelerator(merge_mode="deferred").run_inference(tiny_model)
+        assert result.stats.partial_peak_bytes > 0
+
+    def test_cwp_pool_size_changes_traffic(self, tiny_model):
+        tiny = CWPAccelerator(local_accumulator_rows=1).run_inference(tiny_model)
+        big = CWPAccelerator(local_accumulator_rows=4096).run_inference(tiny_model)
+        assert big.stats.partials_produced <= tiny.stats.partials_produced
+
+    def test_deterministic(self, tiny_model):
+        a = OPAccelerator().run_inference(tiny_model)
+        b = OPAccelerator().run_inference(tiny_model)
+        assert a.stats.cycles == b.stats.cycles

@@ -1,0 +1,162 @@
+"""Experiment harness: report formatting, runner caching, generators.
+
+Generators are exercised on the two smallest datasets with explicit
+tiny scales so the whole file stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures, format_table, render_series, tables
+from repro.bench.runner import (
+    aggregation_cycles,
+    clear_cache,
+    make_accelerator,
+    run_accelerator,
+    run_suite,
+)
+from repro.bench.workloads import BENCH_DATASETS, bench_scale, make_model
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_format_table_large_numbers(self):
+        text = format_table(["n"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_render_series(self):
+        series = {"rwp": {"CR": 1.0, "AP": 2.0}, "hymm": {"CR": 3.0}}
+        text = render_series("title", series)
+        assert "title" in text
+        assert "CR" in text and "AP" in text
+        assert "-" in text  # missing hymm/AP cell
+
+
+class TestWorkloads:
+    def test_all_datasets_have_scales(self):
+        for name in BENCH_DATASETS:
+            assert 0 < bench_scale(name) <= 1.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            bench_scale("reddit")
+
+    def test_make_model_memoised(self):
+        a = make_model("cora", 0.05)
+        b = make_model("cora", 0.05)
+        assert a is b
+
+
+class TestRunner:
+    def test_run_accelerator_cached(self):
+        clear_cache()
+        a = run_accelerator("cora", "rwp", scale=0.05)
+        b = run_accelerator("cora", "rwp", scale=0.05)
+        assert a is b
+        assert clear_cache() >= 1
+
+    def test_cache_bypass(self):
+        a = run_accelerator("cora", "rwp", scale=0.05, cache=False)
+        b = run_accelerator("cora", "rwp", scale=0.05, cache=False)
+        assert a is not b
+        assert a.stats.cycles == b.stats.cycles
+
+    def test_run_suite_keys(self):
+        runs = run_suite("cora", kinds=("rwp", "hymm"), scale=0.05)
+        assert set(runs) == {"rwp", "hymm"}
+
+    def test_make_accelerator_kinds(self):
+        for kind in ("op", "rwp", "cwp", "op-deferred", "hymm"):
+            assert make_accelerator(kind).name == kind
+
+    def test_make_accelerator_unknown(self):
+        with pytest.raises(ValueError):
+            make_accelerator("tpu")
+
+    def test_aggregation_cycles_sums_layers(self):
+        r = run_accelerator("cora", "rwp", scale=0.05, n_layers=2)
+        agg = aggregation_cycles(r)
+        assert agg > 0
+        assert agg < r.stats.cycles
+
+
+class TestTables:
+    def test_table1_mentions_all(self):
+        text = tables.table1()
+        for word in ("Hybrid", "Degree sorting", "CSC", "CSR"):
+            assert word in text
+
+    def test_table2_explicit_scale(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.tables.BENCH_DATASETS", ("cora",)
+        )
+        t2 = tables.table2(scale=0.05)
+        assert len(t2["rows"]) == 1
+        row = t2["rows"][0]
+        assert row[0] == "CR" and row[1] == 0.05
+        assert row[-1] > 0  # sorting cost measured
+
+    def test_table3_structure(self):
+        t3 = tables.table3()
+        assert len(t3["rows"]) == 6
+        assert t3["rows"][-1][0] == "Total"
+        # 7nm column reproduces the paper closely.
+        for row in t3["rows"][:-1]:
+            assert row[1] == pytest.approx(row[2], rel=0.06)
+
+
+_TINY = ["cora", "amazon-photo"]
+
+
+class TestFigures:
+    @pytest.fixture(autouse=True)
+    def _small_scales(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.workloads._FAST_SCALES",
+            {"cora": 0.05, "amazon-photo": 0.03},
+        )
+
+    def test_fig2(self):
+        out = figures.fig2_degree_distribution(datasets=_TINY)
+        assert set(out["top20_share"]) == {"CR", "AP"}
+        for share in out["top20_share"].values():
+            assert 0.3 < share <= 1.0
+
+    def test_fig6(self):
+        out = figures.fig6_storage_overhead(datasets=_TINY)
+        for pct in out["overhead_pct"].values():
+            assert pct > 0
+
+    def test_fig7(self):
+        out = figures.fig7_speedup(datasets=["cora"])
+        assert out["total_speedup"]["op"]["CR"] == pytest.approx(1.0)
+        assert out["aggregation_speedup"]["hymm"]["CR"] > 0
+
+    def test_fig8(self):
+        out = figures.fig8_alu_utilization(datasets=["cora"])
+        for kind in ("op", "rwp", "hymm"):
+            assert 0 < out["utilization"][kind]["CR"] <= 1.0
+
+    def test_fig9(self):
+        out = figures.fig9_hit_rate(datasets=["cora"])
+        for kind in ("op", "rwp", "hymm"):
+            assert 0 <= out["hit_rate"][kind]["CR"] <= 1.0
+
+    def test_fig7_custom_kinds(self):
+        out = figures.fig7_speedup(datasets=["cora"], kinds=("op", "op-tiled", "hymm"))
+        assert set(out["total_speedup"]) == {"op", "op-tiled", "hymm"}
+
+    def test_fig10(self):
+        out = figures.fig10_partial_outputs(datasets=["cora"])
+        assert out["reduction_pct"]["CR"] > 0
+        assert "CR" in out["timelines"]
+
+    def test_fig11(self):
+        out = figures.fig11_dram_breakdown(datasets=["cora"])
+        assert "CR" in out["reduction_vs_op"]
+        assert out["breakdown"]["CR"]["hymm"]

@@ -1,0 +1,59 @@
+"""Command-line interface for the experiment harness."""
+
+import pytest
+
+from repro.bench.cli import ALL_ORDER, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_experiments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_names_and_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "table2", "--datasets", "cora", "--full-scale"]
+        )
+        assert args.experiments == ["fig7", "table2"]
+        assert args.datasets == ["cora"]
+        assert args.full_scale
+
+
+class TestRegistry:
+    def test_all_order_covers_every_experiment(self):
+        assert set(ALL_ORDER) == set(EXPERIMENTS)
+
+    def test_every_paper_item_present(self):
+        for name in ("table1", "table2", "table3", "fig2", "fig6", "fig7",
+                     "fig8", "fig9", "fig10", "fig11"):
+            assert name in EXPERIMENTS
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure42"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_cheap_table(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Hybrid" in capsys.readouterr().out
+
+    def test_figure_with_dataset_filter_and_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.workloads._FAST_SCALES", {"cora": 0.05}
+        )
+        assert main(["fig2", "--datasets", "cora", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2.txt").exists()
+        assert "CR" in capsys.readouterr().out
+
+    def test_full_scale_sets_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        import os
+        main(["table1", "--full-scale"])
+        assert os.environ.get("REPRO_FULL_SCALE") == "1"
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)

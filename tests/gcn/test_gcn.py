@@ -1,0 +1,148 @@
+"""GCN substrate: weights, layers, model, and the NumPy reference."""
+
+import numpy as np
+import pytest
+
+from repro.gcn import (
+    GCNLayer,
+    GCNModel,
+    aggregation,
+    combination,
+    glorot_weights,
+    layer_dims,
+    reference_inference,
+    relu,
+)
+from repro.graphs.preprocess import gcn_normalize
+
+
+class TestWeights:
+    def test_shape(self):
+        assert glorot_weights(10, 4, seed=0).shape == (10, 4)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            glorot_weights(8, 8, seed=1), glorot_weights(8, 8, seed=1)
+        )
+
+    def test_seed_changes_values(self):
+        assert not np.array_equal(
+            glorot_weights(8, 8, seed=1), glorot_weights(8, 8, seed=2)
+        )
+
+    def test_glorot_bound(self):
+        w = glorot_weights(100, 50, seed=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_dtype_float32(self):
+        assert glorot_weights(4, 4).dtype == np.float32
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            glorot_weights(0, 4)
+
+
+class TestLayerDims:
+    def test_two_layer_default(self):
+        assert layer_dims(1433, 16, 2) == [(1433, 16), (16, 16)]
+
+    def test_custom_classes(self):
+        assert layer_dims(100, 16, 2, n_classes=7) == [(100, 16), (16, 7)]
+
+    def test_single_layer(self):
+        assert layer_dims(100, 16, 1) == [(100, 16)]
+
+    def test_three_layer(self):
+        assert layer_dims(100, 32, 3, n_classes=5) == [
+            (100, 32),
+            (32, 32),
+            (32, 5),
+        ]
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            layer_dims(100, 16, 0)
+
+
+class TestRelu:
+    def test_clamps_negative(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+
+class TestPhases:
+    def test_combination_matches_dense(self, tiny_dataset, rng):
+        w = glorot_weights(tiny_dataset.feature_length, 16, seed=0)
+        expected = tiny_dataset.features.to_dense() @ w
+        result = combination(tiny_dataset.features, w)
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)
+
+    def test_combination_dim_check(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            combination(tiny_dataset.features, np.ones((5, 16), dtype=np.float32))
+
+    def test_aggregation_matches_dense(self, tiny_dataset, rng):
+        norm = gcn_normalize(tiny_dataset.adjacency)
+        xw = rng.random((tiny_dataset.n_nodes, 16), dtype=np.float32)
+        expected = norm.to_dense().astype(np.float64) @ xw
+        np.testing.assert_allclose(
+            aggregation(norm, xw), expected, rtol=1e-4, atol=1e-5
+        )
+
+    def test_aggregation_dim_check(self, tiny_dataset, rng):
+        norm = gcn_normalize(tiny_dataset.adjacency)
+        with pytest.raises(ValueError):
+            aggregation(norm, rng.random((5, 16), dtype=np.float32))
+
+
+class TestLayer:
+    def test_forward_sparse_input(self, tiny_dataset):
+        norm = gcn_normalize(tiny_dataset.adjacency)
+        w = glorot_weights(tiny_dataset.feature_length, 16, seed=0)
+        layer = GCNLayer(w, activation=relu)
+        out = layer.forward(norm, tiny_dataset.features)
+        assert out.shape == (tiny_dataset.n_nodes, 16)
+        assert np.all(out >= 0)  # post-ReLU
+
+    def test_forward_dense_input(self, tiny_dataset, rng):
+        norm = gcn_normalize(tiny_dataset.adjacency)
+        h = rng.random((tiny_dataset.n_nodes, 16), dtype=np.float32)
+        layer = GCNLayer(glorot_weights(16, 16, seed=1))
+        out = layer.forward(norm, h)
+        assert out.shape == (tiny_dataset.n_nodes, 16)
+
+    def test_fan_properties(self):
+        layer = GCNLayer(glorot_weights(12, 5))
+        assert layer.fan_in == 12 and layer.fan_out == 5
+
+
+class TestModel:
+    def test_forward_matches_reference(self, tiny_dataset):
+        model = GCNModel(tiny_dataset, n_layers=2, seed=3)
+        outs = model.forward()
+        ref = reference_inference(tiny_dataset, model.weight_list)
+        for a, b in zip(outs, ref):
+            np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-4)
+
+    def test_layer_count(self, tiny_dataset):
+        assert GCNModel(tiny_dataset, n_layers=3).n_layers == 3
+
+    def test_relu_between_layers_only(self, tiny_dataset):
+        model = GCNModel(tiny_dataset, n_layers=2, seed=0)
+        assert model.layers[0].activation is relu
+        assert model.layers[1].activation is None
+
+    def test_invalid_layers(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            GCNModel(tiny_dataset, n_layers=0)
+
+    def test_repr(self, tiny_dataset):
+        assert "tiny" in repr(GCNModel(tiny_dataset))
+
+    def test_reference_final_layer_unclamped(self, tiny_dataset):
+        model = GCNModel(tiny_dataset, n_layers=2, seed=3)
+        ref = reference_inference(tiny_dataset, model.weight_list)
+        # Logit layer may legitimately contain negatives.
+        assert ref[-1].min() < 0 or ref[-1].max() > 0

@@ -1,0 +1,57 @@
+"""GraphDataset container validation and summaries."""
+
+import pytest
+
+from repro.graphs import GraphDataset
+from repro.graphs.synthetic import power_law_graph, sparse_feature_matrix
+from repro.sparse import COOMatrix, coo_to_csr
+
+
+def _features(n, f=32, density=0.25, seed=0):
+    return sparse_feature_matrix(n, f, density, seed=seed)
+
+
+class TestValidation:
+    def test_valid_construction(self, tiny_dataset):
+        assert tiny_dataset.n_nodes == 48
+
+    def test_rectangular_adjacency_rejected(self):
+        adj = COOMatrix.empty((4, 5))
+        with pytest.raises(ValueError, match="square"):
+            GraphDataset("bad", adj, _features(4))
+
+    def test_feature_row_mismatch_rejected(self):
+        adj = power_law_graph(10, 20, seed=0)
+        with pytest.raises(ValueError, match="features"):
+            GraphDataset("bad", adj, _features(11))
+
+    def test_nonpositive_hidden_dim_rejected(self):
+        adj = power_law_graph(10, 20, seed=0)
+        with pytest.raises(ValueError, match="hidden_dim"):
+            GraphDataset("bad", adj, _features(10), hidden_dim=0)
+
+
+class TestProperties:
+    def test_edge_count(self, tiny_dataset):
+        assert tiny_dataset.n_edges == tiny_dataset.adjacency.nnz
+
+    def test_feature_length(self, tiny_dataset):
+        assert tiny_dataset.feature_length == 32
+
+    def test_sparsities_in_range(self, tiny_dataset):
+        assert 0.0 <= tiny_dataset.adjacency_sparsity <= 1.0
+        assert 0.0 <= tiny_dataset.feature_sparsity <= 1.0
+
+    def test_feature_sparsity_value(self):
+        adj = power_law_graph(10, 20, seed=0)
+        feats = coo_to_csr(COOMatrix.empty((10, 4)))
+        ds = GraphDataset("x", adj, feats)
+        assert ds.feature_sparsity == 1.0
+
+    def test_summary_keys(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        for key in ("name", "n_nodes", "n_edges", "top20_edge_share", "scale"):
+            assert key in summary
+
+    def test_repr(self, tiny_dataset):
+        assert "tiny" in repr(tiny_dataset)

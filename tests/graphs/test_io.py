@@ -1,0 +1,120 @@
+"""Dataset persistence (.npz) and edge-list import."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.io import (
+    dataset_from_edge_list,
+    load_dataset_npz,
+    read_edge_list,
+    save_dataset,
+)
+from repro.graphs.synthetic import sparse_feature_matrix
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_preserves_everything(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset_npz(path)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.hidden_dim == tiny_dataset.hidden_dim
+        assert loaded.scale == tiny_dataset.scale
+        assert loaded.adjacency.allclose(tiny_dataset.adjacency)
+        np.testing.assert_array_equal(
+            loaded.features.indptr, tiny_dataset.features.indptr
+        )
+        np.testing.assert_allclose(
+            loaded.features.values, tiny_dataset.features.values
+        )
+
+    def test_loaded_dataset_is_usable(self, tiny_dataset, tmp_path):
+        from repro import GCNModel, HyMMAccelerator
+
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        model = GCNModel(load_dataset_npz(path), n_layers=1, seed=0)
+        result = HyMMAccelerator().run_inference(model)
+        assert result.stats.cycles > 0
+
+    def test_version_check(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_dataset(tiny_dataset, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset_npz(path)
+
+
+class TestEdgeList:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "graph.txt"
+        path.write_text(text)
+        return path
+
+    def test_basic_parse(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 1\n1 2\n"))
+        assert adj.shape == (3, 3)
+        assert adj.nnz == 4  # undirected mirroring
+
+    def test_directed(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 1\n1 2\n"), undirected=False)
+        assert adj.nnz == 2
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "# header\n\n0 1\n# more\n1 2\n"))
+        assert adj.nnz == 4
+
+    def test_self_loops_dropped(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 0\n0 1\n"))
+        assert adj.nnz == 2
+
+    def test_duplicates_binary(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 1\n0 1\n1 0\n"))
+        assert adj.nnz == 2
+        assert np.all(adj.values == 1.0)
+
+    def test_extra_columns_ignored(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 1 0.5\n"))
+        assert adj.nnz == 2
+
+    def test_gap_node_ids(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "0 5\n"))
+        assert adj.shape == (6, 6)
+
+    def test_malformed_line(self, tmp_path):
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(self._write(tmp_path, "0\n"))
+
+    def test_negative_id(self, tmp_path):
+        with pytest.raises(ValueError, match="negative"):
+            read_edge_list(self._write(tmp_path, "-1 2\n"))
+
+    def test_empty_file(self, tmp_path):
+        adj = read_edge_list(self._write(tmp_path, "# nothing\n"))
+        assert adj.shape == (0, 0)
+
+
+class TestDatasetFromEdgeList:
+    def test_synthesises_features(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 3\n3 0\n")
+        ds = dataset_from_edge_list(path, feature_length=32, feature_density=0.5)
+        assert ds.n_nodes == 4
+        assert ds.feature_length == 32
+        assert ds.name == "g"
+
+    def test_explicit_features(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        feats = sparse_feature_matrix(3, 8, 0.5, seed=1)
+        ds = dataset_from_edge_list(path, features=feats, name="custom")
+        assert ds.feature_length == 8
+        assert ds.name == "custom"
+
+    def test_empty_graph_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# empty\n")
+        with pytest.raises(ValueError, match="no edges"):
+            dataset_from_edge_list(path)

@@ -1,0 +1,90 @@
+"""Region planning (the Section IV-E tiling rules)."""
+
+import pytest
+
+from repro.graphs.partition import (
+    dmb_resident_rows,
+    plan_regions,
+    tiling_threshold,
+)
+from repro.graphs.preprocess import degree_sort
+from repro.graphs.synthetic import power_law_graph
+
+
+@pytest.fixture
+def sorted_graph():
+    return degree_sort(power_law_graph(200, 1600, seed=4)).matrix
+
+
+class TestThreshold:
+    def test_default_twenty_percent(self):
+        assert tiling_threshold(1000) == 200
+
+    def test_rounding(self):
+        assert tiling_threshold(14) == 3  # 2.8 rounds to 3
+
+    def test_minimum_one(self):
+        assert tiling_threshold(2) == 1
+
+    def test_empty_graph(self):
+        assert tiling_threshold(0) == 0
+
+    def test_custom_fraction(self):
+        assert tiling_threshold(1000, fraction=0.5) == 500
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            tiling_threshold(10, fraction=0.0)
+
+
+class TestResidentRows:
+    def test_counts_vectors(self):
+        # 256 KB at 75% residency, 64-byte vectors -> 3072 rows.
+        assert dmb_resident_rows(256 * 1024, 16) == 3072
+
+    def test_full_residency(self):
+        assert dmb_resident_rows(256 * 1024, 16, resident_fraction=1.0) == 4096
+
+    def test_wide_rows_fewer(self):
+        narrow = dmb_resident_rows(256 * 1024, 16)
+        wide = dmb_resident_rows(256 * 1024, 64)
+        assert wide == narrow // 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dmb_resident_rows(0, 16)
+
+
+class TestPlan:
+    def test_default_threshold(self, sorted_graph):
+        plan = plan_regions(sorted_graph, 16, 256 * 1024)
+        assert plan.threshold == 40  # 20% of 200
+
+    def test_single_tile_when_band_fits(self, sorted_graph):
+        plan = plan_regions(sorted_graph, 16, 256 * 1024)
+        assert plan.n_region1_tiles == 1
+        assert plan.band == plan.threshold
+
+    def test_banding_under_small_buffer(self, sorted_graph):
+        # A 1 KB DMB holds 12 resident vectors at 75%.
+        plan = plan_regions(sorted_graph, 16, 1024)
+        assert plan.band == 12
+        assert plan.n_region1_tiles > 1
+
+    def test_nnz_conserved(self, sorted_graph):
+        plan = plan_regions(sorted_graph, 16, 2048)
+        assert plan.tiled.nnz == sorted_graph.nnz
+
+    def test_explicit_threshold_override(self, sorted_graph):
+        plan = plan_regions(sorted_graph, 16, 256 * 1024, threshold=10)
+        assert plan.threshold == 10
+
+    def test_threshold_clamped_to_n(self, sorted_graph):
+        plan = plan_regions(sorted_graph, 16, 256 * 1024, threshold=10_000)
+        assert plan.threshold == 200
+
+    def test_high_degree_band_covers_most_edges(self, sorted_graph):
+        """The point of the tiling: region 1 owns the bulk of non-zeros."""
+        plan = plan_regions(sorted_graph, 16, 256 * 1024)
+        r1_nnz = sum(t.nnz for t in plan.tiled.tiles_in_region(1))
+        assert r1_nnz / sorted_graph.nnz > 0.4

@@ -1,0 +1,132 @@
+"""Degree sorting and GCN normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.preprocess import add_self_loops, degree_sort, gcn_normalize
+from repro.graphs.synthetic import power_law_graph
+from repro.sparse import COOMatrix
+
+
+class TestDegreeSort:
+    def test_degrees_descending(self, small_graph):
+        result = degree_sort(small_graph)
+        degrees = result.matrix.row_degrees()
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_permutation_is_bijection(self, small_graph):
+        result = degree_sort(small_graph)
+        assert sorted(result.permutation.tolist()) == list(range(64))
+
+    def test_inverse_composes_to_identity(self, small_graph):
+        result = degree_sort(small_graph)
+        composed = result.permutation[result.inverse]
+        np.testing.assert_array_equal(composed, np.arange(64))
+
+    def test_graph_isomorphic(self, small_graph):
+        """The sorted matrix is the same graph relabelled."""
+        result = degree_sort(small_graph)
+        back = result.matrix.permute(
+            row_perm=result.inverse, col_perm=result.inverse
+        )
+        assert back.allclose(small_graph)
+
+    def test_symmetry_preserved(self, small_graph):
+        sorted_m = degree_sort(small_graph).matrix
+        assert sorted_m.allclose(sorted_m.transpose())
+
+    def test_elapsed_recorded(self, small_graph):
+        assert degree_sort(small_graph).elapsed_ms > 0
+
+    def test_column_sort(self, small_graph):
+        result = degree_sort(small_graph, by="col")
+        degrees = result.matrix.col_degrees()
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_bad_axis(self, small_graph):
+        with pytest.raises(ValueError):
+            degree_sort(small_graph, by="x")
+
+    def test_deterministic_tie_break(self):
+        g = power_law_graph(32, 64, seed=9)
+        a = degree_sort(g).permutation
+        b = degree_sort(g).permutation
+        np.testing.assert_array_equal(a, b)
+
+    def test_sorting_cost_grows_with_size(self):
+        """Table II trend: bigger graphs cost more to sort."""
+        small = power_law_graph(200, 1000, seed=0)
+        big = power_law_graph(20_000, 100_000, seed=0)
+        t_small = min(degree_sort(small).elapsed_ms for _ in range(3))
+        t_big = min(degree_sort(big).elapsed_ms for _ in range(3))
+        assert t_big > t_small
+
+
+class TestSelfLoops:
+    def test_adds_diagonal(self, small_graph):
+        with_loops = add_self_loops(small_graph)
+        dense = with_loops.to_dense()
+        assert np.all(np.diag(dense) == 1.0)
+
+    def test_nnz_increases_by_n(self, small_graph):
+        with_loops = add_self_loops(small_graph)
+        assert with_loops.nnz == small_graph.nnz + 64
+
+    def test_custom_weight(self, small_graph):
+        with_loops = add_self_loops(small_graph, weight=2.5)
+        assert np.all(np.diag(with_loops.to_dense()) == 2.5)
+
+    def test_existing_diagonal_merges(self):
+        m = COOMatrix.from_dense(np.eye(3, dtype=np.float32))
+        merged = add_self_loops(m)
+        assert merged.nnz == 3
+        assert np.all(np.diag(merged.to_dense()) == 2.0)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            add_self_loops(COOMatrix.empty((2, 3)))
+
+
+class TestNormalize:
+    def test_matches_kipf_welling_formula(self, small_graph):
+        a = small_graph.to_dense().astype(np.float64) + np.eye(64)
+        deg = a.sum(axis=1)
+        d_inv_sqrt = np.diag(1.0 / np.sqrt(deg))
+        expected = d_inv_sqrt @ a @ d_inv_sqrt
+        result = gcn_normalize(small_graph).to_dense()
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-6)
+
+    def test_symmetric_result(self, small_graph):
+        norm = gcn_normalize(small_graph)
+        assert norm.allclose(norm.transpose(), rtol=1e-4)
+
+    def test_values_in_unit_interval(self, small_graph):
+        values = gcn_normalize(small_graph).values
+        assert np.all(values > 0)
+        assert np.all(values <= 1.0 + 1e-6)
+
+    def test_without_self_loops(self, small_graph):
+        norm = gcn_normalize(small_graph, self_loops=False)
+        assert norm.nnz == small_graph.nnz
+
+    def test_isolated_node_stays_zero(self):
+        dense = np.zeros((3, 3), dtype=np.float32)
+        dense[0, 1] = dense[1, 0] = 1.0
+        norm = gcn_normalize(COOMatrix.from_dense(dense), self_loops=False)
+        assert not norm.to_dense()[2].any()
+
+    def test_spectral_radius_at_most_one(self, small_graph):
+        norm = gcn_normalize(small_graph).to_dense().astype(np.float64)
+        eigvals = np.linalg.eigvalsh(norm)
+        assert np.max(np.abs(eigvals)) <= 1.0 + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(4, 30), e=st.integers(0, 60), seed=st.integers(0, 50))
+def test_property_sort_preserves_graph(n, e, seed):
+    e = min(e - e % 2, n * (n - 1) - 1)
+    g = power_law_graph(n, e, seed=seed)
+    result = degree_sort(g)
+    restored = result.matrix.permute(result.inverse, result.inverse)
+    assert restored.allclose(g)

@@ -1,0 +1,102 @@
+"""Dataset registry: Table II specs and the loader."""
+
+import pytest
+
+from repro.graphs.registry import (
+    DATASETS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+
+
+class TestSpecs:
+    def test_all_seven_datasets(self):
+        assert len(DATASETS) == 7
+
+    def test_table2_order(self):
+        assert dataset_names() == (
+            "cora",
+            "amazon-photo",
+            "amazon-computers",
+            "coauthor-cs",
+            "coauthor-physics",
+            "flickr",
+            "yelp",
+        )
+
+    def test_cora_spec_matches_table2(self):
+        spec = get_spec("cora")
+        assert spec.n_nodes == 2708
+        assert spec.n_edges == 10556
+        assert spec.feature_length == 1433
+        assert spec.hidden_dim == 16
+
+    def test_yelp_spec(self):
+        spec = get_spec("yelp")
+        assert spec.n_nodes == 716_847
+        assert spec.n_edges == 13_954_819
+
+    def test_abbreviation_lookup(self):
+        assert get_spec("AP").name == "amazon-photo"
+        assert get_spec("cr").name == "cora"
+
+    def test_case_insensitive(self):
+        assert get_spec("CORA").name == "cora"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("reddit")
+
+    def test_feature_density_complement(self):
+        spec = get_spec("amazon-photo")
+        assert spec.feature_density == pytest.approx(1 - 0.6526)
+
+
+class TestLoader:
+    def test_full_scale_statistics(self):
+        ds = load_dataset("cora", scale=1.0, seed=0)
+        assert ds.n_nodes == 2708
+        assert ds.n_edges == 10556
+        assert ds.feature_length == 1433
+
+    def test_sparsity_close_to_spec(self):
+        ds = load_dataset("cora", scale=1.0, seed=0)
+        assert ds.adjacency_sparsity == pytest.approx(0.9986, abs=0.001)
+        assert ds.feature_sparsity == pytest.approx(0.9873, abs=0.005)
+
+    def test_scaling_shrinks(self):
+        ds = load_dataset("cora", scale=0.25, seed=0)
+        assert 600 < ds.n_nodes < 750
+
+    def test_minimum_size_floor(self):
+        ds = load_dataset("cora", scale=0.001, seed=0)
+        assert ds.n_nodes >= 64
+
+    def test_deterministic(self):
+        a = load_dataset("cora", scale=0.1, seed=1)
+        b = load_dataset("cora", scale=0.1, seed=1)
+        assert a.adjacency.allclose(b.adjacency)
+
+    def test_datasets_differ_at_same_seed(self):
+        a = load_dataset("cora", scale=0.1, seed=1)
+        b = load_dataset("amazon-photo", scale=0.035, seed=1)
+        assert a.n_edges != b.n_edges
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=1.5)
+
+    def test_feature_length_override(self):
+        ds = load_dataset("cora", scale=0.05, feature_length=64)
+        assert ds.feature_length == 64
+
+    def test_scale_recorded(self):
+        ds = load_dataset("cora", scale=0.1)
+        assert ds.scale == 0.1
+
+    def test_edge_count_even(self):
+        ds = load_dataset("amazon-photo", scale=0.07, seed=4)
+        assert ds.n_edges % 2 == 0

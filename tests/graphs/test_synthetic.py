@@ -1,0 +1,124 @@
+"""Synthetic generators: determinism, structure, and Table II fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.synthetic import (
+    DEFAULT_ALPHA,
+    chung_lu_weights,
+    power_law_graph,
+    sparse_feature_matrix,
+)
+from repro.sparse.stats import edge_share_of_top_fraction
+
+
+class TestWeights:
+    def test_normalised(self):
+        assert chung_lu_weights(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = chung_lu_weights(50)
+        assert np.all(np.diff(w) < 0)
+
+    def test_alpha_zero_uniform(self):
+        w = chung_lu_weights(10, alpha=0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_larger_alpha_more_skew(self):
+        w_lo = chung_lu_weights(100, alpha=0.5)
+        w_hi = chung_lu_weights(100, alpha=1.2)
+        assert w_hi[0] > w_lo[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chung_lu_weights(0)
+        with pytest.raises(ValueError):
+            chung_lu_weights(10, alpha=-1)
+
+
+class TestPowerLawGraph:
+    def test_exact_edge_count(self):
+        g = power_law_graph(100, 400, seed=0)
+        assert g.nnz == 400
+
+    def test_deterministic(self):
+        a = power_law_graph(80, 320, seed=5)
+        b = power_law_graph(80, 320, seed=5)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = power_law_graph(80, 320, seed=5)
+        b = power_law_graph(80, 320, seed=6)
+        assert not a.allclose(b)
+
+    def test_symmetric(self):
+        g = power_law_graph(60, 240, seed=1)
+        assert g.allclose(g.transpose())
+
+    def test_no_self_loops(self):
+        g = power_law_graph(60, 240, seed=1)
+        assert not np.any(g.rows == g.cols)
+
+    def test_binary_values(self):
+        g = power_law_graph(60, 240, seed=1)
+        assert np.all(g.values == 1.0)
+
+    def test_directed_variant(self):
+        g = power_law_graph(60, 240, seed=1, symmetric=False)
+        assert g.nnz == 240
+
+    def test_power_law_concentration(self):
+        """The Fig. 2 property: top 20% of nodes own well over half the
+        edges at the default exponent."""
+        g = power_law_graph(500, 5000, seed=2, alpha=DEFAULT_ALPHA)
+        share = edge_share_of_top_fraction(g.row_degrees(), 0.2)
+        assert share > 0.6
+
+    def test_zero_edges(self):
+        g = power_law_graph(10, 0, seed=0)
+        assert g.nnz == 0
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="simple directed"):
+            power_law_graph(4, 100, seed=0)
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            power_law_graph(4, -2, seed=0)
+
+    def test_dense_small_graph_achievable(self):
+        # Nearly complete graph still terminates.
+        g = power_law_graph(6, 6 * 5, seed=0)
+        assert g.nnz == 30
+
+
+class TestFeatureMatrix:
+    def test_target_density(self):
+        f = sparse_feature_matrix(200, 100, density=0.1, seed=0)
+        assert f.nnz == 2000
+
+    def test_deterministic(self):
+        a = sparse_feature_matrix(50, 40, 0.2, seed=3)
+        b = sparse_feature_matrix(50, 40, 0.2, seed=3)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_fully_dense(self):
+        f = sparse_feature_matrix(10, 8, density=1.0, seed=0)
+        assert f.nnz == 80
+
+    def test_empty(self):
+        f = sparse_feature_matrix(10, 8, density=0.0, seed=0)
+        assert f.nnz == 0
+
+    def test_values_nonzero(self):
+        f = sparse_feature_matrix(30, 30, density=0.3, seed=1)
+        assert np.all(f.values >= 0.1)
+
+    def test_shape(self):
+        f = sparse_feature_matrix(12, 34, density=0.5, seed=0)
+        assert f.shape == (12, 34)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            sparse_feature_matrix(10, 10, density=1.5, seed=0)

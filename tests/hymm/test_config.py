@@ -1,0 +1,97 @@
+"""HyMMConfig validation and derived parameters (Table III defaults)."""
+
+import pytest
+
+from repro.hymm import HyMMConfig
+
+
+class TestDefaults:
+    def test_table3_values(self, config):
+        assert config.n_pes == 16
+        assert config.dmb_bytes == 256 * 1024
+        assert config.lsq_entries == 128
+        assert config.lsq_entry_bytes == 68
+        assert config.smq_pointer_bytes == 4 * 1024
+        assert config.smq_index_bytes == 12 * 1024
+
+    def test_paper_policies_on_by_default(self, config):
+        assert config.near_memory_accumulator
+        assert config.op_first
+        assert config.unified_buffer
+        assert config.forwarding
+        assert config.lru
+
+    def test_capacity_lines(self, config):
+        assert config.capacity_lines == 4096
+
+    def test_smq_bytes(self, config):
+        assert config.smq_bytes == 16 * 1024
+
+    def test_lanes(self, config):
+        assert config.lanes == 16
+
+    def test_peak_gflops_matches_paper(self, config):
+        # Section V: "HyMM achieve a performance of 32 GFLOPS".
+        assert config.peak_gflops == 32.0
+
+    def test_clock_validated(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(clock_ghz=0.0)
+
+
+class TestLinesPerRow:
+    def test_sixteen_wide_is_one_line(self, config):
+        assert config.lines_per_row(16) == 1
+
+    def test_wider_rows(self, config):
+        assert config.lines_per_row(17) == 2
+        assert config.lines_per_row(32) == 2
+        assert config.lines_per_row(33) == 3
+
+    def test_narrow_rows_still_one(self, config):
+        assert config.lines_per_row(1) == 1
+
+    def test_invalid_width(self, config):
+        with pytest.raises(ValueError):
+            config.lines_per_row(0)
+
+
+class TestValidation:
+    def test_bad_pes(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(n_pes=0)
+
+    def test_dmb_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(dmb_bytes=32)
+
+    def test_line_value_alignment(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(line_bytes=30)
+
+    def test_bad_lsq(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(lsq_entries=0)
+
+    def test_bad_threshold_fraction(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(threshold_fraction=0.0)
+
+    def test_bad_resident_fraction(self):
+        with pytest.raises(ValueError):
+            HyMMConfig(resident_fraction=1.5)
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self, config):
+        other = config.with_overrides(dmb_bytes=128 * 1024)
+        assert other.dmb_bytes == 128 * 1024
+        assert config.dmb_bytes == 256 * 1024
+
+    def test_overrides_validate(self, config):
+        with pytest.raises(ValueError):
+            config.with_overrides(n_pes=-1)
+
+    def test_frozen(self, config):
+        with pytest.raises(Exception):
+            config.n_pes = 32

@@ -1,0 +1,127 @@
+"""Address map and buffer organisations (unified vs split)."""
+
+import pytest
+
+from repro.hymm import AddressMap, DenseMatrixBuffer, HyMMConfig, SplitBufferPair
+from repro.hymm.dmb import make_buffer
+from repro.sim import CLASS_OUT, CLASS_PARTIAL, CLASS_W, CLASS_XW, DRAM, DRAMConfig, SimStats
+
+
+@pytest.fixture
+def amap(config):
+    return AddressMap(config)
+
+
+class TestAddressMap:
+    def test_spaces_disjoint(self, amap):
+        addrs = {
+            amap.w_addr(0, 5, 16),
+            amap.xw_addr(0, 5, 16),
+            amap.out_addr(0, 5, 16),
+        }
+        assert len(addrs) == 3
+
+    def test_layers_disjoint(self, amap):
+        assert amap.xw_addr(0, 5, 16) != amap.xw_addr(1, 5, 16)
+
+    def test_rows_consecutive_when_one_line(self, amap):
+        assert amap.xw_addr(0, 6, 16) == amap.xw_addr(0, 5, 16) + 1
+
+    def test_wide_rows_stride(self, amap):
+        # 32-wide rows need 2 lines each.
+        assert amap.xw_addr(0, 1, 32) == amap.xw_addr(0, 0, 32) + 2
+        assert amap.xw_addr(0, 0, 32, line=1) == amap.xw_addr(0, 0, 32) + 1
+
+    def test_no_collision_across_many_rows(self, amap):
+        seen = set()
+        for layer in range(3):
+            for row in range(1000):
+                for fn in (amap.w_addr, amap.xw_addr, amap.out_addr):
+                    addr = fn(layer, row, 16)
+                    assert addr not in seen
+                    seen.add(addr)
+
+    def test_bounds(self, amap):
+        with pytest.raises(ValueError):
+            amap.w_addr(-1, 0, 16)
+        with pytest.raises(ValueError):
+            amap.w_addr(0, 1 << 33, 16)
+
+
+class TestMakeBuffer:
+    def test_unified(self, config, stats, dram):
+        assert isinstance(make_buffer(config, dram, stats), DenseMatrixBuffer)
+
+    def test_split(self, stats, dram):
+        cfg = HyMMConfig(unified_buffer=False)
+        assert isinstance(make_buffer(cfg, dram, stats), SplitBufferPair)
+
+
+class TestSplitPair:
+    @pytest.fixture
+    def pair(self, stats):
+        cfg = HyMMConfig(unified_buffer=False, dmb_bytes=8 * 64)
+        dram = DRAM(DRAMConfig(), stats)
+        return SplitBufferPair(cfg, dram, stats)
+
+    def test_halved_capacity(self, pair):
+        assert pair.input_buffer.capacity_lines == 4
+        assert pair.output_buffer.capacity_lines == 4
+
+    def test_inputs_route_to_input_half(self, pair):
+        pair.write(0, 1, CLASS_W, "W")
+        pair.write(0, 2, CLASS_XW, "XW")
+        assert pair.input_buffer.size_lines == 2
+        assert pair.output_buffer.size_lines == 0
+
+    def test_outputs_route_to_output_half(self, pair):
+        pair.write(0, 3, CLASS_OUT, "AXW")
+        pair.accumulate(0, 4, "partial")
+        assert pair.output_buffer.size_lines == 2
+        assert pair.input_buffer.size_lines == 0
+
+    def test_contains_searches_both(self, pair):
+        pair.write(0, 1, CLASS_W, "W")
+        pair.write(0, 2, CLASS_OUT, "AXW")
+        assert pair.contains(1) and pair.contains(2)
+        assert not pair.contains(3)
+
+    def test_size_lines_sums(self, pair):
+        pair.write(0, 1, CLASS_W, "W")
+        pair.write(0, 2, CLASS_OUT, "AXW")
+        assert pair.size_lines == 2
+
+    def test_input_pressure_does_not_evict_outputs(self, pair):
+        pair.accumulate(0, 100, "partial")
+        for addr in range(10):
+            pair.write(addr, addr, CLASS_XW, "XW")
+        assert pair.contains(100)
+
+    def test_priority_setter_propagates(self, pair):
+        order = (CLASS_XW, CLASS_OUT, CLASS_PARTIAL, CLASS_W)
+        pair.evict_priority = order
+        assert pair.input_buffer.evict_priority == order
+        assert pair.output_buffer.evict_priority == order
+
+    def test_flush_both(self, pair, stats):
+        pair.write(0, 1, CLASS_W, "W")
+        pair.write(0, 2, CLASS_OUT, "AXW")
+        pair.flush(10)
+        assert pair.size_lines == 0
+
+    def test_invalidate_both(self, pair):
+        pair.write(0, 1, CLASS_XW, "XW")
+        assert pair.invalidate(CLASS_XW) == 1
+
+    def test_reclassify_within_half(self, pair):
+        pair.accumulate(0, 4, "partial")
+        moved = pair.reclassify(CLASS_PARTIAL, CLASS_OUT)
+        assert moved == 1
+        assert pair.output_buffer.resident_lines(CLASS_OUT) == 1
+
+    def test_reclassify_across_split_writes_back(self, pair, stats):
+        pair.accumulate(0, 4, "partial")
+        pair.reclassify(CLASS_PARTIAL, CLASS_XW)
+        # Crossing the physical partition forces a writeback.
+        assert stats.dram_write_bytes[CLASS_XW] == 64
+        assert not pair.contains(4)

@@ -1,0 +1,227 @@
+"""Dataflow kernels: functional equivalence with the oracles + policy wiring."""
+
+import numpy as np
+import pytest
+
+from repro.gcn import glorot_weights
+from repro.graphs.partition import plan_regions
+from repro.graphs.preprocess import degree_sort, gcn_normalize
+from repro.graphs.synthetic import power_law_graph, sparse_feature_matrix
+from repro.hymm import AddressMap, HyMMConfig, PEArray, SparseMatrixQueue
+from repro.hymm.dmb import make_buffer
+from repro.hymm.kernels import (
+    AGGREGATION_PRIORITY,
+    COMBINATION_PRIORITY,
+    KernelContext,
+    aggregation_hybrid,
+    aggregation_op,
+    aggregation_rwp,
+    combination_dense,
+    combination_op,
+    combination_rwp,
+)
+from repro.sim import DRAM, SimStats
+from repro.sim.engine import AccessExecuteEngine
+from repro.sparse import coo_to_csc, coo_to_csr, spmm_coo
+
+
+def make_ctx(config=None, layer=0):
+    cfg = config if config is not None else HyMMConfig()
+    stats = SimStats()
+    dram = DRAM(cfg.dram, stats)
+    buf = make_buffer(cfg, dram, stats)
+    engine = AccessExecuteEngine(
+        buf, dram, stats, lsq_depth=cfg.lsq_entries,
+        forwarding=cfg.forwarding, smq_buffer_bytes=cfg.smq_bytes,
+    )
+    return KernelContext(cfg, engine, buf, AddressMap(cfg), PEArray(cfg.n_pes),
+                         SparseMatrixQueue(), layer=layer)
+
+
+@pytest.fixture
+def norm_adj(small_graph):
+    return gcn_normalize(small_graph)
+
+
+@pytest.fixture
+def features():
+    return sparse_feature_matrix(64, 40, density=0.3, seed=11)
+
+
+@pytest.fixture
+def weights():
+    return glorot_weights(40, 16, seed=2)
+
+
+@pytest.fixture
+def xw(rng):
+    return rng.random((64, 16), dtype=np.float32)
+
+
+class TestCombination:
+    def test_rwp_matches_oracle(self, features, weights):
+        ctx = make_ctx()
+        result = combination_rwp(ctx, features, weights)
+        expected = features.to_dense() @ weights
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_rwp_sets_combination_priority(self, features, weights):
+        ctx = make_ctx()
+        combination_rwp(ctx, features, weights)
+        assert ctx.buffer.evict_priority == COMBINATION_PRIORITY
+
+    def test_rwp_advances_time(self, features, weights):
+        ctx = make_ctx()
+        combination_rwp(ctx, features, weights)
+        assert ctx.engine.drain() >= features.nnz  # one MAC per non-zero
+
+    def test_op_matches_oracle_all_merge_modes(self, features, weights):
+        expected = features.to_dense() @ weights
+        for mode in ("pe", "dmb", "deferred"):
+            ctx = make_ctx()
+            result = combination_op(ctx, coo_to_csc(features.to_coo()), weights,
+                                    merge_mode=mode)
+            np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_op_bad_merge_mode(self, features, weights):
+        ctx = make_ctx()
+        with pytest.raises(ValueError, match="merge_mode"):
+            combination_op(ctx, coo_to_csc(features.to_coo()), weights,
+                           merge_mode="bogus")
+
+    def test_dense_matches_matmul(self, rng):
+        ctx = make_ctx(layer=1)
+        h = rng.random((30, 16), dtype=np.float32)
+        w = glorot_weights(16, 16, seed=4)
+        result = combination_dense(ctx, h, w)
+        np.testing.assert_allclose(result, h @ w, rtol=1e-3, atol=1e-4)
+
+    def test_dense_charges_h_reads(self, rng):
+        ctx = make_ctx(layer=1)
+        h = rng.random((30, 16), dtype=np.float32)
+        combination_dense(ctx, h, glorot_weights(16, 16, seed=4))
+        assert ctx.engine.stats.dram_read_bytes["H"] > 0
+
+
+class TestAggregationRWP:
+    def test_matches_oracle(self, norm_adj, xw):
+        ctx = make_ctx()
+        result = aggregation_rwp(ctx, coo_to_csr(norm_adj), xw)
+        expected = spmm_coo(norm_adj, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_sets_aggregation_priority(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_rwp(ctx, coo_to_csr(norm_adj), xw)
+        assert ctx.buffer.evict_priority == AGGREGATION_PRIORITY
+
+    def test_outputs_written_through(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_rwp(ctx, coo_to_csr(norm_adj), xw)
+        assert ctx.engine.stats.dram_write_bytes["AXW"] == 64 * 64
+
+    def test_row_offset(self, norm_adj, xw):
+        ctx = make_ctx()
+        sub = coo_to_csr(norm_adj.submatrix(32, 64, 0, 64))
+        out = np.zeros((64, 16), dtype=np.float32)
+        aggregation_rwp(ctx, sub, xw, out=out, row_offset=32)
+        expected = spmm_coo(norm_adj, xw)
+        np.testing.assert_allclose(out[32:], expected[32:], rtol=1e-3, atol=1e-4)
+        assert not out[:32].any()
+
+
+class TestAggregationOP:
+    @pytest.mark.parametrize("mode", ["dmb", "pe", "deferred"])
+    def test_matches_oracle(self, norm_adj, xw, mode):
+        ctx = make_ctx()
+        result = aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode=mode)
+        expected = spmm_coo(norm_adj, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_dmb_mode_produces_partials(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="dmb")
+        assert ctx.engine.stats.partials_produced == norm_adj.nnz
+
+    def test_dmb_mode_pe_never_stalls_on_outputs(self, norm_adj, xw):
+        """With the near-memory accumulator the PE array does exactly
+        one MAC per non-zero -- no merge ALU ops."""
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="dmb")
+        assert ctx.engine.stats.busy_cycles == norm_adj.nnz
+
+    def test_pe_mode_costs_merge_cycles(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="pe")
+        assert ctx.engine.stats.busy_cycles > norm_adj.nnz
+
+    def test_deferred_mode_tracks_footprint(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="deferred")
+        stats = ctx.engine.stats
+        assert stats.partials_produced == norm_adj.nnz
+        assert stats.partial_peak_bytes == norm_adj.nnz * 64  # fits on-chip here
+
+    def test_deferred_spills_when_over_capacity(self, norm_adj, xw):
+        cfg = HyMMConfig(dmb_bytes=64 * 16)  # 16 lines only
+        ctx = make_ctx(cfg)
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="deferred")
+        assert ctx.engine.stats.partial_spill_bytes > 0
+
+    def test_finalize_false_keeps_partials_resident(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="dmb",
+                       finalize=False)
+        from repro.sim.buffer import CLASS_PARTIAL
+        assert ctx.buffer.resident_lines(CLASS_PARTIAL) > 0
+
+    def test_finalize_writes_outputs(self, norm_adj, xw):
+        ctx = make_ctx()
+        aggregation_op(ctx, coo_to_csc(norm_adj), xw, merge_mode="dmb")
+        assert ctx.engine.stats.dram_write_bytes["AXW"] > 0
+
+
+class TestHybrid:
+    def _plan(self, graph, cfg):
+        sort = degree_sort(graph)
+        sorted_norm = gcn_normalize(graph).permute(sort.permutation, sort.permutation)
+        plan = plan_regions(sorted_norm, 16, cfg.dmb_bytes,
+                            cfg.threshold_fraction, cfg.resident_fraction)
+        n = sorted_norm.shape[0]
+        low = coo_to_csr(sorted_norm.submatrix(plan.threshold, n, 0, n))
+        return sorted_norm, plan, low
+
+    def test_matches_oracle(self, small_graph, xw):
+        cfg = HyMMConfig()
+        sorted_norm, plan, low = self._plan(small_graph, cfg)
+        ctx = make_ctx(cfg)
+        result = aggregation_hybrid(ctx, plan, low, xw)
+        expected = spmm_coo(sorted_norm, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_rwp_first_order_matches_too(self, small_graph, xw):
+        cfg = HyMMConfig(op_first=False)
+        sorted_norm, plan, low = self._plan(small_graph, cfg)
+        ctx = make_ctx(cfg)
+        result = aggregation_hybrid(ctx, plan, low, xw)
+        expected = spmm_coo(sorted_norm, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_no_accumulator_matches(self, small_graph, xw):
+        cfg = HyMMConfig(near_memory_accumulator=False)
+        sorted_norm, plan, low = self._plan(small_graph, cfg)
+        ctx = make_ctx(cfg)
+        result = aggregation_hybrid(ctx, plan, low, xw)
+        expected = spmm_coo(sorted_norm, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)
+
+    def test_multi_tile_region1(self, xw):
+        """A tiny DMB forces region-1 banding; output must still match."""
+        graph = power_law_graph(64, 512, seed=21)
+        cfg = HyMMConfig(dmb_bytes=64 * 8)  # 8 lines -> 6 resident rows
+        sorted_norm, plan, low = self._plan(graph, cfg)
+        assert plan.n_region1_tiles > 1
+        ctx = make_ctx(cfg)
+        result = aggregation_hybrid(ctx, plan, low, xw)
+        expected = spmm_coo(sorted_norm, xw)
+        np.testing.assert_allclose(result, expected, rtol=1e-3, atol=1e-4)

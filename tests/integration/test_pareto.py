@@ -1,0 +1,60 @@
+"""Pareto utilities and their use over a real design sweep."""
+
+import pytest
+
+from repro import AreaModel, GCNModel, HyMMAccelerator, HyMMConfig, load_dataset
+from repro.analysis import dominated, pareto_front
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_dominated_point_removed(self):
+        front = pareto_front([(1.0, 1.0), (2.0, 2.0)])
+        assert front == [(1.0, 1.0)]
+
+    def test_tradeoff_points_kept(self):
+        pts = [(1.0, 10.0), (2.0, 5.0), (3.0, 1.0)]
+        assert pareto_front(pts) == pts
+
+    def test_sorted_by_cost(self):
+        front = pareto_front([(3.0, 1.0), (1.0, 10.0)])
+        assert [p[0] for p in front] == [1.0, 3.0]
+
+    def test_payload_carried(self):
+        front = pareto_front([(1.0, 1.0, "config-a")])
+        assert front[0][2] == "config-a"
+
+    def test_duplicate_points(self):
+        front = pareto_front([(1.0, 1.0), (1.0, 1.0)])
+        assert len(front) == 1
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            pareto_front([(1.0,)])
+
+    def test_dominated_predicate(self):
+        others = [(1.0, 1.0), (5.0, 5.0)]
+        assert dominated((2.0, 2.0), others)
+        assert not dominated((0.5, 3.0), others)
+        assert not dominated((1.0, 1.0), others)  # equal, not dominated
+
+
+class TestDesignSweep:
+    def test_area_cycles_front_from_dmb_sweep(self):
+        model = GCNModel(load_dataset("cora", scale=0.05, seed=0), n_layers=1, seed=1)
+        points = []
+        for kb in (8, 32, 128):
+            cfg = HyMMConfig(dmb_bytes=kb * 1024)
+            result = HyMMAccelerator(cfg).run_inference(model)
+            points.append((AreaModel(cfg).total_mm2(), result.stats.cycles, kb))
+        front = pareto_front(points)
+        assert front  # never empty
+        # The cheapest configuration is always on the front.
+        assert front[0][2] == 8
+        # Costs ascend and cycles descend along the front.
+        costs = [p[0] for p in front]
+        cycles = [p[1] for p in front]
+        assert costs == sorted(costs)
+        assert cycles == sorted(cycles, reverse=True)

@@ -1,0 +1,92 @@
+"""Property-based whole-system invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    GCNModel,
+    HyMMAccelerator,
+    HyMMConfig,
+    OPAccelerator,
+    RWPAccelerator,
+    reference_inference,
+)
+from repro.graphs import GraphDataset
+from repro.graphs.synthetic import power_law_graph, sparse_feature_matrix
+
+
+@st.composite
+def random_workload(draw):
+    n = draw(st.integers(8, 48))
+    max_edges = n * (n - 1)
+    e = draw(st.integers(0, min(160, max_edges)))
+    e -= e % 2
+    f_len = draw(st.integers(4, 24))
+    density = draw(st.floats(0.05, 0.9))
+    seed = draw(st.integers(0, 500))
+    adjacency = power_law_graph(n, e, seed=seed)
+    features = sparse_feature_matrix(n, f_len, density, seed=seed + 1)
+    ds = GraphDataset("prop", adjacency, features, hidden_dim=16)
+    return GCNModel(ds, n_layers=1, seed=seed + 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_workload())
+def test_all_dataflows_compute_the_same_matrix(model):
+    """Whatever the graph, every dataflow must produce the oracle result."""
+    ref = reference_inference(model.dataset, model.weight_list)[-1]
+    for acc in (RWPAccelerator(), OPAccelerator(), HyMMAccelerator()):
+        out = acc.run_inference(model).outputs[-1]
+        np.testing.assert_allclose(out, ref, rtol=1e-2, atol=1e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_workload(), st.integers(6, 64))
+def test_buffer_size_never_changes_results(model, kb):
+    """Cycle counts move with the DMB size; values never do."""
+    ref = HyMMAccelerator(HyMMConfig()).run_inference(model).outputs[-1]
+    small = HyMMAccelerator(HyMMConfig(dmb_bytes=kb * 1024)).run_inference(model)
+    np.testing.assert_allclose(small.outputs[-1], ref, rtol=1e-2, atol=1e-3)
+
+
+@st.composite
+def random_config(draw):
+    """A random-but-valid hardware configuration."""
+    return HyMMConfig(
+        n_pes=draw(st.sampled_from([4, 8, 16, 32])),
+        dmb_bytes=draw(st.sampled_from([1, 4, 16, 64])) * 1024,
+        lsq_entries=draw(st.sampled_from([2, 16, 128])),
+        mshr_entries=draw(st.sampled_from([1, 4, 16])),
+        threshold_fraction=draw(st.sampled_from([0.05, 0.2, 0.6])),
+        resident_fraction=draw(st.sampled_from([0.25, 0.75, 1.0])),
+        near_memory_accumulator=draw(st.booleans()),
+        op_first=draw(st.booleans()),
+        unified_buffer=draw(st.booleans()),
+        forwarding=draw(st.booleans()),
+        lru=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_workload(), random_config())
+def test_hardware_config_never_changes_results(model, config):
+    """Fuzz the whole configuration space: any valid hardware changes
+    only *when* things happen, never *what* is computed."""
+    ref = reference_inference(model.dataset, model.weight_list)[-1]
+    result = HyMMAccelerator(config).run_inference(model)
+    np.testing.assert_allclose(result.outputs[-1], ref, rtol=1e-2, atol=1e-3)
+    assert result.stats.cycles >= result.stats.busy_cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_workload())
+def test_cycle_accounting_invariants(model):
+    """Busy cycles never exceed total cycles; utilisation and hit rate
+    stay in [0, 1]; DRAM byte counts are line-aligned."""
+    for acc in (RWPAccelerator(), OPAccelerator(), HyMMAccelerator()):
+        stats = acc.run_inference(model).stats
+        assert 0 < stats.cycles
+        assert stats.busy_cycles <= stats.cycles
+        assert 0.0 <= stats.alu_utilization() <= 1.0
+        assert 0.0 <= stats.hit_rate() <= 1.0
+        assert stats.dram_total_bytes() >= 0

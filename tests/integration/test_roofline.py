@@ -1,0 +1,90 @@
+"""Roofline analysis: internal consistency bounds on every dataflow."""
+
+import pytest
+
+from repro import (
+    GCNModel,
+    HyMMAccelerator,
+    OPAccelerator,
+    RWPAccelerator,
+    load_dataset,
+)
+from repro.analysis import analyze_run
+from repro.baselines import CWPAccelerator
+
+
+@pytest.fixture(scope="module")
+def runs():
+    model = GCNModel(load_dataset("amazon-photo", scale=0.05, seed=7), n_layers=1, seed=8)
+    return [
+        cls().run_inference(model)
+        for cls in (RWPAccelerator, OPAccelerator, CWPAccelerator, HyMMAccelerator)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pressured_runs():
+    """Same graph under buffer pressure, where locality differs."""
+    from repro.hymm import HyMMConfig
+
+    model = GCNModel(
+        load_dataset("amazon-photo", scale=0.1, seed=7, feature_length=128),
+        n_layers=1,
+        seed=8,
+    )
+    small = 32 * 1024
+    return {
+        "rwp": RWPAccelerator(
+            HyMMConfig(dmb_bytes=small, unified_buffer=False)
+        ).run_inference(model),
+        "op": OPAccelerator(
+            HyMMConfig(dmb_bytes=small, unified_buffer=False)
+        ).run_inference(model),
+        "hymm": HyMMAccelerator(HyMMConfig(dmb_bytes=small)).run_inference(model),
+    }
+
+
+def test_no_run_beats_its_roofline(runs):
+    """The simulator's hardest invariant: attained cycles can never be
+    below max(compute bound, bandwidth bound)."""
+    for result in runs:
+        report = analyze_run(result)
+        assert result.stats.cycles >= report.compute_bound - 1
+        assert result.stats.cycles >= report.bandwidth_bound - 1
+
+
+def test_efficiency_in_unit_interval(runs):
+    for result in runs:
+        report = analyze_run(result)
+        assert 0.0 < report.efficiency <= 1.0
+
+
+def test_bottleneck_labels(runs):
+    for result in runs:
+        report = analyze_run(result)
+        assert report.bottleneck in ("compute", "memory")
+        if report.bottleneck == "compute":
+            assert report.compute_bound >= report.bandwidth_bound
+
+
+def test_slack_nonnegative(runs):
+    for result in runs:
+        assert analyze_run(result).slack_cycles >= -1
+
+
+def test_hymm_highest_arithmetic_intensity(pressured_runs):
+    """HyMM's whole point: more FLOPs per DRAM byte than the baselines
+    once the working set exceeds the buffer."""
+    intensities = {
+        name: analyze_run(r).arithmetic_intensity
+        for name, r in pressured_runs.items()
+    }
+    assert intensities["hymm"] == max(intensities.values())
+
+
+def test_lane_width_defaults_to_config(runs):
+    result = runs[0]
+    assert (
+        analyze_run(result).arithmetic_intensity
+        == analyze_run(result, lane_width=16).arithmetic_intensity
+    )

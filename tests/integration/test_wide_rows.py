@@ -1,0 +1,73 @@
+"""Wide-vector coverage: hidden dimensions beyond one 64-byte line.
+
+Table II uses layer dimension 16 (exactly one line), so the
+multi-line-per-row paths (lpr > 1) need their own end-to-end coverage:
+every dataflow must stay numerically correct, and byte/cycle accounting
+must scale with the line count.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GCNModel,
+    HyMMAccelerator,
+    OPAccelerator,
+    RWPAccelerator,
+    reference_inference,
+)
+from repro.baselines import CWPAccelerator, TiledOPAccelerator
+from repro.graphs import GraphDataset
+from repro.graphs.synthetic import power_law_graph, sparse_feature_matrix
+
+
+def make_wide_model(hidden_dim: int, n_layers: int = 1):
+    adjacency = power_law_graph(56, 224, seed=17)
+    features = sparse_feature_matrix(56, 48, density=0.25, seed=18)
+    dataset = GraphDataset("wide", adjacency, features, hidden_dim=hidden_dim)
+    return GCNModel(dataset, n_layers=n_layers, seed=19)
+
+
+@pytest.mark.parametrize("hidden_dim", [24, 32, 48])
+@pytest.mark.parametrize(
+    "cls",
+    [RWPAccelerator, OPAccelerator, CWPAccelerator, TiledOPAccelerator,
+     HyMMAccelerator],
+)
+def test_wide_rows_correct_on_every_dataflow(hidden_dim, cls):
+    model = make_wide_model(hidden_dim)
+    ref = reference_inference(model.dataset, model.weight_list)
+    result = cls().run_inference(model)
+    np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+
+def test_wide_rows_two_layers():
+    model = make_wide_model(32, n_layers=2)
+    ref = reference_inference(model.dataset, model.weight_list)
+    result = HyMMAccelerator().run_inference(model)
+    np.testing.assert_allclose(result.outputs[-1], ref[-1], rtol=1e-2, atol=1e-3)
+
+
+def test_wider_rows_cost_proportionally_more():
+    """Doubling the vector width (1 line -> 2 lines) roughly doubles
+    both the aggregation compute and the output traffic."""
+    narrow = HyMMAccelerator().run_inference(make_wide_model(16))
+    wide = HyMMAccelerator().run_inference(make_wide_model(32))
+    assert wide.stats.busy_cycles > 1.5 * narrow.stats.busy_cycles
+    assert wide.stats.dram_write_bytes["AXW"] > 1.5 * narrow.stats.dram_write_bytes["AXW"]
+
+
+def test_odd_width_rounds_up_to_lines():
+    """A 24-wide row still occupies two full 64-byte lines."""
+    r24 = HyMMAccelerator().run_inference(make_wide_model(24))
+    r32 = HyMMAccelerator().run_inference(make_wide_model(32))
+    assert r24.stats.dram_write_bytes["AXW"] == r32.stats.dram_write_bytes["AXW"]
+
+
+def test_partials_track_lines_not_rows():
+    model = make_wide_model(32)
+    result = OPAccelerator().run_inference(model)
+    # Each non-zero emits one partial per line of the output row.
+    nnz_adj = model.norm_adj.nnz
+    nnz_x = model.dataset.features.nnz
+    assert result.stats.partials_produced == 2 * (nnz_adj + nnz_x)

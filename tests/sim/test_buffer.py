@@ -1,0 +1,256 @@
+"""CacheBuffer: hits/misses, priority-LRU eviction, MSHRs, accumulator."""
+
+import pytest
+
+from repro.sim import (
+    CLASS_OUT,
+    CLASS_PARTIAL,
+    CLASS_W,
+    CLASS_XW,
+    CacheBuffer,
+    DRAM,
+    DRAMConfig,
+    SimStats,
+)
+
+
+def make_buffer(stats, capacity=4, mshr=2, lru=True, latency=100):
+    dram = DRAM(DRAMConfig(latency_cycles=latency), stats)
+    buf = CacheBuffer(
+        capacity_lines=capacity,
+        line_bytes=64,
+        dram=dram,
+        stats=stats,
+        mshr_entries=mshr,
+        lru=lru,
+    )
+    return buf, dram
+
+
+class TestReadWrite:
+    def test_cold_miss_then_hit(self, stats):
+        buf, _ = make_buffer(stats)
+        ready, _ = buf.read(0, 1, CLASS_XW, "XW")
+        assert ready > 100  # paid DRAM latency
+        ready2, _ = buf.read(ready, 1, CLASS_XW, "XW")
+        assert ready2 == pytest.approx(ready + 1)
+        assert stats.buffer_misses["XW"] == 1
+        assert stats.buffer_hits["XW"] == 1
+
+    def test_second_access_to_inflight_line_merges(self, stats):
+        buf, _ = make_buffer(stats)
+        r1, _ = buf.read(0, 1, CLASS_XW, "XW")
+        r2, _ = buf.read(1, 1, CLASS_XW, "XW")  # same line, still in flight
+        # Hit-under-miss: no duplicate fetch, and the second request
+        # cannot complete before the data actually arrives.
+        assert r2 >= r1
+        assert stats.dram_read_bytes["XW"] == 64  # one fetch only
+        assert stats.buffer_misses["XW"] == 1
+        assert stats.buffer_hits["XW"] == 1
+
+    def test_write_allocate(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 7, CLASS_XW, "XW")
+        assert buf.contains(7)
+        assert stats.buffer_misses["XW"] == 1
+
+    def test_write_through_no_allocate(self, stats):
+        buf, dram = make_buffer(stats)
+        buf.write(0, 7, CLASS_OUT, "AXW", allocate=False)
+        assert not buf.contains(7)
+        assert stats.dram_write_bytes["AXW"] == 64
+
+    def test_write_hit_marks_dirty(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 7, CLASS_XW, "XW")
+        buf.write(1, 7, CLASS_XW, "XW")
+        assert stats.buffer_hits["XW"] == 1
+
+    def test_read_after_write_hits(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 7, CLASS_XW, "XW")
+        ready, _ = buf.read(5, 7, CLASS_XW, "XW")
+        assert ready == pytest.approx(6)
+        assert stats.dram_read_bytes["XW"] == 0
+
+
+class TestEviction:
+    def test_capacity_enforced(self, stats):
+        buf, _ = make_buffer(stats, capacity=3)
+        for addr in range(5):
+            buf.write(addr, addr, CLASS_XW, "XW")
+        assert buf.size_lines == 3
+
+    def test_lru_victim(self, stats):
+        buf, _ = make_buffer(stats, capacity=2)
+        buf.write(0, 10, CLASS_XW, "XW")
+        buf.write(1, 11, CLASS_XW, "XW")
+        buf.read(2, 10, CLASS_XW, "XW")  # touch 10 -> 11 becomes LRU
+        buf.write(3, 12, CLASS_XW, "XW")
+        assert buf.contains(10) and buf.contains(12)
+        assert not buf.contains(11)
+
+    def test_fifo_ignores_touch(self, stats):
+        buf, _ = make_buffer(stats, capacity=2, lru=False)
+        buf.write(0, 10, CLASS_XW, "XW")
+        buf.write(1, 11, CLASS_XW, "XW")
+        buf.read(2, 10, CLASS_XW, "XW")  # touch should not matter
+        buf.write(3, 12, CLASS_XW, "XW")
+        assert not buf.contains(10)
+
+    def test_priority_evicts_w_before_xw(self, stats):
+        buf, _ = make_buffer(stats, capacity=2)
+        buf.write(0, 100, CLASS_W, "W")
+        buf.write(1, 200, CLASS_XW, "XW")
+        buf.write(2, 300, CLASS_XW, "XW")
+        assert not buf.contains(100)  # the W line went first
+        assert buf.contains(200) and buf.contains(300)
+
+    def test_partials_protected_longest(self, stats):
+        buf, _ = make_buffer(stats, capacity=2)
+        buf.accumulate(0, 500, "partial")
+        buf.write(1, 100, CLASS_W, "W")
+        buf.write(2, 200, CLASS_XW, "XW")
+        buf.write(3, 300, CLASS_XW, "XW")
+        assert buf.contains(500)  # partial survived all evictions
+
+    def test_dirty_eviction_writes_back(self, stats):
+        buf, _ = make_buffer(stats, capacity=1)
+        buf.write(0, 1, CLASS_XW, "XW")
+        buf.write(1, 2, CLASS_XW, "XW")
+        assert stats.dram_write_bytes[CLASS_XW] == 64
+
+    def test_clean_eviction_silent(self, stats):
+        buf, _ = make_buffer(stats, capacity=1, latency=0)
+        buf.read(0, 1, CLASS_XW, "XW")
+        buf.read(10, 2, CLASS_XW, "XW")
+        assert stats.dram_write_bytes[CLASS_XW] == 0
+
+    def test_priority_setter_validates(self, stats):
+        buf, _ = make_buffer(stats)
+        with pytest.raises(ValueError):
+            buf.evict_priority = (CLASS_W, CLASS_XW)  # incomplete
+
+    def test_priority_reorder_effective(self, stats):
+        buf, _ = make_buffer(stats, capacity=2)
+        buf.evict_priority = (CLASS_XW, CLASS_OUT, CLASS_PARTIAL, CLASS_W)
+        buf.write(0, 100, CLASS_W, "W")
+        buf.write(1, 200, CLASS_XW, "XW")
+        buf.write(2, 300, CLASS_XW, "XW")
+        assert buf.contains(100)  # W now protected; an XW line went
+
+
+class TestMSHR:
+    def test_stall_when_full(self, stats):
+        buf, _ = make_buffer(stats, capacity=8, mshr=2)
+        buf.read(0, 1, CLASS_XW, "XW")
+        buf.read(0, 2, CLASS_XW, "XW")
+        _, issue3 = buf.read(0, 3, CLASS_XW, "XW")
+        assert issue3 > 100  # waited for the first miss to retire
+
+    def test_no_stall_below_limit(self, stats):
+        buf, _ = make_buffer(stats, capacity=8, mshr=4)
+        buf.read(0, 1, CLASS_XW, "XW")
+        _, issue2 = buf.read(1, 2, CLASS_XW, "XW")
+        assert issue2 == pytest.approx(1)
+
+    def test_retired_misses_free_entries(self, stats):
+        buf, _ = make_buffer(stats, capacity=8, mshr=1)
+        buf.read(0, 1, CLASS_XW, "XW")
+        _, issue = buf.read(500, 2, CLASS_XW, "XW")  # long after retirement
+        assert issue == pytest.approx(500)
+
+
+class TestAccumulator:
+    def test_first_partial_allocates_without_fetch(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.accumulate(0, 9, "partial")
+        assert buf.contains(9)
+        assert stats.dram_read_bytes["partial"] == 0
+        assert stats.partials_produced == 1
+
+    def test_merge_in_place_hits(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.accumulate(0, 9, "partial")
+        buf.accumulate(1, 9, "partial")
+        assert stats.buffer_hits["partial"] == 1
+        assert buf.size_lines == 1
+
+    def test_spilled_partial_refetched(self, stats):
+        buf, _ = make_buffer(stats, capacity=1)
+        buf.accumulate(0, 9, "partial")
+        buf.accumulate(1, 10, "partial")  # evicts 9 (dirty, spilled)
+        assert stats.partial_spill_bytes == 64
+        buf.accumulate(300, 9, "partial")  # must fetch the spilled copy
+        assert stats.dram_read_bytes["partial"] == 64
+
+    def test_footprint_peak_counts_spills(self, stats):
+        buf, _ = make_buffer(stats, capacity=2)
+        for addr in range(5):
+            buf.accumulate(addr, addr, "partial")
+        # 2 resident + 3 spilled.
+        assert stats.partial_peak_bytes == 5 * 64
+
+    def test_footprint_not_inflated_by_merges(self, stats):
+        buf, _ = make_buffer(stats)
+        for t in range(10):
+            buf.accumulate(t, 9, "partial")
+        assert stats.partial_peak_bytes == 64
+
+
+class TestMaintenance:
+    def test_flush_writes_dirty(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 1, CLASS_XW, "XW")
+        buf.flush(10, cls=CLASS_XW)
+        assert stats.dram_write_bytes[CLASS_XW] == 64
+        assert buf.size_lines == 0
+
+    def test_flush_with_tag_override(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.accumulate(0, 1, "partial")
+        buf.flush(10, cls=CLASS_PARTIAL, tag="AXW")
+        assert stats.dram_write_bytes["AXW"] == 64
+
+    def test_flush_all_classes(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 1, CLASS_W, "W")
+        buf.write(1, 2, CLASS_XW, "XW")
+        buf.flush(10)
+        assert buf.size_lines == 0
+
+    def test_invalidate_drops_without_writeback(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.write(0, 1, CLASS_XW, "XW")
+        dropped = buf.invalidate(CLASS_XW)
+        assert dropped == 1
+        assert stats.dram_write_bytes[CLASS_XW] == 0
+        assert buf.size_lines == 0
+
+    def test_reclassify_preserves_data(self, stats):
+        buf, _ = make_buffer(stats)
+        buf.accumulate(0, 1, "partial")
+        moved = buf.reclassify(CLASS_PARTIAL, CLASS_XW)
+        assert moved == 1
+        assert buf.contains(1)
+        assert buf.resident_lines(CLASS_XW) == 1
+        assert buf.resident_lines(CLASS_PARTIAL) == 0
+
+    def test_drop_spilled_partials(self, stats):
+        buf, _ = make_buffer(stats, capacity=1)
+        buf.accumulate(0, 1, "partial")
+        buf.accumulate(1, 2, "partial")
+        assert buf.drop_spilled_partials() == 1
+
+    def test_construction_validation(self, stats, dram):
+        with pytest.raises(ValueError):
+            CacheBuffer(0, 64, dram, stats)
+        with pytest.raises(ValueError):
+            CacheBuffer(4, 0, dram, stats)
+        with pytest.raises(ValueError):
+            CacheBuffer(4, 64, dram, stats, mshr_entries=0)
+
+    def test_insert_unknown_class_rejected(self, stats):
+        buf, _ = make_buffer(stats)
+        with pytest.raises(ValueError):
+            buf.write(0, 1, "bogus", "X")

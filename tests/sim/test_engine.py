@@ -1,0 +1,182 @@
+"""AccessExecuteEngine: decoupling, forwarding, ports, streams."""
+
+import pytest
+
+from repro.sim import CLASS_OUT, CLASS_XW, CacheBuffer, DRAM, DRAMConfig, SimStats
+from repro.sim.engine import AccessExecuteEngine
+
+
+def make_engine(stats, capacity=64, mshr=16, lsq=8, forwarding=True, latency=100):
+    dram = DRAM(DRAMConfig(latency_cycles=latency), stats)
+    buf = CacheBuffer(capacity, 64, dram, stats, mshr_entries=mshr)
+    eng = AccessExecuteEngine(buf, dram, stats, lsq_depth=lsq, forwarding=forwarding)
+    return eng, buf, dram
+
+
+class TestComputeFlow:
+    def test_hits_sustain_one_per_cycle(self, stats):
+        eng, buf, _ = make_engine(stats)
+        for addr in range(8):
+            buf.write(0, addr, CLASS_XW, "XW")
+        start = eng.exec_t
+        for addr in range(8):
+            eng.mac_load(addr, CLASS_XW, "XW")
+        for addr in range(8):  # all hits now
+            eng.mac_load(addr, CLASS_XW, "XW")
+        assert stats.busy_cycles == 16
+
+    def test_miss_latency_overlaps(self, stats):
+        """Independent misses pipeline through the MSHRs: 8 misses cost
+        far less than 8 x latency."""
+        eng, _, _ = make_engine(stats, lsq=32)
+        for addr in range(8):
+            eng.mac_load(addr, CLASS_XW, "XW")
+        assert eng.drain() < 8 * 100
+
+    def test_first_miss_pays_latency(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.mac_load(0, CLASS_XW, "XW")
+        assert eng.exec_t >= 100
+
+    def test_mac_local_advances_backend_only(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.mac_local(5)
+        assert eng.exec_t == pytest.approx(5)
+        assert eng.issue_t == pytest.approx(0)
+        assert stats.busy_cycles == 5
+
+    def test_alu_op_counts_busy(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.alu_op(3)
+        assert stats.busy_cycles == 3
+
+    def test_wait_until_only_moves_forward(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.wait_until(50)
+        assert eng.exec_t == 50
+        eng.wait_until(10)
+        assert eng.exec_t == 50
+
+    def test_load_does_not_count_busy(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.load(0, CLASS_XW, "XW")
+        assert stats.busy_cycles == 0
+        assert eng.exec_t >= 100  # still waits for the data
+
+    def test_lsq_depth_bounds_runahead(self, stats):
+        """With a 2-deep LSQ the frontend cannot overlap many misses."""
+        eng_shallow, _, _ = make_engine(stats, lsq=2)
+        for addr in range(8):
+            eng_shallow.mac_load(addr, CLASS_XW, "XW")
+        shallow = eng_shallow.drain()
+
+        stats2 = SimStats()
+        eng_deep, _, _ = make_engine(stats2, lsq=32)
+        for addr in range(8):
+            eng_deep.mac_load(addr, CLASS_XW, "XW")
+        assert eng_deep.drain() < shallow
+
+    def test_invalid_lsq_depth(self, stats):
+        with pytest.raises(ValueError):
+            make_engine(stats, lsq=0)
+
+
+class TestStores:
+    def test_store_uses_write_port(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.store(1, CLASS_XW, "XW")
+        assert eng.write_t == pytest.approx(1)
+        assert eng.issue_t == pytest.approx(0)  # load port untouched
+
+    def test_store_forwarding_to_load(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.mac_local(10)
+        eng.store(1, CLASS_XW, "XW")
+        eng.mac_load(1, CLASS_XW, "XW")
+        assert stats.lsq_forwards == 1
+        assert stats.dram_read_bytes["XW"] == 0
+
+    def test_forwarding_disabled(self, stats):
+        eng, _, _ = make_engine(stats, forwarding=False)
+        eng.store(1, CLASS_XW, "XW")
+        eng.mac_load(1, CLASS_XW, "XW")
+        assert stats.lsq_forwards == 0
+
+    def test_forward_window_bounded_by_depth(self, stats):
+        eng, buf, _ = make_engine(stats, lsq=2)
+        eng.store(1, CLASS_XW, "XW")
+        eng.store(2, CLASS_XW, "XW")
+        eng.store(3, CLASS_XW, "XW")  # evicts addr 1 from the window
+        buf.invalidate(CLASS_XW)  # force a real lookup
+        eng.mac_load(1, CLASS_XW, "XW")
+        assert stats.lsq_forwards == 0
+
+    def test_write_through_store(self, stats):
+        eng, buf, _ = make_engine(stats)
+        eng.store(9, CLASS_OUT, "AXW", allocate=False)
+        assert not buf.contains(9)
+        assert stats.dram_write_bytes["AXW"] == 64
+
+    def test_accumulate_store_no_backend_cost(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.accumulate_store(4, "partial")
+        assert eng.exec_t == pytest.approx(0)
+        assert stats.partials_produced == 1
+
+    def test_rmw_costs_one_alu(self, stats):
+        eng, buf, _ = make_engine(stats)
+        buf.write(0, 4, CLASS_OUT, "AXW")
+        eng.rmw(4, CLASS_OUT, "AXW")
+        assert stats.busy_cycles == 1
+
+
+class TestStream:
+    def test_stream_charges_bandwidth(self, stats):
+        eng, _, dram = make_engine(stats)
+        eng.stream(640, "A")
+        assert stats.dram_read_bytes["A"] == 640
+        assert dram.busy_until == pytest.approx(10)
+
+    def test_stream_throttles_when_far_behind(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.stream(10 * 16 * 1024, "A")  # ten SMQ buffers worth
+        assert eng.issue_t > 0
+
+    def test_small_stream_does_not_throttle(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.stream(64, "A")
+        assert eng.issue_t == pytest.approx(0)
+
+    def test_mac_stream_load_miss_counts(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.mac_stream_load(5, CLASS_XW, "XW")
+        assert stats.buffer_misses["XW"] == 1
+        assert stats.busy_cycles == 1
+        assert stats.dram_read_bytes["XW"] == 64
+
+    def test_mac_stream_load_does_not_allocate(self, stats):
+        eng, buf, _ = make_engine(stats)
+        eng.mac_stream_load(5, CLASS_XW, "XW")
+        assert not buf.contains(5)
+
+    def test_mac_stream_load_hits_buffer(self, stats):
+        eng, buf, _ = make_engine(stats)
+        buf.write(0, 5, CLASS_XW, "XW")
+        eng.mac_stream_load(5, CLASS_XW, "XW")
+        assert stats.buffer_hits["XW"] == 1
+        assert stats.dram_read_bytes["XW"] == 0
+
+    def test_stream_avoids_latency(self, stats):
+        """Streamed misses do not pay the 100-cycle demand latency."""
+        eng, _, _ = make_engine(stats)
+        for addr in range(8):
+            eng.mac_stream_load(addr, CLASS_XW, "XW")
+        assert eng.drain() < 100
+
+
+class TestDrain:
+    def test_drain_takes_max_of_timelines(self, stats):
+        eng, _, _ = make_engine(stats)
+        eng.mac_local(10)
+        eng.store(1, CLASS_XW, "XW")
+        assert eng.drain() >= 10

@@ -1,0 +1,83 @@
+"""DRAM model: bandwidth occupancy, latency, posted writes, streams."""
+
+import pytest
+
+from repro.sim import DRAM, DRAMConfig, SimStats
+
+
+@pytest.fixture
+def fast_dram(stats):
+    return DRAM(DRAMConfig(bytes_per_cycle=64, latency_cycles=100), stats)
+
+
+class TestRead:
+    def test_latency_added(self, fast_dram):
+        done = fast_dram.read(0, 64, "A")
+        assert done == pytest.approx(1 + 100)
+
+    def test_bandwidth_occupancy(self, fast_dram):
+        done = fast_dram.read(0, 640, "A")
+        assert done == pytest.approx(10 + 100)
+
+    def test_back_to_back_reads_queue(self, fast_dram):
+        fast_dram.read(0, 64, "A")
+        second = fast_dram.read(0, 64, "A")
+        assert second == pytest.approx(2 + 100)
+
+    def test_idle_gap_respected(self, fast_dram):
+        fast_dram.read(0, 64, "A")
+        second = fast_dram.read(500, 64, "A")
+        assert second == pytest.approx(501 + 100)
+
+    def test_bytes_counted_by_tag(self, fast_dram, stats):
+        fast_dram.read(0, 64, "A")
+        fast_dram.read(0, 128, "XW")
+        assert stats.dram_read_bytes["A"] == 64
+        assert stats.dram_read_bytes["XW"] == 128
+
+    def test_zero_bytes_noop(self, fast_dram, stats):
+        assert fast_dram.read(5, 0, "A") == 5
+        assert stats.dram_read_bytes["A"] == 0
+
+
+class TestWrite:
+    def test_posted_no_latency(self, fast_dram):
+        done = fast_dram.write(0, 64, "AXW")
+        assert done == pytest.approx(1)
+
+    def test_contends_with_reads(self, fast_dram):
+        fast_dram.write(0, 6400, "AXW")  # 100 cycles of channel
+        read_done = fast_dram.read(0, 64, "A")
+        assert read_done == pytest.approx(100 + 1 + 100)
+
+    def test_bytes_counted(self, fast_dram, stats):
+        fast_dram.write(0, 192, "AXW")
+        assert stats.dram_write_bytes["AXW"] == 192
+
+
+class TestStream:
+    def test_no_latency(self, fast_dram):
+        assert fast_dram.stream_read(0, 64, "A") == pytest.approx(1)
+
+    def test_counts_as_read_traffic(self, fast_dram, stats):
+        fast_dram.stream_read(0, 256, "A")
+        assert stats.dram_read_bytes["A"] == 256
+
+    def test_busy_until_tracks_channel(self, fast_dram):
+        fast_dram.stream_read(0, 640, "A")
+        assert fast_dram.busy_until == pytest.approx(10)
+
+
+class TestConfig:
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(bytes_per_cycle=0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(latency_cycles=-1)
+
+    def test_paper_defaults(self):
+        cfg = DRAMConfig()
+        assert cfg.bytes_per_cycle == 64.0  # 64 GB/s at 1 GHz
+        assert cfg.latency_cycles == 100

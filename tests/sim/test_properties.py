@@ -1,0 +1,141 @@
+"""Property-based stress tests of the simulation substrate.
+
+Random operation sequences must never violate the structural invariants
+of the buffer (capacity, class accounting) or the engine (monotone
+clocks, conservation of counters).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    CLASS_OUT,
+    CLASS_PARTIAL,
+    CLASS_W,
+    CLASS_XW,
+    CacheBuffer,
+    DRAM,
+    DRAMConfig,
+    SimStats,
+)
+from repro.sim.buffer import ALL_CLASSES
+from repro.sim.engine import AccessExecuteEngine
+
+
+# One operation: (kind, address, class-index)
+_op = st.tuples(
+    st.sampled_from(["read", "write", "write_through", "accumulate"]),
+    st.integers(0, 40),
+    st.integers(0, len(ALL_CLASSES) - 1),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(_op, max_size=120),
+    capacity=st.integers(1, 12),
+    mshr=st.integers(1, 8),
+)
+def test_buffer_invariants_under_random_ops(ops, capacity, mshr):
+    stats = SimStats()
+    dram = DRAM(DRAMConfig(), stats)
+    buf = CacheBuffer(capacity, 64, dram, stats, mshr_entries=mshr)
+    cycle = 0.0
+    for kind, addr, cls_idx in ops:
+        cls = ALL_CLASSES[cls_idx]
+        cycle += 1.0
+        if kind == "read":
+            ready, issue = buf.read(cycle, addr, cls, cls)
+            assert ready >= cycle
+            assert issue >= cycle
+            cycle = issue
+        elif kind == "write":
+            buf.write(cycle, addr, cls, cls)
+        elif kind == "write_through":
+            buf.write(cycle, addr, cls, cls, allocate=False)
+        else:
+            buf.accumulate(cycle, addr)
+        # Capacity is never exceeded; per-class sets sum to the total.
+        assert buf.size_lines <= capacity
+        assert sum(buf.resident_lines(c) for c in ALL_CLASSES) == buf.size_lines
+    # Flushing empties the buffer completely.
+    buf.flush(cycle)
+    assert buf.size_lines == 0
+    # Hit/miss totals equal the cached-op count (write-through included).
+    cached_ops = len(ops)
+    assert sum(stats.buffer_hits.values()) + sum(stats.buffer_misses.values()) == cached_ops
+
+
+_engine_op = st.tuples(
+    st.sampled_from(["mac_load", "load", "mac_local", "store", "accumulate",
+                     "stream", "mac_stream_load", "rmw"]),
+    st.integers(0, 30),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(_engine_op, max_size=100), lsq=st.integers(1, 32))
+def test_engine_clocks_monotone(ops, lsq):
+    stats = SimStats()
+    dram = DRAM(DRAMConfig(), stats)
+    buf = CacheBuffer(16, 64, dram, stats)
+    eng = AccessExecuteEngine(buf, dram, stats, lsq_depth=lsq)
+    prev_issue, prev_write, prev_exec = eng.issue_t, eng.write_t, eng.exec_t
+    busy_expected = 0
+    for kind, addr in ops:
+        if kind == "mac_load":
+            eng.mac_load(addr, CLASS_XW, "XW")
+            busy_expected += 1
+        elif kind == "load":
+            eng.load(addr, CLASS_XW, "XW")
+        elif kind == "mac_local":
+            eng.mac_local(1)
+            busy_expected += 1
+        elif kind == "store":
+            eng.store(addr, CLASS_OUT, "AXW")
+        elif kind == "accumulate":
+            eng.accumulate_store(addr)
+        elif kind == "stream":
+            eng.stream(64, "A")
+        elif kind == "mac_stream_load":
+            eng.mac_stream_load(addr, CLASS_XW, "XW")
+            busy_expected += 1
+        else:
+            eng.rmw(addr, CLASS_PARTIAL, "partial")
+            busy_expected += 1  # the merge add
+        # Clocks only move forward.
+        assert eng.issue_t >= prev_issue
+        assert eng.write_t >= prev_write
+        assert eng.exec_t >= prev_exec
+        prev_issue, prev_write, prev_exec = eng.issue_t, eng.write_t, eng.exec_t
+    assert stats.busy_cycles == busy_expected
+    assert eng.drain() >= max(prev_issue, prev_write, prev_exec) - 1e-9
+    # The DRAM channel's clock can never be behind its own traffic.
+    total_bytes = stats.dram_total_bytes()
+    assert dram.busy_until >= total_bytes / dram.config.bytes_per_cycle - 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(_engine_op, max_size=60), seed=st.integers(0, 5))
+def test_engine_deterministic_replay(ops, seed):
+    """Replaying the same op sequence yields identical clocks/counters."""
+    def run():
+        stats = SimStats()
+        dram = DRAM(DRAMConfig(), stats)
+        buf = CacheBuffer(8, 64, dram, stats)
+        eng = AccessExecuteEngine(buf, dram, stats)
+        for kind, addr in ops:
+            getattr_map = {
+                "mac_load": lambda: eng.mac_load(addr, CLASS_XW, "XW"),
+                "load": lambda: eng.load(addr, CLASS_XW, "XW"),
+                "mac_local": lambda: eng.mac_local(1),
+                "store": lambda: eng.store(addr, CLASS_W, "W"),
+                "accumulate": lambda: eng.accumulate_store(addr),
+                "stream": lambda: eng.stream(64, "A"),
+                "mac_stream_load": lambda: eng.mac_stream_load(addr, CLASS_XW, "XW"),
+                "rmw": lambda: eng.rmw(addr, CLASS_PARTIAL, "partial"),
+            }
+            getattr_map[kind]()
+        return eng.drain(), stats.dram_total_bytes(), stats.busy_cycles
+
+    assert run() == run()

@@ -1,0 +1,107 @@
+"""Conversion round-trips, including property-based checks against SciPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    COOMatrix,
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    dense_to_coo,
+    dense_to_csc,
+    dense_to_csr,
+)
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+
+@st.composite
+def random_coo(draw):
+    """A random small sparse matrix as canonical COO."""
+    n_rows = draw(st.integers(1, 12))
+    n_cols = draw(st.integers(1, 12))
+    nnz = draw(st.integers(0, n_rows * n_cols))
+    idx = draw(
+        st.lists(
+            st.tuples(st.integers(0, n_rows - 1), st.integers(0, n_cols - 1)),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    rows = np.array([i for i, _ in idx], dtype=np.int64)
+    cols = np.array([j for _, j in idx], dtype=np.int64)
+    values = np.arange(1, len(idx) + 1, dtype=np.float32)
+    return COOMatrix((n_rows, n_cols), rows, cols, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_csr_roundtrip(coo):
+    assert csr_to_coo(coo_to_csr(coo)).allclose(coo)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_csc_roundtrip(coo):
+    assert csc_to_coo(coo_to_csc(coo)).allclose(coo)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_csr_to_csc_roundtrip(coo):
+    csr = coo_to_csr(coo)
+    back = csc_to_csr(csr_to_csc(csr))
+    assert back.to_coo().allclose(coo)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_matches_scipy_csr(coo):
+    ours = coo_to_csr(coo)
+    ref = scipy_sparse.coo_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+    ).tocsr()
+    ref.sort_indices()
+    assert ours.indptr.tolist() == ref.indptr.tolist()
+    assert ours.indices.tolist() == ref.indices.tolist()
+    np.testing.assert_allclose(ours.values, ref.data, rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_matches_scipy_csc(coo):
+    ours = coo_to_csc(coo)
+    ref = scipy_sparse.coo_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+    ).tocsc()
+    ref.sort_indices()
+    assert ours.indptr.tolist() == ref.indptr.tolist()
+    assert ours.indices.tolist() == ref.indices.tolist()
+    np.testing.assert_allclose(ours.values, ref.data, rtol=1e-6)
+
+
+def test_dense_to_coo(small_coo):
+    assert dense_to_coo(small_coo.to_dense()).allclose(small_coo)
+
+
+def test_dense_to_csr(small_coo):
+    np.testing.assert_allclose(
+        dense_to_csr(small_coo.to_dense()).to_dense(), small_coo.to_dense()
+    )
+
+
+def test_dense_to_csc(small_coo):
+    np.testing.assert_allclose(
+        dense_to_csc(small_coo.to_dense()).to_dense(), small_coo.to_dense()
+    )
+
+
+def test_empty_matrix_roundtrips():
+    empty = COOMatrix.empty((4, 4))
+    assert csr_to_coo(coo_to_csr(empty)).nnz == 0
+    assert csc_to_coo(coo_to_csc(empty)).nnz == 0

@@ -1,0 +1,92 @@
+"""SpMM oracle kernels vs dense NumPy matmul."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, coo_to_csc, coo_to_csr, spmm_coo, spmm_csc, spmm_csr
+
+
+@pytest.fixture
+def dense_operand(small_coo, rng):
+    return rng.random((small_coo.shape[1], 8), dtype=np.float32)
+
+
+def test_spmm_csr_matches_dense(small_coo, dense_operand):
+    expected = small_coo.to_dense() @ dense_operand
+    result = spmm_csr(coo_to_csr(small_coo), dense_operand)
+    np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+
+def test_spmm_csc_matches_dense(small_coo, dense_operand):
+    expected = small_coo.to_dense() @ dense_operand
+    result = spmm_csc(coo_to_csc(small_coo), dense_operand)
+    np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+
+def test_spmm_coo_matches_dense(small_coo, dense_operand):
+    expected = small_coo.to_dense() @ dense_operand
+    np.testing.assert_allclose(spmm_coo(small_coo, dense_operand), expected, rtol=1e-5)
+
+
+def test_all_three_agree(small_graph, rng):
+    dense = rng.random((small_graph.shape[1], 16), dtype=np.float32)
+    a = spmm_csr(coo_to_csr(small_graph), dense)
+    b = spmm_csc(coo_to_csc(small_graph), dense)
+    c = spmm_coo(small_graph, dense)
+    np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+    np.testing.assert_allclose(a, c, rtol=1e-4, atol=1e-5)
+
+
+def test_empty_sparse_gives_zero(dense_operand):
+    empty = COOMatrix.empty((3, 5))
+    assert not spmm_coo(empty, dense_operand).any()
+
+
+def test_zero_dense_gives_zero(small_coo):
+    zeros = np.zeros((5, 4), dtype=np.float32)
+    assert not spmm_csr(coo_to_csr(small_coo), zeros).any()
+
+
+def test_identity_sparse_is_noop(rng):
+    eye = COOMatrix.from_dense(np.eye(6, dtype=np.float32))
+    dense = rng.random((6, 3), dtype=np.float32)
+    np.testing.assert_allclose(spmm_csr(coo_to_csr(eye), dense), dense, rtol=1e-6)
+
+
+def test_dimension_mismatch_csr(small_coo):
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        spmm_csr(coo_to_csr(small_coo), np.ones((3, 2), dtype=np.float32))
+
+
+def test_dimension_mismatch_csc(small_coo):
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        spmm_csc(coo_to_csc(small_coo), np.ones((3, 2), dtype=np.float32))
+
+
+def test_one_dimensional_dense_rejected(small_coo):
+    with pytest.raises(ValueError, match="two-dimensional"):
+        spmm_coo(small_coo, np.ones(5, dtype=np.float32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 10),
+    m=st.integers(1, 10),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+    density=st.floats(0.0, 1.0),
+)
+def test_property_spmm_equals_dense(n, m, k, seed, density):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, m)) < density
+    dense_sparse = np.where(mask, rng.random((n, m)), 0.0).astype(np.float32)
+    sparse = COOMatrix.from_dense(dense_sparse)
+    dense = rng.random((m, k), dtype=np.float32)
+    expected = dense_sparse.astype(np.float64) @ dense.astype(np.float64)
+    for result in (
+        spmm_csr(coo_to_csr(sparse), dense),
+        spmm_csc(coo_to_csc(sparse), dense),
+        spmm_coo(sparse, dense),
+    ):
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,111 @@
+"""Degree / sparsity statistics (the Figure 2 inputs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    COOMatrix,
+    degree_stats,
+    edge_share_of_top_fraction,
+    gini_coefficient,
+    sparsity,
+)
+from repro.sparse.stats import degree_cdf
+
+
+class TestEdgeShare:
+    def test_uniform_degrees(self):
+        degrees = np.full(10, 4)
+        assert edge_share_of_top_fraction(degrees, 0.2) == pytest.approx(0.2)
+
+    def test_single_hub(self):
+        degrees = np.array([100] + [0] * 9)
+        assert edge_share_of_top_fraction(degrees, 0.1) == pytest.approx(1.0)
+
+    def test_full_fraction_is_one(self):
+        degrees = np.array([3, 1, 4, 1, 5])
+        assert edge_share_of_top_fraction(degrees, 1.0) == pytest.approx(1.0)
+
+    def test_zero_edges(self):
+        assert edge_share_of_top_fraction(np.zeros(5), 0.2) == 0.0
+
+    def test_at_least_one_node_counted(self):
+        degrees = np.array([10, 1, 1])
+        # fraction so small it rounds to zero nodes -> still counts one
+        assert edge_share_of_top_fraction(degrees, 0.01) == pytest.approx(10 / 12)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            edge_share_of_top_fraction(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            edge_share_of_top_fraction(np.ones(3), 1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50),
+           st.floats(0.05, 1.0))
+    def test_monotone_in_fraction(self, degrees, fraction):
+        degrees = np.array(degrees)
+        lo = edge_share_of_top_fraction(degrees, fraction / 2 if fraction > 0.1 else 0.05)
+        hi = edge_share_of_top_fraction(degrees, fraction)
+        if fraction / 2 >= 0.05:
+            assert hi >= lo - 1e-12
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(20, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_hub_near_one(self):
+        degrees = np.array([1000] + [0] * 99)
+        assert gini_coefficient(degrees) > 0.95
+
+    def test_empty(self):
+        assert gini_coefficient(np.zeros(0)) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_bounded(self, small_graph):
+        g = gini_coefficient(small_graph.row_degrees())
+        assert 0.0 <= g <= 1.0
+
+
+class TestDegreeStats:
+    def test_counts(self, small_coo):
+        s = degree_stats(small_coo, axis="row")
+        assert s.n_nodes == 4
+        assert s.n_edges == 6
+        assert s.min == 0 and s.max == 3
+
+    def test_col_axis(self, small_coo):
+        s = degree_stats(small_coo, axis="col")
+        assert s.n_nodes == 5
+        assert s.max == 2
+
+    def test_bad_axis(self, small_coo):
+        with pytest.raises(ValueError):
+            degree_stats(small_coo, axis="diag")
+
+    def test_empty_matrix(self):
+        s = degree_stats(COOMatrix.empty((0, 0)))
+        assert s.n_nodes == 0 and s.n_edges == 0
+
+    def test_power_law_top20(self, small_graph):
+        s = degree_stats(small_graph)
+        assert s.top20_edge_share > 0.5  # strongly skewed by construction
+
+    def test_sparsity(self, small_coo):
+        assert sparsity(small_coo) == pytest.approx(0.7)
+
+
+class TestDegreeCDF:
+    def test_monotone_curve(self, small_graph):
+        fr, shares = degree_cdf(small_graph.row_degrees())
+        assert np.all(np.diff(shares) >= -1e-12)
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_custom_fractions(self, small_graph):
+        fr, shares = degree_cdf(small_graph.row_degrees(), np.array([0.2, 0.5]))
+        assert fr.tolist() == [0.2, 0.5]
+        assert len(shares) == 2

@@ -1,0 +1,177 @@
+"""Region-tiled storage: losslessness, region shapes, storage accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.preprocess import degree_sort
+from repro.graphs.synthetic import power_law_graph
+from repro.sparse import COOMatrix, RegionTiledMatrix, coo_to_csr
+from repro.sparse.tiled import (
+    REGION_OP,
+    REGION_RWP_DENSE_COLS,
+    REGION_RWP_SPARSE,
+    StorageReport,
+    _bands,
+)
+
+
+@pytest.fixture
+def sorted_graph(small_graph):
+    return degree_sort(small_graph).matrix
+
+
+class TestBuild:
+    def test_nnz_conserved(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12)
+        assert tiled.nnz == sorted_graph.nnz
+
+    def test_lossless_reassembly(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12)
+        assert tiled.to_coo().allclose(sorted_graph)
+
+    def test_three_regions_present(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12)
+        assert len(tiled.tiles_in_region(REGION_OP)) == 1
+        assert len(tiled.tiles_in_region(REGION_RWP_DENSE_COLS)) == 1
+        assert len(tiled.tiles_in_region(REGION_RWP_SPARSE)) == 1
+
+    def test_region1_is_csc(self, sorted_graph):
+        tile = RegionTiledMatrix.build(sorted_graph, threshold=12).tiles_in_region(1)[0]
+        assert tile.fmt == "csc"
+        assert (tile.row_lo, tile.row_hi) == (0, 12)
+        assert (tile.col_lo, tile.col_hi) == (0, 64)
+
+    def test_region2_is_csr_on_top_columns(self, sorted_graph):
+        tile = RegionTiledMatrix.build(sorted_graph, threshold=12).tiles_in_region(2)[0]
+        assert tile.fmt == "csr"
+        assert (tile.row_lo, tile.row_hi) == (12, 64)
+        assert (tile.col_lo, tile.col_hi) == (0, 12)
+
+    def test_region3_residual_block(self, sorted_graph):
+        tile = RegionTiledMatrix.build(sorted_graph, threshold=12).tiles_in_region(3)[0]
+        assert (tile.row_lo, tile.col_lo) == (12, 12)
+
+    def test_zero_threshold_puts_all_in_rwp(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=0)
+        assert not tiled.tiles_in_region(REGION_OP)
+        assert not tiled.tiles_in_region(REGION_RWP_DENSE_COLS)
+        assert tiled.to_coo().allclose(sorted_graph)
+
+    def test_full_threshold_puts_all_in_op(self, sorted_graph):
+        n = sorted_graph.shape[0]
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=n)
+        assert len(tiled.tiles_in_region(REGION_OP)) == 1
+        assert not tiled.tiles_in_region(REGION_RWP_SPARSE)
+        assert tiled.to_coo().allclose(sorted_graph)
+
+    def test_row_banding_splits_region1(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12, row_band=5)
+        r1 = tiled.tiles_in_region(REGION_OP)
+        assert len(r1) == 3  # 5 + 5 + 2 rows
+        assert [t.row_hi - t.row_lo for t in r1] == [5, 5, 2]
+        assert tiled.to_coo().allclose(sorted_graph)
+
+    def test_col_banding_splits_region2(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12, col_band=4)
+        r2 = tiled.tiles_in_region(REGION_RWP_DENSE_COLS)
+        assert len(r2) == 3
+        assert tiled.to_coo().allclose(sorted_graph)
+
+    def test_non_square_rejected(self):
+        rect = COOMatrix.empty((4, 6))
+        with pytest.raises(ValueError, match="square"):
+            RegionTiledMatrix.build(rect, threshold=2)
+
+    def test_threshold_out_of_range(self, sorted_graph):
+        with pytest.raises(ValueError, match="threshold"):
+            RegionTiledMatrix.build(sorted_graph, threshold=65)
+
+    def test_region_nnz_partition(self, sorted_graph):
+        """Every non-zero lands in exactly one region."""
+        t = 12
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=t)
+        rows, cols = sorted_graph.rows, sorted_graph.cols
+        n1 = int((rows < t).sum())
+        n2 = int(((rows >= t) & (cols < t)).sum())
+        n3 = int(((rows >= t) & (cols >= t)).sum())
+        assert sum(x.nnz for x in tiled.tiles_in_region(1)) == n1
+        assert sum(x.nnz for x in tiled.tiles_in_region(2)) == n2
+        assert sum(x.nnz for x in tiled.tiles_in_region(3)) == n3
+
+
+class TestStorage:
+    def test_overhead_positive_for_banded(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12)
+        report = tiled.storage_report()
+        assert report.tiled_bytes > report.baseline_bytes
+        assert report.overhead_pct > 0
+
+    def test_overhead_grows_with_banding(self, sorted_graph):
+        plain = RegionTiledMatrix.build(sorted_graph, threshold=12).storage_report()
+        banded = RegionTiledMatrix.build(
+            sorted_graph, threshold=12, row_band=3, col_band=3
+        ).storage_report()
+        assert banded.tiled_bytes > plain.tiled_bytes
+
+    def test_explicit_baseline(self, sorted_graph):
+        tiled = RegionTiledMatrix.build(sorted_graph, threshold=12)
+        baseline = coo_to_csr(sorted_graph)
+        report = tiled.storage_report(baseline)
+        assert report.baseline_bytes == baseline.storage_bytes()
+
+    def test_report_zero_baseline(self):
+        assert StorageReport(0, 10).overhead_pct == 0.0
+
+    def test_overhead_bytes(self):
+        r = StorageReport(100, 130)
+        assert r.overhead_bytes == 30
+        assert r.overhead_pct == pytest.approx(30.0)
+
+    def test_overhead_shrinks_with_graph_size(self):
+        """The Fig. 6 trend: larger graphs -> smaller relative overhead."""
+        small = degree_sort(power_law_graph(100, 600, seed=1)).matrix
+        large = degree_sort(power_law_graph(1000, 12000, seed=1)).matrix
+        small_over = RegionTiledMatrix.build(small, 20).storage_report().overhead_pct
+        large_over = RegionTiledMatrix.build(large, 200).storage_report().overhead_pct
+        assert large_over < small_over
+
+
+class TestBands:
+    def test_no_band(self):
+        assert list(_bands(0, 10, None)) == [(0, 10)]
+
+    def test_band_larger_than_range(self):
+        assert list(_bands(0, 10, 100)) == [(0, 10)]
+
+    def test_exact_division(self):
+        assert list(_bands(0, 10, 5)) == [(0, 5), (5, 10)]
+
+    def test_remainder(self):
+        assert list(_bands(0, 10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_empty_range(self):
+        assert list(_bands(5, 5, 2)) == []
+
+    def test_bad_band(self):
+        with pytest.raises(ValueError):
+            list(_bands(0, 10, 0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 40),
+    edges=st.integers(0, 80),
+    threshold_frac=st.floats(0.0, 1.0),
+    band=st.integers(1, 10),
+    seed=st.integers(0, 100),
+)
+def test_property_tiling_is_lossless(n, edges, threshold_frac, band, seed):
+    graph = power_law_graph(n, min(edges - edges % 2, n * (n - 1) - 1), seed=seed)
+    sorted_graph = degree_sort(graph).matrix
+    threshold = int(threshold_frac * n)
+    tiled = RegionTiledMatrix.build(
+        sorted_graph, threshold, row_band=band, col_band=band
+    )
+    assert tiled.nnz == sorted_graph.nnz
+    assert tiled.to_coo().allclose(sorted_graph)
