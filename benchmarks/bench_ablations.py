@@ -11,33 +11,41 @@ losing the feature:
 4. LSQ store-to-load forwarding (Section IV-B)
 5. LRU vs FIFO eviction (Section IV-D)
 6. degree sorting (Table I's preprocessing; tested separately below)
+
+All variants are :class:`repro.runtime.JobSpec` points executed through
+``run_sweep`` (parallel with ``REPRO_BENCH_JOBS`` workers, cached like
+every other runtime job).
 """
 
+import os
+
 from repro.bench import format_table
-from repro.bench.runner import run_accelerator
-from repro.bench.workloads import make_model, bench_scale
-from repro.hymm import HyMMAccelerator, HyMMConfig
+from repro.bench.runner import job_spec, run_sweep
+from repro.hymm import HyMMConfig
 
 _DATASET = "amazon-photo"
 _PRESSURED = dict(dmb_bytes=64 * 1024)
+_N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
-def _run(**overrides):
+def _spec(sort_mode=None, **overrides):
     config = HyMMConfig(**{**_PRESSURED, **overrides})
-    return run_accelerator(_DATASET, "hymm", config=config)
+    return job_spec(_DATASET, "hymm", config=config, sort_mode=sort_mode)
 
 
 def test_ablations(benchmark, emit):
     def run_all():
-        base = _run()
-        variants = {
-            "paper default": base,
-            "no accumulator": _run(near_memory_accumulator=False),
-            "RWP-first order": _run(op_first=False),
-            "split buffers": _run(unified_buffer=False),
-            "no forwarding": _run(forwarding=False),
-            "FIFO eviction": _run(lru=False),
+        specs = {
+            "paper default": _spec(),
+            "no accumulator": _spec(near_memory_accumulator=False),
+            "RWP-first order": _spec(op_first=False),
+            "split buffers": _spec(unified_buffer=False),
+            "no forwarding": _spec(forwarding=False),
+            "FIFO eviction": _spec(lru=False),
         }
+        sweep = run_sweep(list(specs.values()), n_jobs=_N_JOBS)
+        variants = {name: sweep.for_spec(s) for name, s in specs.items()}
+        base = variants["paper default"]
         headers = ["variant", "cycles", "vs default", "DRAM MB", "hit rate"]
         rows = []
         for name, r in variants.items():
@@ -70,14 +78,12 @@ def test_ablations(benchmark, emit):
 def test_sort_mode_ablation(benchmark, emit):
     """Degree sorting is HyMM's only preprocessing (Table I); removing
     or randomising it must cost cycles and traffic."""
-    config = HyMMConfig(**_PRESSURED)
-    model = make_model(_DATASET, bench_scale(_DATASET))
+    modes = ("degree", "none", "random")
 
     def run_all():
-        results = {
-            mode: HyMMAccelerator(config, sort_mode=mode).run_inference(model)
-            for mode in ("degree", "none", "random")
-        }
+        specs = {mode: _spec(sort_mode=mode) for mode in modes}
+        sweep = run_sweep(list(specs.values()), n_jobs=_N_JOBS)
+        results = {mode: sweep.for_spec(s) for mode, s in specs.items()}
         headers = ["sort mode", "cycles", "DRAM MB", "hit rate", "sort ms"]
         rows = [
             [mode, r.stats.cycles, r.stats.dram_total_bytes() / (1024 * 1024),

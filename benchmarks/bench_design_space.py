@@ -4,24 +4,42 @@ Section IV-E fixes the tiling threshold at 20% of the nodes and the DMB
 at 256 KB; these sweeps show the neighbourhood of those choices,
 pairing each DMB size with its silicon cost from the Table III area
 model.
+
+The sweep points are expressed as :class:`repro.runtime.JobSpec`\\ s and
+executed through ``repro.bench.runner.run_sweep``, so they fan out over
+``REPRO_BENCH_JOBS`` worker processes (default: serial) and share the
+runner's caches.
 """
+
+import os
 
 from repro.area import AreaModel
 from repro.bench import format_table
-from repro.bench.runner import run_accelerator
+from repro.bench.runner import job_spec, run_sweep
 from repro.hymm import HyMMConfig
 
 _DATASET = "amazon-photo"
+_N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def _sweep_results(configs):
+    """Run one spec per config through the runtime; returns results in
+    config order."""
+    specs = [job_spec(_DATASET, "hymm", config=cfg) for cfg in configs]
+    sweep = run_sweep(specs, n_jobs=_N_JOBS)
+    return [sweep.for_spec(spec) for spec in specs]
 
 
 def test_threshold_sweep(benchmark, emit):
     fractions = (0.05, 0.1, 0.2, 0.4, 0.8)
 
     def sweep():
+        configs = [
+            HyMMConfig(dmb_bytes=64 * 1024, threshold_fraction=frac)
+            for frac in fractions
+        ]
         rows = []
-        for frac in fractions:
-            cfg = HyMMConfig(dmb_bytes=64 * 1024, threshold_fraction=frac)
-            r = run_accelerator(_DATASET, "hymm", config=cfg)
+        for frac, r in zip(fractions, _sweep_results(configs)):
             rows.append([
                 f"{int(frac * 100)}%",
                 r.stats.cycles,
@@ -45,10 +63,9 @@ def test_dmb_size_sweep(benchmark, emit):
     sizes_kb = (16, 64, 256, 1024)
 
     def sweep():
+        configs = [HyMMConfig(dmb_bytes=kb * 1024) for kb in sizes_kb]
         rows = []
-        for kb in sizes_kb:
-            cfg = HyMMConfig(dmb_bytes=kb * 1024)
-            r = run_accelerator(_DATASET, "hymm", config=cfg)
+        for kb, cfg, r in zip(sizes_kb, configs, _sweep_results(configs)):
             area = AreaModel(cfg).total_mm2("7nm")
             rows.append([
                 f"{kb} KB",

@@ -6,43 +6,79 @@ design point, pairing each configuration's simulated performance with
 its silicon cost from the Table III area model -- the trade-off a
 designer adopting HyMM would actually study.
 
-Run:  python examples/design_space_exploration.py
+Every sweep point is a ``repro.runtime.JobSpec`` executed through the
+parallel sweep engine, so the whole exploration fans out over worker
+processes and is served from the persistent result cache on re-runs.
+
+Run:  python examples/design_space_exploration.py [--jobs N] [--cache-dir DIR]
 """
 
-from repro import AreaModel, GCNModel, HyMMAccelerator, HyMMConfig, load_dataset
+import argparse
+import sys
+
+from repro import AreaModel, HyMMConfig
 from repro.bench import format_table
+from repro.runtime import JobSpec, ResultCache, SweepExecutor
+
+_DATASET = "amazon-photo"
+_SCALE = 0.15
 
 
-def run(model, config):
-    return HyMMAccelerator(config).run_inference(model)
+def _spec(**overrides):
+    return JobSpec(
+        dataset=_DATASET,
+        kind="hymm",
+        scale=_SCALE,
+        seed=5,
+        feature_length=128,
+        config=HyMMConfig(**overrides),
+    )
 
 
 def main() -> None:
-    model = GCNModel(
-        load_dataset("amazon-photo", scale=0.15, seed=5, feature_length=128),
-        n_layers=1,
-        seed=6,
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (default: 1 = serial)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persist results here and skip re-simulation")
+    args = parser.parse_args()
+
+    dmb_sizes = (16, 32, 64, 128, 256)
+    thresholds = (0.05, 0.1, 0.2, 0.4, 0.8)
+    pe_widths = (8, 16, 32)
+
+    dmb_specs = [_spec(dmb_bytes=kb * 1024) for kb in dmb_sizes]
+    thr_specs = [_spec(dmb_bytes=32 * 1024, threshold_fraction=f)
+                 for f in thresholds]
+    pe_specs = [_spec(n_pes=pes) for pes in pe_widths]
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = SweepExecutor(
+        n_jobs=args.jobs,
+        cache=cache,
+        progress=lambda rec, done, total: print(
+            f"  [{done}/{total}] {rec.label}: {rec.status}", file=sys.stderr
+        ),
     )
-    print(f"Workload: {model.dataset}\n")
+    sweep = executor.run(dmb_specs + thr_specs + pe_specs)
+    print(f"Sweep: {sweep.manifest.summary()}\n")
 
     print("DMB capacity sweep (performance vs area):")
     rows = []
-    for kb in (16, 32, 64, 128, 256):
-        cfg = HyMMConfig(dmb_bytes=kb * 1024)
-        result = run(model, cfg)
+    for kb, spec in zip(dmb_sizes, dmb_specs):
+        result = sweep.for_spec(spec)
         rows.append([
             f"{kb} KB",
             result.stats.cycles,
             result.stats.dram_total_bytes() / 1024,
-            AreaModel(cfg).total_mm2("7nm"),
+            AreaModel(spec.config).total_mm2("7nm"),
         ])
     print(format_table(["DMB", "cycles", "DRAM KB", "area mm^2"], rows))
 
     print("\nTiling-threshold sweep (Section IV-E fixes 20%):")
     rows = []
-    for frac in (0.05, 0.1, 0.2, 0.4, 0.8):
-        cfg = HyMMConfig(dmb_bytes=32 * 1024, threshold_fraction=frac)
-        result = run(model, cfg)
+    for frac, spec in zip(thresholds, thr_specs):
+        result = sweep.for_spec(spec)
         rows.append([
             f"{int(frac * 100)}%",
             result.stats.cycles,
@@ -52,13 +88,12 @@ def main() -> None:
 
     print("\nPE-array width sweep (Table III uses 16 MACs):")
     rows = []
-    for pes in (8, 16, 32):
-        cfg = HyMMConfig(n_pes=pes)
-        result = run(model, cfg)
+    for pes, spec in zip(pe_widths, pe_specs):
+        result = sweep.for_spec(spec)
         rows.append([
             pes,
             result.stats.cycles,
-            AreaModel(cfg).report("7nm").components["PE Array"],
+            AreaModel(spec.config).report("7nm").components["PE Array"],
         ])
     print(format_table(["PEs", "cycles", "PE area mm^2"], rows))
 

@@ -14,7 +14,14 @@ from repro.bench.workloads import (
     full_scale_requested,
     make_model,
 )
-from repro.bench.runner import run_accelerator, run_suite, clear_cache
+from repro.bench.runner import (
+    clear_cache,
+    configure_runtime,
+    job_spec,
+    run_accelerator,
+    run_suite,
+    run_sweep,
+)
 from repro.bench.report import format_table, render_series
 from repro.bench import tables, figures
 
@@ -25,6 +32,9 @@ __all__ = [
     "make_model",
     "run_accelerator",
     "run_suite",
+    "run_sweep",
+    "job_spec",
+    "configure_runtime",
     "clear_cache",
     "format_table",
     "render_series",

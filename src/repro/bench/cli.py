@@ -5,52 +5,67 @@ Usage::
     python -m repro.bench all                 # every table and figure
     python -m repro.bench fig7 fig11          # specific experiments
     python -m repro.bench fig7 --datasets cora amazon-photo
+    python -m repro.bench all --jobs 4        # parallel simulation
+    python -m repro.bench all --cache-dir /tmp/hymm-cache
     python -m repro.bench table2 --full-scale
     python -m repro.bench list                # what's available
 
 Each experiment prints its table and, with ``--output DIR``, also
-writes ``<experiment>.txt`` files.
+writes ``<experiment>.txt`` and machine-readable ``<experiment>.json``
+files.
+
+Simulation execution goes through :mod:`repro.runtime`: the
+simulations the requested experiments need are collected up front and
+fanned out over ``--jobs`` worker processes, with results persisted in
+an on-disk cache (``~/.cache/hymm-repro`` or ``--cache-dir``) so a
+re-run completes without re-simulating.  ``--no-cache`` disables the
+disk cache for the invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
-from typing import Callable, Dict, List, Optional
+import time
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.bench import figures, tables
 from repro.bench.workloads import BENCH_DATASETS
 
+_FIG_SUITE_KINDS = ("op", "rwp", "hymm")
 
-def _table_text(fn: Callable) -> Callable[[Optional[List[str]]], str]:
+
+def _table(fn: Callable) -> Callable[[Optional[List[str]]], Dict[str, object]]:
     def run(datasets):
         out = fn()
-        return out if isinstance(out, str) else out["text"]
+        return {"text": out} if isinstance(out, str) else out
 
     return run
 
 
-def _figure_text(fn: Callable) -> Callable[[Optional[List[str]]], str]:
+def _figure(fn: Callable) -> Callable[[Optional[List[str]]], Dict[str, object]]:
     def run(datasets):
         kwargs = {"datasets": datasets} if datasets else {}
-        return fn(**kwargs)["text"]
+        return fn(**kwargs)
 
     return run
 
 
+#: Experiment name -> callable(datasets) -> {"text": ..., **data}.
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": _table_text(tables.table1),
-    "table2": _table_text(tables.table2),
-    "table3": _table_text(tables.table3),
-    "fig2": _figure_text(figures.fig2_degree_distribution),
-    "fig6": _figure_text(figures.fig6_storage_overhead),
-    "fig7": _figure_text(figures.fig7_speedup),
-    "fig8": _figure_text(figures.fig8_alu_utilization),
-    "fig9": _figure_text(figures.fig9_hit_rate),
-    "fig10": _figure_text(figures.fig10_partial_outputs),
-    "fig11": _figure_text(figures.fig11_dram_breakdown),
+    "table1": _table(tables.table1),
+    "table2": _table(tables.table2),
+    "table3": _table(tables.table3),
+    "fig2": _figure(figures.fig2_degree_distribution),
+    "fig6": _figure(figures.fig6_storage_overhead),
+    "fig7": _figure(figures.fig7_speedup),
+    "fig8": _figure(figures.fig8_alu_utilization),
+    "fig9": _figure(figures.fig9_hit_rate),
+    "fig10": _figure(figures.fig10_partial_outputs),
+    "fig11": _figure(figures.fig11_dram_breakdown),
 }
 
 #: Run order for "all" (cheap first; Figs. 7-11 share memoised runs).
@@ -58,6 +73,38 @@ ALL_ORDER = (
     "table1", "table3", "table2", "fig2", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11",
 )
+
+#: Accelerator kinds each experiment simulates (None = no simulation).
+#: Drives the parallel prewarm: the union over the requested
+#: experiments x datasets is the job list handed to the runtime.
+EXPERIMENT_KINDS: Dict[str, tuple] = {
+    "table1": (),
+    "table2": (),
+    "table3": (),
+    "fig2": (),
+    "fig6": (),
+    "fig7": _FIG_SUITE_KINDS,
+    "fig8": _FIG_SUITE_KINDS,
+    "fig9": _FIG_SUITE_KINDS,
+    "fig10": ("op-deferred", "hymm"),
+    "fig11": _FIG_SUITE_KINDS,
+}
+
+
+def collect_specs(names: Iterable[str], datasets: Iterable[str]) -> list:
+    """Every simulation job the named experiments will request."""
+    from repro.bench.runner import job_spec
+
+    specs = []
+    seen = set()
+    for name in names:
+        for kind in EXPERIMENT_KINDS.get(name, ()):
+            for dataset in datasets:
+                key = (dataset, kind)
+                if key not in seen:
+                    seen.add(key)
+                    specs.append(job_spec(dataset, kind))
+    return specs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,9 +132,103 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output",
         metavar="DIR",
-        help="also write each experiment's text to DIR/<name>.txt",
+        help="also write each experiment's text to DIR/<name>.txt and "
+             "its data to DIR/<name>.json",
+    )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        metavar="N",
+        help="simulate on N worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/hymm-repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the persistent result cache",
     )
     return parser
+
+
+def _configure_runtime(args) -> None:
+    from repro.bench.runner import configure_runtime
+
+    if args.no_cache:
+        configure_runtime(n_jobs=args.jobs, disk_cache=False)
+        return
+    try:
+        configure_runtime(
+            n_jobs=args.jobs, cache_dir=args.cache_dir, disk_cache=True
+        )
+    except OSError as exc:  # unwritable cache location: degrade, don't die
+        print(f"[runtime] disk cache disabled ({exc})", file=sys.stderr)
+        configure_runtime(n_jobs=args.jobs, disk_cache=False)
+
+
+def _prewarm(names: List[str], datasets: Iterable[str], args, out_dir) -> None:
+    """Simulate everything the experiments need, in parallel, up front."""
+    from repro.bench.runner import run_sweep
+
+    specs = collect_specs(names, datasets)
+    if not specs:
+        return
+
+    def progress(record, n_finished, n_total):
+        status = record.status
+        if record.error:
+            status += f" ({record.error})"
+        print(
+            f"[runtime] {n_finished}/{n_total} {record.label}: {status} "
+            f"[{record.wall_seconds:.1f}s]",
+            file=sys.stderr,
+        )
+
+    sweep = run_sweep(specs, n_jobs=args.jobs, progress=progress)
+    manifest = sweep.manifest
+    if manifest.total:
+        print(f"[runtime] {manifest.summary()}", file=sys.stderr)
+        for record in manifest.failures():
+            print(
+                f"[runtime] FAILED {record.label}: {record.error} "
+                f"(will retry serially)",
+                file=sys.stderr,
+            )
+        _persist_manifest(manifest, out_dir)
+
+
+def _persist_manifest(manifest, out_dir: Optional[pathlib.Path]) -> None:
+    from repro.bench.runner import runtime_settings
+
+    payload = manifest.to_dict()
+    targets = []
+    if out_dir is not None:
+        targets.append(out_dir / "run_manifest.json")
+    disk = runtime_settings()["disk_cache"]
+    if disk is not None:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        manifest_dir = disk.cache_dir / "manifests"
+        manifest_dir.mkdir(parents=True, exist_ok=True)
+        targets.append(manifest_dir / f"sweep-{stamp}.json")
+    for path in targets:
+        try:
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        except OSError:
+            pass
+
+
+def _write_outputs(name: str, out: Dict[str, object], out_dir: pathlib.Path) -> None:
+    from repro.runtime import to_jsonable
+
+    (out_dir / f"{name}.txt").write_text(out["text"] + "\n")
+    data = {k: v for k, v in out.items() if k != "text"}
+    payload = {"experiment": name, "data": to_jsonable(data)}
+    (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -113,11 +254,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    _configure_runtime(args)
+    datasets = args.datasets if args.datasets else BENCH_DATASETS
+    _prewarm(names, datasets, args, out_dir)
+
     for name in names:
-        text = EXPERIMENTS[name](args.datasets)
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        out = EXPERIMENTS[name](args.datasets)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{out['text']}")
         if out_dir:
-            (out_dir / f"{name}.txt").write_text(text + "\n")
+            _write_outputs(name, out, out_dir)
     return 0
 
 

@@ -1,44 +1,132 @@
-"""Shared simulation runner with per-process memoisation."""
+"""Shared simulation runner on top of the ``repro.runtime`` subsystem.
+
+Execution policy lives in :mod:`repro.runtime`; this module keeps the
+bench-facing conveniences: a bounded in-process memo (keyed by the
+runtime job fingerprint, LRU-evicted so unbounded sweeps cannot grow
+memory without limit), an optional process-wide disk cache and worker
+count configured once by the CLI (:func:`configure_runtime`), and the
+aggregation-phase metric helpers the figure generators read.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Sequence
 
-from repro.baselines import (
-    CWPAccelerator,
-    GCoDAccelerator,
-    OPAccelerator,
-    RWPAccelerator,
-    TiledOPAccelerator,
-)
-from repro.bench.workloads import bench_scale, make_model
-from repro.hymm import HyMMAccelerator, HyMMConfig
+from repro.hymm import HyMMConfig
 from repro.hymm.base import RunResult
+from repro.runtime import (
+    JobSpec,
+    ResultCache,
+    SweepExecutor,
+    SweepResult,
+    execute_spec,
+    make_accelerator,
+)
+from repro.bench.workloads import bench_scale
+
+__all__ = [
+    "DEFAULT_ACCELERATORS",
+    "ALL_ACCELERATORS",
+    "make_accelerator",
+    "job_spec",
+    "configure_runtime",
+    "runtime_settings",
+    "run_accelerator",
+    "run_suite",
+    "run_sweep",
+    "prime_cache",
+    "aggregation_cycles",
+    "aggregation_utilization",
+    "aggregation_hit_rate",
+    "clear_cache",
+]
 
 #: The dataflows of the paper's Figure 7 comparison, plus extensions.
 DEFAULT_ACCELERATORS = ("op", "rwp", "hymm")
 ALL_ACCELERATORS = ("op", "rwp", "cwp", "gcod", "op-deferred", "op-tiled", "hymm")
 
-_CACHE: Dict[Tuple, RunResult] = {}
+#: In-process memo: job fingerprint -> RunResult, LRU-bounded.
+_CACHE: "OrderedDict[str, RunResult]" = OrderedDict()
+_MEMO_LIMIT = 256
+
+#: Process-wide execution defaults (set by :func:`configure_runtime`).
+_N_JOBS = 1
+_DISK_CACHE: Optional[ResultCache] = None
 
 
-def make_accelerator(kind: str, config: Optional[HyMMConfig] = None):
-    """Instantiate an accelerator by its report name."""
-    if kind == "rwp":
-        return RWPAccelerator(config)
-    if kind == "op":
-        return OPAccelerator(config)
-    if kind == "op-deferred":
-        return OPAccelerator(config, merge_mode="deferred")
-    if kind == "op-tiled":
-        return TiledOPAccelerator(config)
-    if kind == "gcod":
-        return GCoDAccelerator(config)
-    if kind == "cwp":
-        return CWPAccelerator(config)
-    if kind == "hymm":
-        return HyMMAccelerator(config if config is not None else HyMMConfig())
-    raise ValueError(f"unknown accelerator kind {kind!r}")
+def configure_runtime(
+    n_jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    disk_cache: Optional[bool] = None,
+    memo_limit: Optional[int] = None,
+) -> None:
+    """Set process-wide execution defaults (used by the CLI).
+
+    ``n_jobs`` is the default worker count for :func:`run_suite` /
+    :func:`run_sweep`; ``disk_cache=True`` attaches a persistent
+    :class:`ResultCache` (at ``cache_dir`` or the default location),
+    ``disk_cache=False`` detaches it; ``memo_limit`` resizes the
+    in-process memo.
+    """
+    global _N_JOBS, _DISK_CACHE, _MEMO_LIMIT
+    if n_jobs is not None:
+        _N_JOBS = max(1, int(n_jobs))
+    if disk_cache is True or (disk_cache is None and cache_dir is not None):
+        _DISK_CACHE = ResultCache(cache_dir)
+    elif disk_cache is False:
+        _DISK_CACHE = None
+    if memo_limit is not None:
+        if memo_limit <= 0:
+            raise ValueError("memo_limit must be positive")
+        _MEMO_LIMIT = memo_limit
+        while len(_CACHE) > _MEMO_LIMIT:
+            _CACHE.popitem(last=False)
+
+
+def runtime_settings() -> Dict[str, object]:
+    """The current process-wide defaults (for tests and the CLI)."""
+    return {
+        "n_jobs": _N_JOBS,
+        "disk_cache": _DISK_CACHE,
+        "memo_limit": _MEMO_LIMIT,
+        "memo_size": len(_CACHE),
+    }
+
+
+def job_spec(
+    dataset: str,
+    kind: str,
+    scale: Optional[float] = None,
+    n_layers: int = 1,
+    seed: int = 0,
+    config: Optional[HyMMConfig] = None,
+    sort_mode: Optional[str] = None,
+) -> JobSpec:
+    """Build the :class:`JobSpec` for one bench point, resolving
+    ``scale=None`` to the dataset's bench scale."""
+    return JobSpec(
+        dataset=dataset,
+        kind=kind,
+        scale=bench_scale(dataset) if scale is None else scale,
+        n_layers=n_layers,
+        seed=seed,
+        config=config,
+        sort_mode=sort_mode,
+    )
+
+
+def _memo_put(fingerprint: str, result: RunResult) -> None:
+    _CACHE[fingerprint] = result
+    _CACHE.move_to_end(fingerprint)
+    while len(_CACHE) > _MEMO_LIMIT:
+        _CACHE.popitem(last=False)
+
+
+def prime_cache(spec: JobSpec, result: RunResult) -> None:
+    """Insert an externally produced result into the in-process memo
+    (the CLI primes sweep results so figure generators hit memory)."""
+    _memo_put(spec.fingerprint(), result)
 
 
 def run_accelerator(
@@ -53,17 +141,24 @@ def run_accelerator(
     """Simulate one accelerator on one dataset (memoised).
 
     ``config=None`` uses each accelerator's paper-default configuration
-    (HyMM unified buffer, baselines split buffers).
+    (HyMM unified buffer, baselines split buffers).  With ``cache=True``
+    the in-process memo and, when configured, the persistent disk cache
+    are consulted before simulating.
     """
-    if scale is None:
-        scale = bench_scale(dataset)
-    key = (dataset, kind, scale, n_layers, seed, config)
-    if cache and key in _CACHE:
-        return _CACHE[key]
-    model = make_model(dataset, scale, n_layers=n_layers, seed=seed)
-    result = make_accelerator(kind, config).run_inference(model)
+    spec = job_spec(dataset, kind, scale, n_layers, seed, config)
+    fingerprint = spec.fingerprint()
+    if cache and fingerprint in _CACHE:
+        _CACHE.move_to_end(fingerprint)
+        return _CACHE[fingerprint]
+    result: Optional[RunResult] = None
+    if cache and _DISK_CACHE is not None:
+        result = _DISK_CACHE.load(spec)
+    if result is None:
+        result = execute_spec(spec)
+        if cache and _DISK_CACHE is not None:
+            _DISK_CACHE.store(spec, result)
     if cache:
-        _CACHE[key] = result
+        _memo_put(fingerprint, result)
     return result
 
 
@@ -73,12 +168,64 @@ def run_suite(
     scale: Optional[float] = None,
     n_layers: int = 1,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> Dict[str, RunResult]:
-    """Simulate several accelerators on one dataset."""
+    """Simulate several accelerators on one dataset.
+
+    ``n_jobs=None`` uses the process-wide default (1 unless the CLI was
+    invoked with ``--jobs``); above 1 the kinds fan out over the
+    runtime's process pool.
+    """
+    workers = _N_JOBS if n_jobs is None else max(1, int(n_jobs))
+    if workers > 1:
+        specs = [
+            job_spec(dataset, kind, scale, n_layers, seed) for kind in kinds
+        ]
+        run_sweep(specs, n_jobs=workers)
     return {
         kind: run_accelerator(dataset, kind, scale=scale, n_layers=n_layers, seed=seed)
         for kind in kinds
     }
+
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    n_jobs: Optional[int] = None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> SweepResult:
+    """Execute a batch of jobs through the runtime and prime the memo.
+
+    Jobs already in the memo are served from it; the rest go through
+    :class:`SweepExecutor` (disk cache, process pool, retry) with the
+    process-wide defaults unless overridden.  Failed jobs are recorded
+    in the returned manifest, not raised -- a later
+    :func:`run_accelerator` call will retry them serially.
+    """
+    workers = _N_JOBS if n_jobs is None else max(1, int(n_jobs))
+    sweep = SweepResult()
+    todo = []
+    for spec in specs:
+        fingerprint = spec.fingerprint()
+        if fingerprint in _CACHE:
+            sweep.results[fingerprint] = _CACHE[fingerprint]
+        else:
+            todo.append(spec)
+    if todo:
+        executor = SweepExecutor(
+            n_jobs=workers,
+            cache=_DISK_CACHE,
+            timeout=timeout,
+            retries=retries,
+            progress=progress,
+        )
+        executed = executor.run(todo)
+        sweep.manifest = executed.manifest
+        for fingerprint, result in executed.results.items():
+            sweep.results[fingerprint] = result
+            _memo_put(fingerprint, result)
+    return sweep
 
 
 def aggregation_cycles(result: RunResult) -> float:

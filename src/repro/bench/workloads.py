@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.gcn.model import GCNModel
 from repro.graphs.registry import load_dataset
@@ -67,7 +67,18 @@ def bench_scale(name: str) -> float:
 
 
 @lru_cache(maxsize=32)
-def make_model(name: str, scale: float, n_layers: int = 1, seed: int = 0) -> GCNModel:
-    """Build (and memoise) the GCN workload for one dataset."""
-    dataset = load_dataset(name, scale=scale, seed=seed)
+def make_model(
+    name: str,
+    scale: float,
+    n_layers: int = 1,
+    seed: int = 0,
+    feature_length: Optional[int] = None,
+) -> GCNModel:
+    """Build (and memoise) the GCN workload for one dataset.
+
+    ``feature_length`` overrides the registry's feature width (used by
+    design-space sweeps); ``None`` keeps the dataset default.
+    """
+    kwargs = {} if feature_length is None else {"feature_length": feature_length}
+    dataset = load_dataset(name, scale=scale, seed=seed, **kwargs)
     return GCNModel(dataset, n_layers=n_layers, seed=seed + 17)

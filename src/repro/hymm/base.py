@@ -78,6 +78,66 @@ class RunResult:
             raise ValueError("run has zero cycles")
         return other.stats.cycles / self.stats.cycles
 
+    #: Wire-format version of :meth:`to_dict`.  Bump on layout changes;
+    #: the runtime's disk cache treats records of any other version as
+    #: misses.
+    SCHEMA_VERSION = 1
+
+    # ------------------------------------------------------------------
+    # Serialisation (runtime disk cache + cross-process transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict; outputs round-trip bit-identically.
+
+        ``extra`` is sanitised: live objects (region plans, CSR
+        matrices) are dropped and their keys recorded under
+        ``extra["_dropped"]``, so cached results carry every scalar
+        by-product but no pickled simulator state.
+        """
+        from repro.runtime.serialize import array_to_dict, sanitize_extra
+
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "accelerator": self.accelerator,
+            "dataset": self.dataset,
+            "config": self.config.to_dict(),
+            "stats": self.stats.to_dict(),
+            "outputs": [array_to_dict(a) for a in self.outputs],
+            "phase_cycles": dict(self.phase_cycles),
+            "phase_stats": {
+                phase: {k: (dict(v) if isinstance(v, dict) else v)
+                        for k, v in counters.items()}
+                for phase, counters in self.phase_stats.items()
+            },
+            "sort_ms": self.sort_ms,
+            "wall_seconds": self.wall_seconds,
+            "extra": sanitize_extra(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`; raises on schema mismatch."""
+        from repro.runtime.serialize import array_from_dict
+
+        version = data.get("schema_version")
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"RunResult schema mismatch: record v{version}, "
+                f"code v{cls.SCHEMA_VERSION}"
+            )
+        return cls(
+            accelerator=data["accelerator"],
+            dataset=data["dataset"],
+            config=HyMMConfig.from_dict(data["config"]),
+            stats=SimStats.from_dict(data["stats"]),
+            outputs=[array_from_dict(a) for a in data["outputs"]],
+            phase_cycles=dict(data["phase_cycles"]),
+            phase_stats={p: dict(c) for p, c in data["phase_stats"].items()},
+            sort_ms=data["sort_ms"],
+            wall_seconds=data["wall_seconds"],
+            extra=dict(data["extra"]),
+        )
+
 
 class AcceleratorBase:
     """Template for a simulated GCN accelerator."""

@@ -17,7 +17,8 @@ Knob                       Paper section
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping
 
 from repro.sim.memory import DRAMConfig
 
@@ -120,3 +121,24 @@ class HyMMConfig:
     def with_overrides(self, **kwargs) -> "HyMMConfig":
         """A modified copy (frozen dataclass); kwargs are field names."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialisation (runtime job fingerprints and the disk result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON dict, nested ``DRAMConfig`` included."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HyMMConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown fields so a
+        schema drift surfaces as an error, not a silently-default knob."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown HyMMConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        dram = kwargs.pop("dram", None)
+        if dram is not None:
+            kwargs["dram"] = dram if isinstance(dram, DRAMConfig) else DRAMConfig(**dram)
+        return cls(**kwargs)

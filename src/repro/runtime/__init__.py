@@ -1,0 +1,44 @@
+"""Sweep-execution runtime: job specs, parallel execution, result cache.
+
+This package owns *how* simulations get executed, separating that
+concern from *what* gets simulated (``repro.hymm`` / ``repro.baselines``)
+and *which* experiments need the results (``repro.bench``):
+
+* :class:`JobSpec` -- one simulation point (dataset, accelerator,
+  scale, layers, seed, config overrides) with a stable content-hash
+  fingerprint that is identical across processes and sessions.
+* :class:`SweepExecutor` -- fans a batch of jobs out over a process
+  pool with per-job timeout and bounded retry, falling back to
+  in-process serial execution when ``n_jobs=1`` or no pool can be
+  created.
+* :class:`ResultCache` -- persistent on-disk JSON records keyed by job
+  fingerprint + schema/code version, so repeated figure/table runs and
+  CI re-runs skip already-simulated points.
+* :class:`RunManifest` -- per-sweep accounting (queued/done/failed,
+  cache hit rate, wall-clock per job) surfaced by the bench CLI.
+
+Everything every future scaling layer (sharding, async serving,
+multi-backend) plugs into lives here.
+"""
+
+from repro.runtime.job import SCHEMA_VERSION, JobSpec
+from repro.runtime.serialize import to_jsonable
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.manifest import JobRecord, RunManifest
+from repro.runtime.executor import SweepExecutor, SweepResult
+from repro.runtime.execute import execute_job, execute_spec, make_accelerator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "ResultCache",
+    "default_cache_dir",
+    "JobRecord",
+    "RunManifest",
+    "SweepExecutor",
+    "SweepResult",
+    "execute_job",
+    "execute_spec",
+    "make_accelerator",
+    "to_jsonable",
+]

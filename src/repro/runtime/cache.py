@@ -1,0 +1,139 @@
+"""Persistent on-disk result cache keyed by job fingerprint.
+
+Layout (one JSON record per simulated point, flat under the cache
+directory)::
+
+    <cache_dir>/
+        <fingerprint>.json      # {"fingerprint", "spec", "result", ...}
+        manifests/              # sweep manifests (written by the CLI)
+
+Invalidation rules:
+
+* the fingerprint already encodes the job schema version and the
+  ``repro`` package version, so upgrading either simply stops hitting
+  old records;
+* a record whose embedded ``RunResult`` schema version no longer
+  matches the code is treated as a miss and evicted;
+* unreadable/corrupt records (truncated writes, bad JSON, missing
+  keys) are evicted on first touch and counted in
+  :attr:`ResultCache.corrupt` -- a damaged cache degrades to cold, it
+  never fails a run.
+
+Writes go through a same-directory temp file + ``os.replace`` so a
+concurrent reader (or a killed writer) can never observe a partial
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Dict, Optional
+
+from repro.hymm.base import RunResult
+from repro.runtime.job import SCHEMA_VERSION, JobSpec
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/hymm-repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path.home() / ".cache" / "hymm-repro"
+
+
+class ResultCache:
+    """Disk-backed map ``JobSpec fingerprint -> RunResult``."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else default_cache_dir()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Counters since construction (surfaced in manifests).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def contains(self, spec: JobSpec) -> bool:
+        return self._path(spec.fingerprint()).exists()
+
+    def load(self, spec: JobSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` (miss).
+
+        Records that cannot be parsed or no longer match the current
+        result schema are evicted and reported as misses.
+        """
+        path = self._path(spec.fingerprint())
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            result = RunResult.from_dict(record["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            self.corrupt += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: JobSpec, result: RunResult) -> pathlib.Path:
+        """Atomically persist one result; returns the record path."""
+        fingerprint = spec.fingerprint()
+        path = self._path(fingerprint)
+        record = {
+            "fingerprint": fingerprint,
+            "schema_version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._evict(pathlib.Path(tmp_name))
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _evict(path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            self._evict(path)
+            removed += 1
+        return removed
+
+    def size(self) -> int:
+        """Number of records currently on disk."""
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }

@@ -1,0 +1,82 @@
+"""Job execution: turn a :class:`JobSpec` into a :class:`RunResult`.
+
+These are the only functions worker processes run, so they are plain
+module-level callables (picklable by reference) and they import the
+bench workload layer lazily to keep ``repro.runtime`` importable
+without dragging in -- or cyclically re-entering -- ``repro.bench``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hymm import HyMMAccelerator, HyMMConfig
+from repro.hymm.base import RunResult
+from repro.runtime.job import JobSpec
+
+
+def make_accelerator(
+    kind: str,
+    config: Optional[HyMMConfig] = None,
+    sort_mode: Optional[str] = None,
+):
+    """Instantiate an accelerator by its report name.
+
+    ``sort_mode`` selects HyMM's preprocessing ("degree", "none",
+    "random"); it is an error for any other accelerator.
+    """
+    from repro.baselines import (
+        CWPAccelerator,
+        GCoDAccelerator,
+        OPAccelerator,
+        RWPAccelerator,
+        TiledOPAccelerator,
+    )
+
+    if kind == "hymm":
+        return HyMMAccelerator(
+            config if config is not None else HyMMConfig(),
+            sort_mode=sort_mode if sort_mode is not None else "degree",
+        )
+    if sort_mode is not None:
+        raise ValueError(f"sort_mode is only supported by 'hymm', not {kind!r}")
+    if kind == "rwp":
+        return RWPAccelerator(config)
+    if kind == "op":
+        return OPAccelerator(config)
+    if kind == "op-deferred":
+        return OPAccelerator(config, merge_mode="deferred")
+    if kind == "op-tiled":
+        return TiledOPAccelerator(config)
+    if kind == "gcod":
+        return GCoDAccelerator(config)
+    if kind == "cwp":
+        return CWPAccelerator(config)
+    raise ValueError(f"unknown accelerator kind {kind!r}")
+
+
+def execute_spec(spec: JobSpec) -> RunResult:
+    """Run one job in this process, returning the live result
+    (including non-serialisable ``extra`` entries such as the HyMM
+    region plan)."""
+    from repro.bench.workloads import make_model
+
+    model = make_model(
+        spec.dataset,
+        spec.scale,
+        n_layers=spec.n_layers,
+        seed=spec.seed,
+        feature_length=spec.feature_length,
+    )
+    accelerator = make_accelerator(spec.kind, spec.config, spec.sort_mode)
+    return accelerator.run_inference(model)
+
+
+def execute_job(spec: JobSpec) -> Dict[str, object]:
+    """Worker entry point: run one job and return its serialised dict.
+
+    Returning the wire form (rather than the live object) keeps the
+    pool transport, the disk cache, and serial execution on one code
+    path, which is what makes ``n_jobs=4`` bit-identical to serial.
+    """
+    return execute_spec(spec).to_dict()

@@ -1,0 +1,136 @@
+"""Job specification: one simulation point with a stable fingerprint.
+
+A :class:`JobSpec` pins down everything that determines a simulation's
+outcome -- the workload (dataset, scale, layers, seeds), the
+accelerator (kind, optional config, optional sort mode) -- and nothing
+that doesn't (worker count, cache location).  Its fingerprint is a
+SHA-256 over the canonical JSON form of those fields plus the result
+schema version and the package version, so two processes (or two
+sessions, or two CI runs) computing the fingerprint of the same point
+always agree, and any change that could alter results (a field, the
+result schema, the simulator version) changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.hymm.config import HyMMConfig
+
+#: Version of the JobSpec/RunResult wire format.  Bump whenever the
+#: canonical payload or the serialised result layout changes; every
+#: fingerprint (and therefore every cache key) changes with it.
+SCHEMA_VERSION = 1
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports nothing from runtime, but
+    # keeping this out of module scope avoids any import-order surprise.
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (workload, accelerator) simulation point.
+
+    ``config=None`` means "the accelerator's own default configuration"
+    (HyMM's unified buffer, the baselines' split buffers) and is a
+    *different* point from an explicit ``HyMMConfig()``.  ``sort_mode``
+    and ``feature_length`` default to ``None`` = the model/accelerator
+    defaults, so ordinary bench points fingerprint identically whether
+    or not the caller spells them out.
+    """
+
+    dataset: str
+    kind: str
+    scale: float
+    n_layers: int = 1
+    seed: int = 0
+    config: Optional[HyMMConfig] = None
+    sort_mode: Optional[str] = None
+    feature_length: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.dataset:
+            raise ValueError("dataset must be non-empty")
+        if not self.kind:
+            raise ValueError("kind must be non-empty")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.n_layers <= 0:
+            raise ValueError("n_layers must be positive")
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The exact dict the fingerprint hashes (useful in tests and
+        for debugging cache keys)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "repro_version": _package_version(),
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "scale": self.scale,
+            "n_layers": self.n_layers,
+            "seed": self.seed,
+            "config": None if self.config is None else self.config.to_dict(),
+            "sort_mode": self.sort_mode,
+            "feature_length": self.feature_length,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 hex digest of the canonical payload."""
+        blob = json.dumps(
+            self.canonical_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Serialisation (manifests, cache records)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "scale": self.scale,
+            "n_layers": self.n_layers,
+            "seed": self.seed,
+            "config": None if self.config is None else self.config.to_dict(),
+            "sort_mode": self.sort_mode,
+            "feature_length": self.feature_length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        cfg = data.get("config")
+        return cls(
+            dataset=data["dataset"],
+            kind=data["kind"],
+            scale=data["scale"],
+            n_layers=data.get("n_layers", 1),
+            seed=data.get("seed", 0),
+            config=None if cfg is None else HyMMConfig.from_dict(cfg),
+            sort_mode=data.get("sort_mode"),
+            feature_length=data.get("feature_length"),
+        )
+
+    def with_overrides(self, **config_overrides) -> "JobSpec":
+        """A copy whose config applies ``config_overrides`` on top of the
+        current config (or on top of ``HyMMConfig()`` if none)."""
+        base = self.config if self.config is not None else HyMMConfig()
+        return replace(self, config=base.with_overrides(**config_overrides))
+
+    def describe(self) -> str:
+        """Short human label for progress lines ("hymm/cora@0.05")."""
+        label = f"{self.kind}/{self.dataset}@{self.scale:g}"
+        if self.sort_mode is not None:
+            label += f" sort={self.sort_mode}"
+        if self.config is not None:
+            label += " [custom cfg]"
+        return label

@@ -1,0 +1,116 @@
+"""Sweep accounting: per-job records and the run manifest.
+
+Every :class:`~repro.runtime.executor.SweepExecutor` run produces one
+:class:`RunManifest` -- how many jobs were queued, which came from the
+cache, which executed where (pool worker vs in-process serial), how
+many attempts and seconds each took, and what failed with which error.
+The bench CLI prints the summary line and can persist the whole
+manifest as JSON next to the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.job import JobSpec
+
+#: Job states a record can end in.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+STATUS_CACHE_HIT = "cache-hit"
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job within a sweep."""
+
+    fingerprint: str
+    label: str
+    status: str
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    worker: str = "serial"  # "pool", "serial", or "cache"
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Aggregated accounting for one sweep."""
+
+    n_jobs: int = 1
+    records: List[JobRecord] = field(default_factory=list)
+    started_unix: float = field(default_factory=time.time)
+    wall_seconds: float = 0.0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_DONE)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_FAILED)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_CACHE_HIT)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def failures(self) -> List[JobRecord]:
+        return [r for r in self.records if r.status == STATUS_FAILED]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One line for the CLI: totals, hit rate, failures, wall."""
+        parts = [
+            f"{self.total} job{'s' if self.total != 1 else ''}:",
+            f"{self.executed} simulated,",
+            f"{self.cache_hits} cache hit{'s' if self.cache_hits != 1 else ''}"
+            f" ({self.hit_rate:.0%}),",
+            f"{self.failed} failed;",
+            f"{self.n_jobs} worker{'s' if self.n_jobs != 1 else ''},",
+            f"{self.wall_seconds:.1f}s wall",
+        ]
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_jobs": self.n_jobs,
+            "started_unix": self.started_unix,
+            "wall_seconds": self.wall_seconds,
+            "total": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failed": self.failed,
+            "hit_rate": self.hit_rate,
+            "cache_stats": dict(self.cache_stats),
+            "jobs": [r.to_dict() for r in self.records],
+        }
+
+
+def record_label(spec: JobSpec) -> str:
+    return spec.describe()

@@ -116,6 +116,45 @@ class SimStats:
         self.requests_issued += other.requests_issued
         self.partial_timeline.extend(other.partial_timeline)
 
+    # ------------------------------------------------------------------
+    # Lossless serialisation (runtime result cache / cross-process)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Every counter, round-trippable through :meth:`from_dict`
+        (unlike :meth:`as_dict`, which is a report-oriented summary)."""
+        return {
+            "cycles": self.cycles,
+            "busy_cycles": self.busy_cycles,
+            "dram_read_bytes": dict(self.dram_read_bytes),
+            "dram_write_bytes": dict(self.dram_write_bytes),
+            "buffer_hits": dict(self.buffer_hits),
+            "buffer_misses": dict(self.buffer_misses),
+            "lsq_forwards": self.lsq_forwards,
+            "partial_peak_bytes": self.partial_peak_bytes,
+            "partial_spill_bytes": self.partial_spill_bytes,
+            "partials_produced": self.partials_produced,
+            "requests_issued": self.requests_issued,
+            "partial_timeline": [list(pair) for pair in self.partial_timeline],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cycles=data["cycles"],
+            busy_cycles=data["busy_cycles"],
+            dram_read_bytes=Counter(data["dram_read_bytes"]),
+            dram_write_bytes=Counter(data["dram_write_bytes"]),
+            buffer_hits=Counter(data["buffer_hits"]),
+            buffer_misses=Counter(data["buffer_misses"]),
+            lsq_forwards=data["lsq_forwards"],
+            partial_peak_bytes=data["partial_peak_bytes"],
+            partial_spill_bytes=data["partial_spill_bytes"],
+            partials_produced=data["partials_produced"],
+            requests_issued=data["requests_issued"],
+            partial_timeline=[tuple(pair) for pair in data["partial_timeline"]],
+        )
+
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for report tables."""
         return {

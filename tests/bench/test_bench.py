@@ -8,12 +8,17 @@ import numpy as np
 import pytest
 
 from repro.bench import figures, format_table, render_series, tables
+from repro.bench import runner as runner_mod
 from repro.bench.runner import (
     aggregation_cycles,
     clear_cache,
+    configure_runtime,
+    job_spec,
     make_accelerator,
     run_accelerator,
     run_suite,
+    run_sweep,
+    runtime_settings,
 )
 from repro.bench.workloads import BENCH_DATASETS, bench_scale, make_model
 
@@ -83,6 +88,60 @@ class TestRunner:
         agg = aggregation_cycles(r)
         assert agg > 0
         assert agg < r.stats.cycles
+
+    def test_memo_keyed_by_fingerprint(self):
+        clear_cache()
+        run_accelerator("cora", "rwp", scale=0.05)
+        fp = job_spec("cora", "rwp", 0.05).fingerprint()
+        assert fp in runner_mod._CACHE
+
+    def test_memo_is_bounded(self):
+        clear_cache()
+        configure_runtime(memo_limit=2)
+        try:
+            run_accelerator("cora", "rwp", scale=0.05)
+            run_accelerator("cora", "op", scale=0.05)
+            run_accelerator("cora", "rwp", scale=0.05, seed=1)
+            assert len(runner_mod._CACHE) == 2
+            # The oldest entry (rwp seed 0) was LRU-evicted.
+            assert job_spec("cora", "rwp", 0.05).fingerprint() not in runner_mod._CACHE
+        finally:
+            configure_runtime(memo_limit=256)
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        clear_cache()
+        configure_runtime(cache_dir=str(tmp_path), disk_cache=True)
+        first = run_accelerator("cora", "rwp", scale=0.05)
+        clear_cache()  # drop the memo; force the disk path
+        second = run_accelerator("cora", "rwp", scale=0.05)
+        assert second is not first
+        assert second.stats.cycles == first.stats.cycles
+        disk = runtime_settings()["disk_cache"]
+        assert disk.hits == 1 and disk.stores == 1
+
+    def test_run_sweep_primes_memo(self):
+        clear_cache()
+        specs = [job_spec("cora", k, 0.05) for k in ("rwp", "op")]
+        sweep = run_sweep(specs, n_jobs=1)
+        assert len(sweep.results) == 2
+        # run_accelerator now hits the memo (identity-preserved).
+        assert run_accelerator("cora", "rwp", scale=0.05) is (
+            sweep.results[specs[0].fingerprint()]
+        )
+
+    def test_run_suite_parallel_matches_serial(self):
+        clear_cache()
+        serial = run_suite("cora", kinds=("rwp", "hymm"), scale=0.05)
+        clear_cache()
+        parallel = run_suite("cora", kinds=("rwp", "hymm"), scale=0.05, n_jobs=2)
+        for kind in ("rwp", "hymm"):
+            assert parallel[kind].stats.cycles == serial[kind].stats.cycles
+
+    def test_make_accelerator_sort_mode(self):
+        acc = make_accelerator("hymm", sort_mode="none")
+        assert acc.sort_mode == "none"
+        with pytest.raises(ValueError):
+            make_accelerator("rwp", sort_mode="none")
 
 
 class TestTables:

@@ -1,8 +1,17 @@
 """Command-line interface for the experiment harness."""
 
+import json
+
 import pytest
 
-from repro.bench.cli import ALL_ORDER, EXPERIMENTS, build_parser, main
+from repro.bench.cli import (
+    ALL_ORDER,
+    EXPERIMENT_KINDS,
+    EXPERIMENTS,
+    build_parser,
+    collect_specs,
+    main,
+)
 
 
 class TestParser:
@@ -17,6 +26,25 @@ class TestParser:
         assert args.experiments == ["fig7", "table2"]
         assert args.datasets == ["cora"]
         assert args.full_scale
+
+    def test_runtime_flags_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        args = build_parser().parse_args(["fig7"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_runtime_flags_explicit(self):
+        args = build_parser().parse_args(
+            ["fig7", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_jobs_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert build_parser().parse_args(["fig7"]).jobs == 3
 
 
 class TestRegistry:
@@ -57,3 +85,69 @@ class TestMain:
         main(["table1", "--full-scale"])
         assert os.environ.get("REPRO_FULL_SCALE") == "1"
         monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+
+
+class TestSpecCollection:
+    def test_every_experiment_has_a_kind_entry(self):
+        assert set(EXPERIMENT_KINDS) == set(EXPERIMENTS)
+
+    def test_fig7_specs(self):
+        specs = collect_specs(["fig7"], ["cora"])
+        assert {s.kind for s in specs} == {"op", "rwp", "hymm"}
+        assert all(s.dataset == "cora" for s in specs)
+
+    def test_union_deduplicates(self):
+        # fig8/fig9 need the same runs as fig7; fig10 adds op-deferred.
+        specs = collect_specs(["fig7", "fig8", "fig9", "fig10"], ["cora"])
+        assert {s.kind for s in specs} == {"op", "rwp", "hymm", "op-deferred"}
+        assert len(specs) == 4
+
+    def test_tables_need_no_simulations(self):
+        assert collect_specs(["table1", "table2", "table3"], ["cora"]) == []
+
+
+class TestRuntimeIntegration:
+    @pytest.fixture(autouse=True)
+    def _small(self, monkeypatch):
+        from repro.bench.runner import clear_cache
+
+        monkeypatch.setattr(
+            "repro.bench.workloads._FAST_SCALES", {"cora": 0.05}
+        )
+        clear_cache()
+
+    def test_parallel_run_writes_json_and_manifest(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out = tmp_path / "out"
+        code = main([
+            "fig7", "--datasets", "cora", "--jobs", "2",
+            "--cache-dir", str(cache), "--output", str(out),
+        ])
+        assert code == 0
+        assert (out / "fig7.txt").exists()
+        payload = json.loads((out / "fig7.json").read_text())
+        assert payload["experiment"] == "fig7"
+        assert payload["data"]["total_speedup"]["op"]["CR"] == pytest.approx(1.0)
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert manifest["total"] == 3
+        assert manifest["executed"] == 3
+        err = capsys.readouterr().err
+        assert "[runtime]" in err
+
+    def test_second_invocation_hits_cache(self, tmp_path, capsys):
+        from repro.bench.runner import clear_cache
+
+        cache = tmp_path / "cache"
+        argv = ["fig7", "--datasets", "cora", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        clear_cache()  # fresh process simulation: memo gone, disk warm
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "3 cache hits (100%)" in err
+
+    def test_no_cache_skips_disk(self, tmp_path):
+        from repro.bench.runner import runtime_settings
+
+        out = main(["fig2", "--datasets", "cora", "--no-cache"])
+        assert out == 0
+        assert runtime_settings()["disk_cache"] is None

@@ -13,6 +13,17 @@ from repro.sim import DRAM, DRAMConfig, SimStats
 from repro.sparse import COOMatrix
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runtime(tmp_path, monkeypatch):
+    """Keep the persistent result cache out of the real home directory
+    and reset the process-wide runtime defaults after every test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "hymm-cache"))
+    yield
+    from repro.bench import runner
+
+    runner.configure_runtime(n_jobs=1, disk_cache=False)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,183 @@
+"""SweepExecutor: serial fallback, pool execution, timeout, retry.
+
+Custom runners injected here must be module-level (picklable) because
+the pool ships them to worker processes.
+"""
+
+import functools
+import pathlib
+import time
+
+import pytest
+
+from repro.runtime import JobSpec, ResultCache, SweepExecutor, execute_spec
+from repro.runtime.manifest import STATUS_CACHE_HIT, STATUS_DONE, STATUS_FAILED
+
+
+def _spec(kind="rwp", **kw):
+    base = dict(dataset="cora", kind=kind, scale=0.05)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# Injectable runners (top-level for pickling)
+# ----------------------------------------------------------------------
+def ok_runner(spec):
+    return f"ok:{spec.kind}:{spec.seed}"
+
+
+def failing_runner(spec):
+    raise RuntimeError("synthetic worker failure")
+
+
+def slow_runner(spec):
+    time.sleep(2.0)
+    return "too late"
+
+
+def flaky_runner(marker_dir, spec):
+    """Fails the first time each fingerprint is attempted, succeeds
+    after -- the marker file carries state across processes."""
+    marker = pathlib.Path(marker_dir) / spec.fingerprint()
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError("first attempt always fails")
+    return f"recovered:{spec.kind}"
+
+
+# ----------------------------------------------------------------------
+class TestSerial:
+    def test_serial_executes_real_job(self):
+        sweep = SweepExecutor(n_jobs=1).run([_spec()])
+        result = sweep.for_spec(_spec())
+        assert result is not None
+        assert result.stats.cycles > 0
+        assert sweep.manifest.executed == 1
+        assert sweep.manifest.records[0].worker == "serial"
+
+    def test_serial_matches_direct_execution(self):
+        direct = execute_spec(_spec())
+        via_executor = SweepExecutor(n_jobs=1).run([_spec()]).for_spec(_spec())
+        assert via_executor.stats.cycles == direct.stats.cycles
+
+    def test_duplicates_collapse(self):
+        sweep = SweepExecutor(n_jobs=1, runner=ok_runner).run(
+            [_spec(), _spec(), _spec(kind="op")]
+        )
+        assert sweep.manifest.total == 2
+        assert len(sweep.results) == 2
+
+    def test_serial_retry_then_fail(self):
+        sweep = SweepExecutor(n_jobs=1, runner=failing_runner, retries=2).run(
+            [_spec()]
+        )
+        record = sweep.manifest.records[0]
+        assert record.status == STATUS_FAILED
+        assert record.attempts == 3
+        assert "synthetic worker failure" in record.error
+        assert sweep.for_spec(_spec()) is None
+
+    def test_serial_flaky_recovers(self, tmp_path):
+        runner = functools.partial(flaky_runner, str(tmp_path))
+        sweep = SweepExecutor(n_jobs=1, runner=runner, retries=1).run([_spec()])
+        assert sweep.manifest.executed == 1
+        assert sweep.manifest.records[0].attempts == 2
+        assert sweep.results[_spec().fingerprint()] == "recovered:rwp"
+
+
+class TestPool:
+    def test_pool_runs_all_jobs(self):
+        specs = [_spec(seed=i) for i in range(4)]
+        sweep = SweepExecutor(n_jobs=2, runner=ok_runner).run(specs)
+        assert sweep.manifest.executed == 4
+        assert {r.worker for r in sweep.manifest.records} == {"pool"}
+        for spec in specs:
+            assert sweep.for_spec(spec) == f"ok:rwp:{spec.seed}"
+
+    def test_pool_executes_real_simulation(self):
+        sweep = SweepExecutor(n_jobs=2).run([_spec(), _spec(kind="op")])
+        assert sweep.manifest.executed == 2
+        for spec in (_spec(), _spec(kind="op")):
+            assert sweep.for_spec(spec).stats.cycles > 0
+
+    def test_pool_failure_after_retries(self):
+        sweep = SweepExecutor(n_jobs=2, runner=failing_runner, retries=1).run(
+            [_spec()]
+        )
+        record = sweep.manifest.records[0]
+        assert record.status == STATUS_FAILED
+        assert record.attempts == 2
+        assert "synthetic worker failure" in record.error
+
+    def test_pool_flaky_recovers(self, tmp_path):
+        runner = functools.partial(flaky_runner, str(tmp_path))
+        specs = [_spec(seed=i) for i in range(3)]
+        sweep = SweepExecutor(n_jobs=2, runner=runner, retries=1).run(specs)
+        assert sweep.manifest.executed == 3
+        assert sweep.manifest.failed == 0
+
+    def test_timeout_fails_job(self):
+        start = time.monotonic()
+        sweep = SweepExecutor(
+            n_jobs=2, runner=slow_runner, timeout=0.3, retries=0
+        ).run([_spec()])
+        elapsed = time.monotonic() - start
+        record = sweep.manifest.records[0]
+        assert record.status == STATUS_FAILED
+        assert "timed out" in record.error
+        assert elapsed < 1.9  # did not wait for the 2s sleep
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(timeout=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(retries=-1)
+
+
+class TestCacheIntegration:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [_spec(), _spec(kind="op")]
+        first = SweepExecutor(n_jobs=1, cache=cache).run(specs)
+        assert first.manifest.executed == 2
+        second = SweepExecutor(n_jobs=1, cache=cache).run(specs)
+        assert second.manifest.cache_hits == 2
+        assert second.manifest.executed == 0
+        assert second.manifest.hit_rate == 1.0
+        assert {r.status for r in second.manifest.records} == {STATUS_CACHE_HIT}
+        for spec in specs:
+            assert second.for_spec(spec).stats.cycles == (
+                first.for_spec(spec).stats.cycles
+            )
+
+    def test_manifest_reports_cache_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = SweepExecutor(n_jobs=1, cache=cache).run([_spec()])
+        assert sweep.manifest.cache_stats["stores"] == 1
+        assert sweep.manifest.cache_stats["misses"] == 1
+
+    def test_manifest_serialises(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        sweep = SweepExecutor(n_jobs=1, cache=cache).run([_spec()])
+        payload = json.dumps(sweep.manifest.to_dict())
+        assert _spec().fingerprint() in payload
+
+    def test_summary_mentions_counts(self):
+        sweep = SweepExecutor(n_jobs=1, runner=ok_runner).run([_spec()])
+        text = sweep.manifest.summary()
+        assert "1 job" in text and "1 simulated" in text
+
+
+class TestManifestStatuses:
+    def test_mixed_outcomes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ok = _spec()
+        SweepExecutor(n_jobs=1, cache=cache).run([ok])  # warm one entry
+        sweep = SweepExecutor(n_jobs=1, cache=cache).run(
+            [ok, _spec(kind="op")]
+        )
+        statuses = {r.status for r in sweep.manifest.records}
+        assert statuses == {STATUS_CACHE_HIT, STATUS_DONE}
