@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-stop local gate: runs exactly what CI runs, skipping tools that
+# are not installed (mypy/ruff are dev extras; the analyzer and pytest
+# only need the package itself).
+#
+#   ./scripts/check.sh          # analyzer + mypy + ruff + tests
+#   ./scripts/check.sh fast     # analyzer only (sub-second)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failed=0
+run() {
+    echo "==> $*"
+    "$@" || failed=1
+}
+
+run python -m repro.devtools.analyzer src/ --strict
+
+if [ "${1:-}" = "fast" ]; then
+    exit "$failed"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run mypy --strict src/
+else
+    echo "==> mypy not installed; skipping (pip install -e .[dev])"
+fi
+
+if command -v ruff >/dev/null 2>&1; then
+    run ruff check src/
+else
+    echo "==> ruff not installed; skipping (pip install -e .[dev])"
+fi
+
+run python -m pytest -x -q
+
+exit "$failed"

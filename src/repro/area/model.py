@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 from repro.area.logic import control_area_mm2, mac_area_mm2
 from repro.area.sram import cam_area_mm2, sram_area_mm2
@@ -31,7 +31,7 @@ class AreaReport:
     def total(self) -> float:
         return sum(self.components.values())
 
-    def rows(self):
+    def rows(self) -> "List[Tuple[str, float]]":
         """(component, area) pairs in Table III order, plus the total."""
         order = ["PE Array", "DMB", "SMQ", "LSQ", "Others"]
         out = [(name, self.components[name]) for name in order]
@@ -49,7 +49,7 @@ class AreaModel:
     what the design-space benches sweep.
     """
 
-    def __init__(self, config: HyMMConfig = None):
+    def __init__(self, config: "Optional[HyMMConfig]" = None) -> None:
         self.config = config if config is not None else HyMMConfig()
 
     def report(self, node: str = "7nm") -> AreaReport:

@@ -36,7 +36,7 @@ class CWPAccelerator(AcceleratorBase):
         self,
         config: Optional[HyMMConfig] = None,
         local_accumulator_rows: int = 256,
-    ):
+    ) -> None:
         if config is None:
             # Prior-accelerator organisation: split input/output buffers.
             config = HyMMConfig(unified_buffer=False)
@@ -50,7 +50,7 @@ class CWPAccelerator(AcceleratorBase):
         prep["adj_csc"] = coo_to_csc(model.norm_adj)
         return prep
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         adj_csc = prep["adj_csc"]
         h = xw.shape[1]
         lpr = ctx.config.lines_per_row(h)
@@ -66,10 +66,10 @@ class CWPAccelerator(AcceleratorBase):
         ctx.buffer.evict_priority = AGGREGATION_PRIORITY
 
         # PE-local accumulator pool: output row -> present (LRU order).
-        pool: OrderedDict = OrderedDict()
+        pool: "OrderedDict[int, bool]" = OrderedDict()
         touched = set()
 
-        def spill_row(row: int):
+        def spill_row(row: int) -> None:
             """Merge an evicted local accumulation into the DMB."""
             for ln in range(lpr):
                 addr = out_base + row * lpr + ln

@@ -37,7 +37,7 @@ class GCoDAccelerator(AcceleratorBase):
 
     name = "gcod"
 
-    def __init__(self, config: Optional[HyMMConfig] = None):
+    def __init__(self, config: Optional[HyMMConfig] = None) -> None:
         if config is None:
             # Prior-accelerator organisation: split input/output buffers.
             config = HyMMConfig(unified_buffer=False)
@@ -73,7 +73,7 @@ class GCoDAccelerator(AcceleratorBase):
             "sparse_cluster_csc": coo_to_csc(sparse_cluster),
         }
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         plan = prep["plan"]
         n = xw.shape[0]
         h = xw.shape[1]

@@ -30,7 +30,7 @@ class OPAccelerator(AcceleratorBase):
 
     name = "op"
 
-    def __init__(self, config: Optional[HyMMConfig] = None, merge_mode: str = "pe"):
+    def __init__(self, config: Optional[HyMMConfig] = None, merge_mode: str = "pe") -> None:
         if config is None:
             # Prior-accelerator organisation: split input/output buffers.
             config = HyMMConfig(unified_buffer=False)
@@ -45,13 +45,15 @@ class OPAccelerator(AcceleratorBase):
         prep["features_csc"] = coo_to_csc(model.dataset.features.to_coo())
         return prep
 
-    def run_combination(self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights):
+    def run_combination(
+        self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights: np.ndarray
+    ) -> np.ndarray:
         # The CSC view prepared up front is what the OP engine streams.
         return combination_op(
             ctx, prep["features_csc"], weights, merge_mode=self.merge_mode
         )
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         return aggregation_op(
             ctx, prep["adj_csc"], xw, merge_mode=self.merge_mode
         )

@@ -18,7 +18,7 @@ non-zero in every band, so the dense matrix is re-streamed almost
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class TiledOPAccelerator(AcceleratorBase):
         self,
         config: Optional[HyMMConfig] = None,
         band_rows: Optional[int] = None,
-    ):
+    ) -> None:
         if config is None:
             config = HyMMConfig(unified_buffer=False)
         super().__init__(config)
@@ -86,7 +86,15 @@ class TiledOPAccelerator(AcceleratorBase):
         prep["band_rows"] = band
         return prep
 
-    def _run_banded(self, ctx: KernelContext, bands, kernel, operand, out_rows, width):
+    def _run_banded(
+        self,
+        ctx: KernelContext,
+        bands: List[Tuple[int, CSCMatrix]],
+        kernel: "Callable[..., np.ndarray]",
+        operand: np.ndarray,
+        out_rows: int,
+        width: int,
+    ) -> np.ndarray:
         out = np.zeros((out_rows, width), dtype=VALUE_DTYPE)
         for lo, band_csc in bands:
             kernel(
@@ -101,7 +109,9 @@ class TiledOPAccelerator(AcceleratorBase):
             )
         return out
 
-    def run_combination(self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights):
+    def run_combination(
+        self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights: np.ndarray
+    ) -> np.ndarray:
         return self._run_banded(
             ctx,
             prep["feature_bands"],
@@ -111,7 +121,7 @@ class TiledOPAccelerator(AcceleratorBase):
             weights.shape[1],
         )
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         return self._run_banded(
             ctx,
             prep["adj_bands"],

@@ -8,6 +8,8 @@ exploit whatever column clustering the raw graph happens to have.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.gcn.model import GCNModel
@@ -29,7 +31,7 @@ class RWPAccelerator(AcceleratorBase):
 
     name = "rwp"
 
-    def __init__(self, config=None):
+    def __init__(self, config: Optional[HyMMConfig] = None) -> None:
         if config is None:
             config = HyMMConfig(unified_buffer=False)
         super().__init__(config)
@@ -39,5 +41,5 @@ class RWPAccelerator(AcceleratorBase):
         prep["adj_csr"] = coo_to_csr(model.norm_adj)
         return prep
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         return aggregation_rwp(ctx, prep["adj_csr"], xw)

@@ -39,7 +39,7 @@ _FIG_SUITE_KINDS = ("op", "rwp", "hymm")
 
 
 def _table(fn: Callable) -> Callable[[Optional[List[str]]], Dict[str, object]]:
-    def run(datasets):
+    def run(datasets: Optional[List[str]]) -> Dict[str, object]:
         out = fn()
         return {"text": out} if isinstance(out, str) else out
 
@@ -47,7 +47,7 @@ def _table(fn: Callable) -> Callable[[Optional[List[str]]], Dict[str, object]]:
 
 
 def _figure(fn: Callable) -> Callable[[Optional[List[str]]], Dict[str, object]]:
-    def run(datasets):
+    def run(datasets: Optional[List[str]]) -> Dict[str, object]:
         kwargs = {"datasets": datasets} if datasets else {}
         return fn(**kwargs)
 
@@ -174,12 +174,13 @@ def _configure_runtime(args) -> None:
 def _prewarm(names: List[str], datasets: Iterable[str], args, out_dir) -> None:
     """Simulate everything the experiments need, in parallel, up front."""
     from repro.bench.runner import run_sweep
+    from repro.runtime.manifest import JobRecord
 
     specs = collect_specs(names, datasets)
     if not specs:
         return
 
-    def progress(record, n_finished, n_total):
+    def progress(record: "JobRecord", n_finished: int, n_total: int) -> None:
         status = record.status
         if record.error:
             status += f" ({record.error})"

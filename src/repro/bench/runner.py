@@ -233,7 +233,7 @@ def aggregation_cycles(result: RunResult) -> float:
     return sum(v for k, v in result.phase_cycles.items() if k.endswith("aggregation"))
 
 
-def _aggregation_phase_sums(result: RunResult):
+def _aggregation_phase_sums(result: RunResult) -> Dict[str, float]:
     phases = [v for k, v in result.phase_stats.items() if k.endswith("aggregation")]
     return {
         key: sum(p[key] for p in phases)

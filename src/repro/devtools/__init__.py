@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the reproduction.
+
+Currently one subpackage: :mod:`repro.devtools.analyzer`, the AST-based
+contract checker that enforces the runtime's determinism,
+wire-serialisation, and cycle-accounting invariants at lint time.
+"""

@@ -1,0 +1,52 @@
+"""AST-based contract checker for the HyMM reproduction.
+
+``python -m repro.devtools.analyzer src/`` parses the tree (never
+imports it) and enforces the runtime's standing contracts at lint time:
+
+=====================  ==============================================
+Rule                   Contract it protects
+=====================  ==============================================
+``determinism``        parallel sweeps bit-identical to serial: no
+                       wall-clock reads / global or unseeded RNG /
+                       literal seeds in simulator packages
+``wire-schema``        every dataclass crossing the process/cache
+                       boundary round-trips all of its fields
+``stats-conservation`` every ``SimStats`` counter has a simulator
+                       write site; traffic tags stay in the declared
+                       vocabulary
+``config-hygiene``     every ``HyMMConfig`` field is consumed --
+                       no dead ablation knobs
+``mutable-state``      no shared mutable defaults in functions or
+                       pool-crossing dataclasses
+=====================  ==============================================
+
+See ``docs/static-analysis.md`` for rationale, CLI usage, and how to
+add a rule or baseline a finding.
+"""
+
+from repro.devtools.analyzer.baseline import Baseline
+from repro.devtools.analyzer.core import (
+    REGISTRY,
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    make_rules,
+    register,
+    run_rules,
+)
+
+# Importing the rules package registers the built-in rules.
+import repro.devtools.analyzer.rules  # noqa: E402,F401  isort: skip
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "REGISTRY",
+    "Rule",
+    "SourceModule",
+    "make_rules",
+    "register",
+    "run_rules",
+]

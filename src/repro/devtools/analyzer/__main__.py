@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.devtools.analyzer``."""
+
+import sys
+
+from repro.devtools.analyzer.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

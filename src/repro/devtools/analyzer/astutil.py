@@ -1,0 +1,128 @@
+"""Small AST utilities shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """local name -> fully qualified name, from top-level imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    Only module-level imports are scanned -- function-local imports are
+    resolved by a per-function pass in the rules that care.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_target(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully qualified dotted name of a Name/Attribute expression,
+    resolving the leading segment through ``aliases``."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """Whether the class is decorated with ``@dataclass`` /
+    ``@dataclasses.dataclass(...)`` (by name; no import resolution --
+    the repo has no other decorator of that name)."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = dotted_name(target)
+        if dotted in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    """(name, AnnAssign) for every field, skipping ``ClassVar`` ones."""
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((stmt.target.id, stmt))
+    return fields
+
+
+def annotation_names(annotation: ast.AST) -> Set[str]:
+    """Every identifier mentioned in a type annotation, including names
+    inside string ("forward reference") annotations."""
+    names: Set[str] = set()
+    stack: List[ast.AST] = [annotation]
+    while stack:
+        node = stack.pop()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.add(sub.attr)
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    stack.append(ast.parse(sub.value, mode="eval").body)
+                except SyntaxError:
+                    pass
+    return names
+
+
+def methods_of(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def walk_excluding(
+    tree: ast.AST, excluded: Set[ast.AST]
+) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into ``excluded`` subtrees."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if node in excluded:
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,105 @@
+"""Baseline (suppression) file: tracked, justified debt.
+
+A baseline is a JSON document listing finding keys that are *known* and
+*accepted for now*, each with a mandatory human-written reason::
+
+    {
+      "version": 1,
+      "findings": [
+        {"key": "determinism::src/repro/x.py::time.time",
+         "reason": "profiling hook, stripped before results are cached"}
+      ]
+    }
+
+Keys are line-insensitive (rule + path + symbol), so reformatting a
+file does not invalidate its baseline entries.  ``--write-baseline``
+emits entries with a placeholder reason that a human is expected to
+replace; CI should reject placeholder reasons in review, not
+mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devtools.analyzer.core import Finding
+
+PLACEHOLDER_REASON = "TODO: justify or fix"
+
+
+@dataclass
+class Baseline:
+    """Accepted finding keys with their justifications."""
+
+    reasons: Dict[str, str] = field(default_factory=dict)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.reasons
+
+    def __len__(self) -> int:
+        return len(self.reasons)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline file; raises ValueError on malformed input
+        (a broken baseline must fail loudly, not silently allow
+        everything)."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(data.get("findings"), list):
+            raise ValueError(
+                f"baseline {path} must be an object with a 'findings' list"
+            )
+        reasons: Dict[str, str] = {}
+        for entry in data["findings"]:
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise ValueError(
+                    f"baseline {path}: every finding needs a 'key' "
+                    f"(got {entry!r})"
+                )
+            reasons[str(entry["key"])] = str(entry.get("reason", ""))
+        return cls(reasons=reasons)
+
+    def dump(self, path: Path) -> None:
+        entries = [
+            {"key": key, "reason": reason}
+            for key, reason in sorted(self.reasons.items())
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "findings": entries}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            reasons={f.key(): PLACEHOLDER_REASON for f in findings}
+        )
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """(new, baselined, stale-keys).
+
+        Stale keys are baseline entries no current finding matches --
+        paid-off debt whose entry should be deleted.
+        """
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen = set()
+        for finding in findings:
+            key = finding.key()
+            if key in self.reasons:
+                baselined.append(finding)
+                seen.add(key)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.reasons) - seen)
+        return new, baselined, stale

@@ -1,0 +1,187 @@
+"""Command line interface: ``python -m repro.devtools.analyzer``.
+
+Exit status: 0 when every finding is suppressed (inline) or baselined,
+1 when any new error-severity finding exists (warnings are reported but
+do not fail unless ``--strict``), 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.analyzer.core import (
+    REGISTRY,
+    Finding,
+    Project,
+    load_pyproject_config,
+    make_rules,
+    run_rules,
+)
+from repro.devtools.analyzer.baseline import Baseline
+
+# Registration side effect: importing the rules package fills REGISTRY.
+import repro.devtools.analyzer.rules  # noqa: F401  isort: skip
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.analyzer",
+        description=(
+            "AST-based contract checker for the HyMM reproduction: "
+            "determinism, wire-schema completeness, cycle-accounting "
+            "conservation, config hygiene, shared-state hazards."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of accepted findings (suppressed, tracked)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to --baseline (or .analyzer-baseline.json) "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--rules", metavar="NAME[,NAME...]", default=None,
+        help="run only these rules (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures too",
+    )
+    return parser
+
+
+def _render_text(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    out,
+) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    if baselined:
+        print(f"({len(baselined)} baselined finding(s) suppressed)", file=out)
+    for key in stale:
+        print(
+            f"stale baseline entry (no longer fires, delete it): {key}",
+            file=out,
+        )
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(
+        f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)",
+        file=out,
+    )
+
+
+def _render_json(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    out,
+) -> None:
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "key": f.key(),
+            }
+            for f in findings
+        ],
+        "baselined": [f.key() for f in baselined],
+        "stale_baseline_keys": list(stale),
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule_cls in REGISTRY.items():
+            print(f"{name:20s} [{rule_cls.default_severity}] "
+                  f"{rule_cls.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = load_pyproject_config(Path.cwd())
+    only: Optional[List[str]] = None
+    if args.rules is not None:
+        only = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        rules = make_rules(config, only=only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    project = Project.load(paths, root=Path.cwd())
+    for path, message in project.parse_errors:
+        print(f"error: cannot parse {path}: {message}", file=sys.stderr)
+    if project.parse_errors:
+        return 2
+
+    findings = run_rules(project, rules)
+
+    baseline_path = Path(
+        args.baseline if args.baseline is not None else ".analyzer-baseline.json"
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).dump(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}; "
+            f"replace every placeholder reason with a justification",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = Baseline()
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    new, baselined, stale = baseline.split(findings)
+    out = sys.stdout
+    if args.format == "json":
+        _render_json(new, baselined, stale, out)
+    else:
+        _render_text(new, baselined, stale, out)
+
+    failing = [
+        f for f in new if f.severity == "error" or args.strict
+    ]
+    return 1 if failing else 0

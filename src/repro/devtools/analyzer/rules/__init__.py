@@ -1,0 +1,13 @@
+"""Built-in contract rules.
+
+Importing this package registers every rule with
+:data:`repro.devtools.analyzer.core.REGISTRY`.
+"""
+
+from repro.devtools.analyzer.rules import (  # noqa: F401
+    config_hygiene,
+    determinism,
+    mutable_state,
+    stats_conservation,
+    wire_schema,
+)

@@ -1,0 +1,192 @@
+"""Rule ``determinism``: no wall-clock or ambient randomness in sim code.
+
+The runtime's core contract is that a sweep run with ``n_jobs=4`` is
+bit-identical to the same sweep run serially, and that a cached result
+equals a recomputed one.  That only holds if simulator/model code never
+reads ambient nondeterministic state:
+
+* **absolute wall-clock time** (``time.time``, ``datetime.now``, ...)
+  -- timestamps differ between runs and machines;
+* **process-global RNG state** (``random.random``, the legacy
+  ``numpy.random.*`` functions, ``np.random.seed``) -- the global
+  stream's position depends on unrelated code having run first, which
+  differs between a pool worker and the parent process;
+* **unseeded generators** (``np.random.default_rng()`` with no
+  argument, ``random.Random()`` with no argument) -- fresh OS entropy
+  per call;
+* **hard-coded literal seeds** (``np.random.default_rng(0xC0FFEE)``)
+  -- deterministic, but invisible to the :class:`JobSpec` fingerprint:
+  two jobs that differ only in ``seed`` would simulate identically,
+  silently.  Seeds must flow in from config / the job spec.
+
+Duration measurement (``time.perf_counter`` / ``time.monotonic``) is
+deliberately *not* flagged: elapsed-time metadata (``wall_seconds``,
+``sort_ms``) measures the host, never feeds simulated results, and is
+excluded from result comparisons.
+
+Scope: the simulator/model packages (``options["scope"]``).  The
+execution layer (``repro.runtime``), which legitimately timestamps
+manifests and cache records, is outside the scope list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.analyzer import astutil
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+
+#: Fully qualified callables that read absolute wall-clock time.
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Seedable generator constructors: fine with a non-literal seed
+#: argument, flagged when unseeded or seeded with a literal.
+GENERATORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "random.Random",
+}
+
+#: Other ambient-entropy reads that can never be replayed.
+AMBIENT = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "secrets.choice",
+}
+
+#: numpy.random attributes that are *not* the legacy global-state API.
+NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # explicit instance; construction is checked separately
+}
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no wall-clock reads, global-RNG use, unseeded or literal-seeded "
+        "generators in simulator/model packages"
+    )
+    default_severity = "error"
+    default_options = {
+        "scope": [
+            "repro.sim",
+            "repro.hymm",
+            "repro.baselines",
+            "repro.graphs",
+            "repro.sparse",
+            "repro.gcn",
+        ],
+    }
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        scope = tuple(self.options["scope"])
+        for mod in project.in_package(*scope):
+            aliases = astutil.import_aliases(mod.tree)
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(project, mod, node, aliases)
+                elif isinstance(node, (ast.Attribute, ast.Name)):
+                    yield from self._check_reference(project, mod, node, aliases)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, project, mod, node: ast.Call, aliases) -> Iterator[Finding]:
+        target = _resolve_imported(node.func, aliases)
+        if target is None:
+            return
+        if target in GENERATORS:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    project, mod, node,
+                    f"unseeded RNG: {target}() draws fresh OS entropy per "
+                    f"call; pass a seed that originates in the job spec/config",
+                    symbol=target,
+                )
+            else:
+                seed = node.args[0] if node.args else None
+                if seed is None:
+                    for kw in node.keywords:
+                        if kw.arg in ("seed", "x"):
+                            seed = kw.value
+                if isinstance(seed, ast.Constant) and isinstance(
+                    seed.value, (int, float)
+                ):
+                    yield self.finding(
+                        project, mod, node,
+                        f"hard-coded RNG seed {seed.value!r} in {target}(): "
+                        f"invisible to the JobSpec fingerprint; thread the "
+                        f"seed in from config/JobSpec",
+                        symbol=f"{target}:literal-seed",
+                    )
+
+    def _check_reference(self, project, mod, node, aliases) -> Iterator[Finding]:
+        target = _resolve_imported(node, aliases)
+        if target is None:
+            return
+        if target in WALL_CLOCK or target in AMBIENT:
+            what = "wall-clock read" if target in WALL_CLOCK else "ambient entropy"
+            yield self.finding(
+                project, mod, node,
+                f"{what}: {target} is nondeterministic across runs/hosts; "
+                f"simulated results must not depend on it",
+                symbol=target,
+            )
+            return
+        head, _, attr = target.rpartition(".")
+        if head == "random" and attr not in ("Random", "SystemRandom"):
+            yield self.finding(
+                project, mod, node,
+                f"process-global RNG: random.{attr} uses the module-level "
+                f"generator; construct random.Random(seed) from the job seed",
+                symbol=f"random.{attr}",
+            )
+        elif head == "numpy.random" and attr not in NUMPY_RANDOM_OK:
+            yield self.finding(
+                project, mod, node,
+                f"legacy global RNG: numpy.random.{attr} mutates/reads "
+                f"process-global state; use numpy.random.default_rng(seed)",
+                symbol=f"numpy.random.{attr}",
+            )
+
+
+def _resolve_imported(node: ast.AST, aliases) -> "str | None":
+    """Fully qualified name of a Name/Attribute chain whose head was
+    actually imported in this module; ``None`` otherwise.
+
+    Requiring the head to appear in the import table means a local
+    variable that happens to be called ``time`` or ``random`` can never
+    trigger a false positive.
+    """
+    dotted = astutil.dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head)
+    if resolved is None:
+        return None
+    return f"{resolved}.{rest}" if rest else resolved

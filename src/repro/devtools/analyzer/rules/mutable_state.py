@@ -1,0 +1,146 @@
+"""Rule ``mutable-state``: no shared mutable defaults.
+
+Objects that cross the process-pool boundary (job specs, results,
+manifests) and long-lived simulator classes must not share mutable
+state through defaults:
+
+* a **mutable default argument** (``def f(x=[])``) is one object shared
+  by every call -- state leaks between jobs executed in the same
+  worker;
+* a **dataclass field defaulted to a shared object**
+  (``field(default=SOMETHING_MUTABLE)`` or a bare mutable-call default
+  like ``x: dict = {}``) aliases that object across every instance;
+  dataclasses reject literal list/dict/set defaults at class-creation
+  time, but ``field(default=...)`` and arbitrary constructor calls
+  slip through;
+* a **mutable class attribute** (``class C: cache = {}``) on a
+  dataclass is shared by all instances and survives ``replace()`` /
+  ``from_dict`` round-trips.
+
+Use ``field(default_factory=...)`` (dataclasses) or ``None``-plus-
+construct-in-body (functions) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.analyzer import astutil
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+
+#: Constructor names whose no-arg call builds a fresh mutable container
+#: -- still shared when used as a default.
+MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+}
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    """A short description if ``node`` is a mutable default, else None."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return "literal " + type(node).__name__.lower().replace("comp", " comprehension")
+    if isinstance(node, ast.Call):
+        name = astutil.dotted_name(node.func)
+        if name is not None and name.split(".")[-1] in MUTABLE_CALLS:
+            return f"call to {name}()"
+    return None
+
+
+@register
+class MutableStateRule(Rule):
+    name = "mutable-state"
+    description = (
+        "no mutable default arguments, shared dataclass field defaults, "
+        "or mutable class attributes"
+    )
+    default_severity = "error"
+    default_options = {}
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_defaults(project, mod, node)
+                elif isinstance(node, ast.ClassDef) and astutil.is_dataclass_def(
+                    node
+                ):
+                    yield from self._check_dataclass(project, mod, node)
+
+    # ------------------------------------------------------------------
+    def _check_defaults(self, project, mod, fn) -> Iterator[Finding]:
+        args = fn.args
+        defaults = list(zip(args.posonlyargs + args.args, _right_align(args)))
+        defaults += [
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+        ]
+        for arg, default in defaults:
+            if default is None:
+                continue
+            reason = _mutable_default(default)
+            if reason is not None:
+                yield self.finding(
+                    project, mod, default,
+                    f"mutable default for parameter {arg.arg!r} of "
+                    f"{fn.name}() ({reason}): one shared object across "
+                    f"calls; default to None and construct in the body",
+                    symbol=f"{fn.name}.{arg.arg}:mutable-default",
+                )
+
+    def _check_dataclass(self, project, mod, cls: ast.ClassDef) -> Iterator[Finding]:
+        for stmt in cls.body:
+            # Shared class attribute: plain assignment of a mutable value.
+            if isinstance(stmt, ast.Assign):
+                reason = _mutable_default(stmt.value)
+                if reason is not None:
+                    names = ", ".join(
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    )
+                    yield self.finding(
+                        project, mod, stmt,
+                        f"mutable class attribute {names!r} on dataclass "
+                        f"{cls.name} ({reason}): shared by every instance "
+                        f"and every pool worker; use field(default_factory=...)",
+                        symbol=f"{cls.name}.{names}:class-attr",
+                    )
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+                target = (
+                    stmt.target.id if isinstance(stmt.target, ast.Name) else "?"
+                )
+                # field(default=<mutable>) slips past dataclass's own check.
+                if isinstance(value, ast.Call) and astutil.dotted_name(
+                    value.func
+                ) in ("field", "dataclasses.field"):
+                    for kw in value.keywords:
+                        if kw.arg != "default":
+                            continue
+                        reason = _mutable_default(kw.value)
+                        if reason is not None:
+                            yield self.finding(
+                                project, mod, kw.value,
+                                f"dataclass field {cls.name}.{target} uses "
+                                f"field(default=...) with a mutable value "
+                                f"({reason}); use default_factory instead",
+                                symbol=f"{cls.name}.{target}:field-default",
+                            )
+                else:
+                    reason = _mutable_default(value)
+                    if reason is not None:
+                        yield self.finding(
+                            project, mod, value,
+                            f"dataclass field {cls.name}.{target} defaults "
+                            f"to a shared mutable object ({reason}); use "
+                            f"field(default_factory=...)",
+                            symbol=f"{cls.name}.{target}:field-default",
+                        )
+
+
+def _right_align(args: ast.arguments):
+    """Defaults aligned to posonly+positional args (ast stores them
+    right-aligned; missing slots become None)."""
+    positional = args.posonlyargs + args.args
+    pad = [None] * (len(positional) - len(args.defaults))
+    return pad + list(args.defaults)

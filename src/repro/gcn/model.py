@@ -61,7 +61,7 @@ class GCNModel:
             outputs.append(h)
         return outputs
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         dims = " -> ".join(
             [str(self.layers[0].fan_in)] + [str(l.fan_out) for l in self.layers]
         )

@@ -37,7 +37,7 @@ class GraphDataset:
     hidden_dim: int = 16
     scale: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         n = self.adjacency.shape[0]
         if self.adjacency.shape[0] != self.adjacency.shape[1]:
             raise ValueError("adjacency matrix must be square")
@@ -87,7 +87,7 @@ class GraphDataset:
             "max_degree": stats.max,
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"GraphDataset({self.name!r}, nodes={self.n_nodes}, "
             f"edges={self.n_edges}, features={self.feature_length}, "

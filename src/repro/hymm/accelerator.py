@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional, Tuple
+
 import numpy as np
 
 from repro.gcn.model import GCNModel
@@ -27,34 +29,46 @@ class HyMMAccelerator(AcceleratorBase):
     signal), or ``"none"`` (original order).  Results are mapped back
     to original node order either way, so outputs compare directly
     against baselines and the NumPy oracle.
+
+    ``sort_seed`` seeds the ``"random"`` relabelling.  It flows in from
+    the caller (``JobSpec.seed`` through the runtime's
+    ``make_accelerator``) so the permutation is part of the job's
+    fingerprinted identity -- a hard-coded seed here would make jobs
+    that differ only in ``seed`` simulate identically, silently.
     """
 
     name = "hymm"
 
     SORT_MODES = ("degree", "random", "none")
 
-    def __init__(self, config=None, sort_mode: str = "degree"):
+    def __init__(
+        self,
+        config: Optional[HyMMConfig] = None,
+        sort_mode: str = "degree",
+        sort_seed: int = 0,
+    ) -> None:
         super().__init__(config)
         if sort_mode not in self.SORT_MODES:
             raise ValueError(
                 f"sort_mode must be one of {self.SORT_MODES}, got {sort_mode!r}"
             )
         self.sort_mode = sort_mode
+        self.sort_seed = int(sort_seed)
         if sort_mode != "degree":
             self.name = f"hymm-{sort_mode}sort" if sort_mode == "random" else "hymm-nosort"
 
-    def _permutation(self, dataset) -> tuple:
+    def _permutation(self, dataset: Any) -> Tuple[np.ndarray, float]:
         """(permutation, sorting cost in ms) per the configured mode."""
         if self.sort_mode == "degree":
             sort = degree_sort(dataset.adjacency)
             return sort.permutation, sort.elapsed_ms
         n = dataset.n_nodes
         if self.sort_mode == "random":
-            rng = np.random.default_rng(0xC0FFEE)
+            rng = np.random.default_rng(self.sort_seed)
             return rng.permutation(n), 0.0
         return np.arange(n), 0.0
 
-    def prepare(self, model: GCNModel) -> dict:
+    def prepare(self, model: GCNModel) -> Dict[str, Any]:
         cfg = self.config
         dataset = model.dataset
         perm, sort_ms = self._permutation(dataset)
@@ -85,5 +99,7 @@ class HyMMAccelerator(AcceleratorBase):
             "permutation": perm,
         }
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(
+        self, ctx: KernelContext, prep: Dict[str, Any], xw: np.ndarray
+    ) -> np.ndarray:
         return aggregation_hybrid(ctx, prep["plan"], prep["low_rows_csr"], xw)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -145,7 +145,7 @@ class AcceleratorBase:
     #: Short name used in reports ("rwp", "op", "hymm", ...).
     name = "base"
 
-    def __init__(self, config: Optional[HyMMConfig] = None):
+    def __init__(self, config: Optional[HyMMConfig] = None) -> None:
         self.config = config if config is not None else HyMMConfig()
 
     # ------------------------------------------------------------------
@@ -162,16 +162,18 @@ class AcceleratorBase:
         """
         return {"features": model.dataset.features, "sort_ms": 0.0, "unpermute": None}
 
-    def run_combination(self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights):
+    def run_combination(
+        self, ctx: KernelContext, prep: dict, features: CSRMatrix, weights: np.ndarray
+    ) -> np.ndarray:
         """Combination dataflow; default is row-wise product (Table I)."""
         return combination_rwp(ctx, features, weights)
 
-    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray):
+    def run_aggregation(self, ctx: KernelContext, prep: dict, xw: np.ndarray) -> np.ndarray:
         """Aggregation dataflow; must be provided by the subclass."""
         raise NotImplementedError
 
     @staticmethod
-    def _snapshot(stats: SimStats):
+    def _snapshot(stats: SimStats) -> Tuple[int, int, int, int]:
         return (
             stats.busy_cycles,
             sum(stats.buffer_hits.values()),
@@ -212,7 +214,7 @@ class AcceleratorBase:
         mark = 0.0
         snap = self._snapshot(stats)
 
-        def close_phase(name: str):
+        def close_phase(name: str) -> None:
             nonlocal mark, snap
             now = engine.drain()
             new_snap = self._snapshot(stats)

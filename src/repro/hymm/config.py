@@ -140,5 +140,7 @@ class HyMMConfig:
         kwargs = dict(data)
         dram = kwargs.pop("dram", None)
         if dram is not None:
-            kwargs["dram"] = dram if isinstance(dram, DRAMConfig) else DRAMConfig(**dram)
+            kwargs["dram"] = (
+                dram if isinstance(dram, DRAMConfig) else DRAMConfig.from_dict(dram)
+            )
         return cls(**kwargs)

@@ -17,7 +17,7 @@ adds the accelerator-level concerns:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.hymm.config import HyMMConfig
 from repro.sim.buffer import (
@@ -47,7 +47,7 @@ class AddressMap:
     a matrix with more than 16 values span consecutive line indices.
     """
 
-    def __init__(self, config: HyMMConfig):
+    def __init__(self, config: HyMMConfig) -> None:
         self.config = config
 
     def _addr(self, space: int, layer: int, line_index: int) -> int:
@@ -76,7 +76,7 @@ class AddressMap:
 class DenseMatrixBuffer(CacheBuffer):
     """The paper's unified DMB: one buffer for W, XW, AXW and partials."""
 
-    def __init__(self, config: HyMMConfig, dram: DRAM, stats: SimStats):
+    def __init__(self, config: HyMMConfig, dram: DRAM, stats: SimStats) -> None:
         super().__init__(
             capacity_lines=config.capacity_lines,
             line_bytes=config.line_bytes,
@@ -100,7 +100,7 @@ class SplitBufferPair:
 
     _INPUT_CLASSES = (CLASS_W, CLASS_XW)
 
-    def __init__(self, config: HyMMConfig, dram: DRAM, stats: SimStats):
+    def __init__(self, config: HyMMConfig, dram: DRAM, stats: SimStats) -> None:
         half = max(1, config.capacity_lines // 2)
         common = dict(
             line_bytes=config.line_bytes,
@@ -123,30 +123,32 @@ class SplitBufferPair:
         return self.input_buffer.evict_priority
 
     @evict_priority.setter
-    def evict_priority(self, order):
+    def evict_priority(self, order: Iterable[str]) -> None:
         self.input_buffer.evict_priority = order
         self.output_buffer.evict_priority = order
 
-    def read(self, cycle, addr, cls, tag):
+    def read(self, cycle: float, addr: int, cls: str, tag: str) -> Tuple[float, float]:
         return self._route(cls).read(cycle, addr, cls, tag)
 
-    def write(self, cycle, addr, cls, tag, allocate=True):
+    def write(
+        self, cycle: float, addr: int, cls: str, tag: str, allocate: bool = True
+    ) -> float:
         return self._route(cls).write(cycle, addr, cls, tag, allocate=allocate)
 
-    def accumulate(self, cycle, addr, tag=CLASS_PARTIAL):
+    def accumulate(self, cycle: float, addr: int, tag: str = CLASS_PARTIAL) -> float:
         return self.output_buffer.accumulate(cycle, addr, tag)
 
-    def flush(self, cycle, cls: Optional[str] = None, tag: Optional[str] = None):
+    def flush(self, cycle: float, cls: Optional[str] = None, tag: Optional[str] = None) -> float:
         end = self.input_buffer.flush(cycle, cls=cls, tag=tag)
         return self.output_buffer.flush(end, cls=cls, tag=tag)
 
-    def drop_spilled_partials(self):
+    def drop_spilled_partials(self) -> int:
         return self.output_buffer.drop_spilled_partials()
 
-    def invalidate(self, cls):
+    def invalidate(self, cls: str) -> int:
         return self.input_buffer.invalidate(cls) + self.output_buffer.invalidate(cls)
 
-    def reclassify(self, from_cls, to_cls, cycle: float = 0.0):
+    def reclassify(self, from_cls: str, to_cls: str, cycle: float = 0.0) -> int:
         src_is_input = from_cls in self._INPUT_CLASSES
         dst_is_input = to_cls in self._INPUT_CLASSES
         if src_is_input == dst_is_input:
@@ -163,7 +165,7 @@ class SplitBufferPair:
     def contains(self, addr: int) -> bool:
         return self.input_buffer.contains(addr) or self.output_buffer.contains(addr)
 
-    def occupancy_by_class(self):
+    def occupancy_by_class(self) -> Dict[str, int]:
         merged = self.input_buffer.occupancy_by_class()
         for cls, lines in self.output_buffer.occupancy_by_class().items():
             merged[cls] = merged.get(cls, 0) + lines
@@ -174,7 +176,9 @@ class SplitBufferPair:
         return self.input_buffer.size_lines + self.output_buffer.size_lines
 
 
-def make_buffer(config: HyMMConfig, dram: DRAM, stats: SimStats):
+def make_buffer(
+    config: HyMMConfig, dram: DRAM, stats: SimStats
+) -> Union[DenseMatrixBuffer, SplitBufferPair]:
     """Build the buffer organisation the config asks for."""
     if config.unified_buffer:
         return DenseMatrixBuffer(config, dram, stats)

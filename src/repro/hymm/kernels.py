@@ -31,12 +31,13 @@ Kernels
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Set, Union
 
 import numpy as np
 
 from repro.graphs.partition import RegionPlan
 from repro.hymm.config import HyMMConfig
-from repro.hymm.dmb import AddressMap
+from repro.hymm.dmb import AddressMap, DenseMatrixBuffer, SplitBufferPair
 from repro.hymm.pe import PEArray
 from repro.hymm.smq import SparseMatrixQueue
 from repro.sim.buffer import CLASS_OUT, CLASS_PARTIAL, CLASS_W, CLASS_XW
@@ -62,7 +63,7 @@ class KernelContext:
 
     config: HyMMConfig
     engine: AccessExecuteEngine
-    buffer: object  # DenseMatrixBuffer or SplitBufferPair
+    buffer: Union[DenseMatrixBuffer, SplitBufferPair]
     amap: AddressMap
     pe: PEArray
     smq: SparseMatrixQueue
@@ -210,7 +211,7 @@ def aggregation_rwp(
     ctx: KernelContext,
     adj_csr: CSRMatrix,
     xw: np.ndarray,
-    out: np.ndarray = None,
+    out: Optional[np.ndarray] = None,
     row_offset: int = 0,
     extra_pointers: int = 1,
 ) -> np.ndarray:
@@ -254,12 +255,12 @@ def aggregation_op(
     ctx: KernelContext,
     adj_csc: CSCMatrix,
     xw: np.ndarray,
-    out: np.ndarray = None,
+    out: Optional[np.ndarray] = None,
     row_offset: int = 0,
     merge_mode: str = "dmb",
     extra_pointers: int = 1,
     finalize: bool = True,
-    accum: np.ndarray = None,
+    accum: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Outer-product aggregation.
 
@@ -360,7 +361,7 @@ def aggregation_hybrid(
     # plus region 3's.
     extra_ptrs = max(1, plan.n_region2_tiles + 1)
 
-    def run_op_tiles():
+    def run_op_tiles() -> None:
         for tile in plan.tiled.tiles_in_region(1):
             aggregation_op(
                 ctx,
@@ -372,7 +373,7 @@ def aggregation_hybrid(
                 finalize=True,
             )
 
-    def run_rwp_rows():
+    def run_rwp_rows() -> None:
         if low_rows_csr.shape[0]:
             aggregation_rwp(
                 ctx,
@@ -395,12 +396,20 @@ def aggregation_hybrid(
 # ----------------------------------------------------------------------
 # Partial-output plumbing
 # ----------------------------------------------------------------------
-def _check_merge_mode(mode: str):
+def _check_merge_mode(mode: str) -> None:
     if mode not in MERGE_MODES:
         raise ValueError(f"merge_mode must be one of {MERGE_MODES}, got {mode!r}")
 
 
-def _merge_partials(ctx, rows, out_base, lpr, merge_mode, deferred, touched):
+def _merge_partials(
+    ctx: KernelContext,
+    rows: np.ndarray,
+    out_base: int,
+    lpr: int,
+    merge_mode: str,
+    deferred: "Optional[_DeferredPartials]",
+    touched: Set[int],
+) -> None:
     """Route one column's partial outputs to the configured merge path."""
     engine = ctx.engine
     if merge_mode == "deferred":
@@ -428,7 +437,7 @@ def _merge_partials(ctx, rows, out_base, lpr, merge_mode, deferred, touched):
             _track_pe_partial_peak(ctx)
 
 
-def _track_pe_partial_peak(ctx):
+def _track_pe_partial_peak(ctx: KernelContext) -> None:
     """In PE-merge mode the footprint is the distinct partial lines
     resident plus those spilled; mirror the accumulator's tracking."""
     buf = ctx.buffer
@@ -451,7 +460,7 @@ class _DeferredPartials:
     rows are written out.
     """
 
-    def __init__(self, ctx: KernelContext):
+    def __init__(self, ctx: KernelContext) -> None:
         self.ctx = ctx
         self.capacity = ctx.config.capacity_lines
         self.line_bytes = ctx.config.line_bytes
@@ -459,7 +468,7 @@ class _DeferredPartials:
         self.resident = 0
         self.spilled = 0
 
-    def emit(self, n: int):
+    def emit(self, n: int) -> None:
         stats = self.ctx.engine.stats
         stats.partials_produced += n
         self.emitted += n
@@ -476,7 +485,7 @@ class _DeferredPartials:
             stats.partial_peak_bytes = footprint
         stats.sample_partial_footprint(footprint)
 
-    def finalize(self, n_out_rows: int, tag: str):
+    def finalize(self, n_out_rows: int, tag: str) -> None:
         engine = self.ctx.engine
         if self.spilled:
             end = engine.dram.stream_read(

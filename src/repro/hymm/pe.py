@@ -24,7 +24,7 @@ from repro.sparse.coo import VALUE_DTYPE
 class PEArray:
     """Functional model of the 16-MAC PE array."""
 
-    def __init__(self, n_pes: int = 16):
+    def __init__(self, n_pes: int = 16) -> None:
         if n_pes <= 0:
             raise ValueError("n_pes must be positive")
         self.n_pes = n_pes

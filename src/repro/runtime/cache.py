@@ -48,7 +48,7 @@ def default_cache_dir() -> pathlib.Path:
 class ResultCache:
     """Disk-backed map ``JobSpec fingerprint -> RunResult``."""
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+    def __init__(self, cache_dir: "Optional[os.PathLike[str]]" = None) -> None:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else default_cache_dir()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         #: Counters since construction (surfaced in manifests).

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.hymm import HyMMAccelerator, HyMMConfig
-from repro.hymm.base import RunResult
+from repro.hymm.base import AcceleratorBase, RunResult
 from repro.runtime.job import JobSpec
 
 
@@ -19,11 +19,16 @@ def make_accelerator(
     kind: str,
     config: Optional[HyMMConfig] = None,
     sort_mode: Optional[str] = None,
-):
+    seed: int = 0,
+) -> "AcceleratorBase":
     """Instantiate an accelerator by its report name.
 
     ``sort_mode`` selects HyMM's preprocessing ("degree", "none",
-    "random"); it is an error for any other accelerator.
+    "random"); it is an error for any other accelerator.  ``seed``
+    (normally ``JobSpec.seed``) seeds any stochastic preprocessing --
+    currently HyMM's ``"random"`` relabelling -- so the permutation is
+    pinned by the job fingerprint rather than by a constant buried in
+    the accelerator.
     """
     from repro.baselines import (
         CWPAccelerator,
@@ -37,6 +42,7 @@ def make_accelerator(
         return HyMMAccelerator(
             config if config is not None else HyMMConfig(),
             sort_mode=sort_mode if sort_mode is not None else "degree",
+            sort_seed=seed,
         )
     if sort_mode is not None:
         raise ValueError(f"sort_mode is only supported by 'hymm', not {kind!r}")
@@ -68,7 +74,9 @@ def execute_spec(spec: JobSpec) -> RunResult:
         seed=spec.seed,
         feature_length=spec.feature_length,
     )
-    accelerator = make_accelerator(spec.kind, spec.config, spec.sort_mode)
+    accelerator = make_accelerator(
+        spec.kind, spec.config, spec.sort_mode, seed=spec.seed
+    )
     return accelerator.run_inference(model)
 
 

@@ -23,7 +23,10 @@ from repro.hymm.config import HyMMConfig
 #: Version of the JobSpec/RunResult wire format.  Bump whenever the
 #: canonical payload or the serialised result layout changes; every
 #: fingerprint (and therefore every cache key) changes with it.
-SCHEMA_VERSION = 1
+#: v2: HyMM's "random" sort permutation is now drawn from the job's
+#: ``seed`` instead of a constant, so cached random-sort points from
+#: v1 no longer describe what the simulator would compute.
+SCHEMA_VERSION = 2
 
 
 def _package_version() -> str:
@@ -55,7 +58,7 @@ class JobSpec:
     sort_mode: Optional[str] = None
     feature_length: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.dataset:
             raise ValueError("dataset must be non-empty")
         if not self.kind:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
@@ -61,7 +61,7 @@ class CacheBuffer:
         mshr_entries: int = 16,
         evict_priority: Tuple[str, ...] = DEFAULT_EVICT_PRIORITY,
         lru: bool = True,
-    ):
+    ) -> None:
         if capacity_lines <= 0:
             raise ValueError("capacity_lines must be positive")
         if line_bytes <= 0:
@@ -76,7 +76,7 @@ class CacheBuffer:
         self.mshr_entries = mshr_entries
         self.lru = lru
         # Per-class LRU maps: addr -> _Line, insertion/MRU order at the end.
-        self._sets: Dict[str, OrderedDict] = {
+        self._sets: Dict[str, "OrderedDict[int, _Line]"] = {
             cls: OrderedDict() for cls in ALL_CLASSES
         }
         self._evict_priority: Tuple[str, ...] = ()
@@ -84,7 +84,7 @@ class CacheBuffer:
         self._size = 0
         # MSHRs: addr -> ready cycle, plus a heap for capacity stalls.
         self._outstanding: Dict[int, float] = {}
-        self._mshr_heap: list = []
+        self._mshr_heap: List[Tuple[float, int]] = []
         # Partial lines evicted to DRAM whose value is a partial sum.
         self._spilled_partials: Set[int] = set()
 
@@ -103,7 +103,7 @@ class CacheBuffer:
         return self._evict_priority
 
     @evict_priority.setter
-    def evict_priority(self, order):
+    def evict_priority(self, order: Iterable[str]) -> None:
         order = tuple(order)
         if sorted(order) != sorted(ALL_CLASSES):
             raise ValueError(
@@ -272,7 +272,7 @@ class CacheBuffer:
                 return line
         return None
 
-    def _touch(self, addr: int, cls: str):
+    def _touch(self, addr: int, cls: str) -> None:
         if self.lru:
             self._sets[cls].move_to_end(addr)
 
@@ -291,7 +291,7 @@ class CacheBuffer:
             issue = max(issue, ready)
         return issue
 
-    def _insert(self, cycle: float, addr: int, cls: str, dirty: bool, ready: float):
+    def _insert(self, cycle: float, addr: int, cls: str, dirty: bool, ready: float) -> None:
         if cls not in self._sets:
             raise ValueError(f"unknown line class {cls!r}")
         while self._size >= self.capacity_lines:
@@ -299,7 +299,7 @@ class CacheBuffer:
         self._sets[cls][addr] = _Line(cls, dirty, ready)
         self._size += 1
 
-    def _evict(self, cycle: float):
+    def _evict(self, cycle: float) -> None:
         """Evict one line: lowest-priority non-empty class, LRU within."""
         for cls in self.evict_priority:
             lines = self._sets[cls]
@@ -316,7 +316,7 @@ class CacheBuffer:
                 return
         raise RuntimeError("evict called on an empty buffer")
 
-    def _update_partial_peak(self):
+    def _update_partial_peak(self) -> None:
         footprint = (
             len(self._sets[CLASS_PARTIAL]) + len(self._spilled_partials)
         ) * self.line_bytes

@@ -22,7 +22,8 @@ does not wait for the latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
 
 from repro.sim.stats import SimStats
 
@@ -36,17 +37,36 @@ class DRAMConfig:
     #: Access latency in cycles from end of transfer to data available.
     latency_cycles: int = 100
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
         if self.latency_cycles < 0:
             raise ValueError("latency_cycles must be non-negative")
 
+    # ------------------------------------------------------------------
+    # Serialisation (nested inside HyMMConfig on the runtime wire)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bytes_per_cycle": self.bytes_per_cycle,
+            "latency_cycles": self.latency_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DRAMConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown fields so schema
+        drift surfaces as an error, not a silently-default parameter."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown DRAMConfig fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
 
 class DRAM:
     """Shared-channel DRAM with bandwidth occupancy and read latency."""
 
-    def __init__(self, config: DRAMConfig, stats: SimStats):
+    def __init__(self, config: DRAMConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats
         #: Cycle at which the bandwidth channel next becomes free.

@@ -15,7 +15,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, ClassVar, Dict, List, Tuple
+
+#: The declared traffic-tag vocabulary.  Every DRAM/buffer counter is
+#: keyed by one of these components, which is what makes the Fig. 11
+#: breakdown stack to the total: ``A`` (adjacency stream), ``X`` (input
+#: features), ``W`` (weights), ``XW`` (combination results), ``AXW``
+#: (final outputs), ``partial`` (partial-output spill/merge traffic).
+#: The static analyzer's ``stats-conservation`` rule rejects literal
+#: tags outside this set; extend it here -- deliberately -- before
+#: introducing a new component.
+TRAFFIC_TAGS = ("A", "X", "W", "XW", "AXW", "partial")
 
 
 @dataclass
@@ -29,12 +39,12 @@ class SimStats:
     busy_cycles: int = 0
     #: DRAM bytes read, keyed by traffic tag ("A", "X", "W", "XW",
     #: "AXW", "partial").
-    dram_read_bytes: Counter = field(default_factory=Counter)
+    dram_read_bytes: Counter[str] = field(default_factory=Counter)
     #: DRAM bytes written, keyed the same way.
-    dram_write_bytes: Counter = field(default_factory=Counter)
+    dram_write_bytes: Counter[str] = field(default_factory=Counter)
     #: Buffer hits / misses, keyed by traffic tag.
-    buffer_hits: Counter = field(default_factory=Counter)
-    buffer_misses: Counter = field(default_factory=Counter)
+    buffer_hits: Counter[str] = field(default_factory=Counter)
+    buffer_misses: Counter[str] = field(default_factory=Counter)
     #: Loads satisfied by LSQ store-to-load forwarding.
     lsq_forwards: int = 0
     #: Peak bytes occupied by partial outputs (on-chip + spilled).
@@ -48,10 +58,10 @@ class SimStats:
     #: Sampled (partials_produced, footprint_bytes) pairs -- the Fig. 10
     #: "memory usage over time" curve.  One sample per
     #: ``PARTIAL_TIMELINE_STRIDE`` partials keeps it cheap.
-    partial_timeline: list = field(default_factory=list)
+    partial_timeline: List[Tuple[int, int]] = field(default_factory=list)
 
     #: Sampling stride of :attr:`partial_timeline`.
-    PARTIAL_TIMELINE_STRIDE = 64
+    PARTIAL_TIMELINE_STRIDE: ClassVar[int] = 64
 
     def sample_partial_footprint(self, footprint_bytes: int) -> None:
         """Record one footprint sample (strided; call on every update)."""
@@ -119,7 +129,7 @@ class SimStats:
     # ------------------------------------------------------------------
     # Lossless serialisation (runtime result cache / cross-process)
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> Dict[str, Any]:
         """Every counter, round-trippable through :meth:`from_dict`
         (unlike :meth:`as_dict`, which is a report-oriented summary)."""
         return {
@@ -138,7 +148,7 @@ class SimStats:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+    def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
         """Inverse of :meth:`to_dict`."""
         return cls(
             cycles=data["cycles"],
@@ -155,7 +165,7 @@ class SimStats:
             partial_timeline=[tuple(pair) for pair in data["partial_timeline"]],
         )
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> Dict[str, Any]:
         """Flat dictionary for report tables."""
         return {
             "cycles": self.cycles,

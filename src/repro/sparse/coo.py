@@ -47,7 +47,7 @@ class COOMatrix:
     values: np.ndarray
     _canonical: bool = field(default=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
         self.rows = np.asarray(self.rows, dtype=INDEX_DTYPE)
         self.cols = np.asarray(self.cols, dtype=INDEX_DTYPE)
@@ -64,7 +64,7 @@ class COOMatrix:
             self._canonicalise()
             self._canonical = True
 
-    def _validate_bounds(self):
+    def _validate_bounds(self) -> None:
         n_rows, n_cols = self.shape
         if self.rows.size:
             if self.rows.min() < 0 or self.rows.max() >= n_rows:
@@ -72,7 +72,7 @@ class COOMatrix:
             if self.cols.min() < 0 or self.cols.max() >= n_cols:
                 raise ValueError("column index out of bounds")
 
-    def _canonicalise(self):
+    def _canonicalise(self) -> None:
         """Sort row-major and merge duplicate coordinates by summing."""
         if self.rows.size == 0:
             return
@@ -204,5 +204,5 @@ class COOMatrix:
             and bool(np.allclose(self.values, other.values, rtol=rtol, atol=atol))
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -9,6 +9,7 @@ partial sums the column updates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -29,14 +30,14 @@ class CSCMatrix:
     indices: np.ndarray
     values: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
         self.indptr = np.asarray(self.indptr, dtype=INDEX_DTYPE)
         self.indices = np.asarray(self.indices, dtype=INDEX_DTYPE)
         self.values = np.asarray(self.values, dtype=VALUE_DTYPE)
         self._validate()
 
-    def _validate(self):
+    def _validate(self) -> None:
         n_rows, n_cols = self.shape
         if self.indptr.size != n_cols + 1:
             raise ValueError(
@@ -56,7 +57,7 @@ class CSCMatrix:
         """Number of stored non-zero entries."""
         return int(self.values.size)
 
-    def col(self, j: int):
+    def col(self, j: int) -> "Tuple[np.ndarray, np.ndarray]":
         """Return ``(row_indices, values)`` views of column ``j``."""
         lo, hi = self.indptr[j], self.indptr[j + 1]
         return self.indices[lo:hi], self.values[lo:hi]
@@ -69,7 +70,7 @@ class CSCMatrix:
         """Per-column non-zero counts (the in-degree vector for an adjacency matrix)."""
         return np.diff(self.indptr)
 
-    def iter_cols(self):
+    def iter_cols(self) -> "Iterator[Tuple[int, np.ndarray, np.ndarray]]":
         """Yield ``(col, row_indices, values)`` for every non-empty column."""
         for j in range(self.shape[1]):
             lo, hi = self.indptr[j], self.indptr[j + 1]
@@ -112,5 +113,5 @@ class CSCMatrix:
         np.cumsum(indptr, out=indptr)
         return cls(coo.shape, indptr, rows, values)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

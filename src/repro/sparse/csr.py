@@ -8,6 +8,7 @@ pointer buffer holds; ``indices``/``values`` fill the index buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -28,14 +29,14 @@ class CSRMatrix:
     indices: np.ndarray
     values: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.shape = (int(self.shape[0]), int(self.shape[1]))
         self.indptr = np.asarray(self.indptr, dtype=INDEX_DTYPE)
         self.indices = np.asarray(self.indices, dtype=INDEX_DTYPE)
         self.values = np.asarray(self.values, dtype=VALUE_DTYPE)
         self._validate()
 
-    def _validate(self):
+    def _validate(self) -> None:
         n_rows, n_cols = self.shape
         if self.indptr.size != n_rows + 1:
             raise ValueError(
@@ -55,7 +56,7 @@ class CSRMatrix:
         """Number of stored non-zero entries."""
         return int(self.values.size)
 
-    def row(self, i: int):
+    def row(self, i: int) -> "Tuple[np.ndarray, np.ndarray]":
         """Return ``(col_indices, values)`` views of row ``i``."""
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.indices[lo:hi], self.values[lo:hi]
@@ -68,7 +69,7 @@ class CSRMatrix:
         """Per-row non-zero counts (the out-degree vector for an adjacency matrix)."""
         return np.diff(self.indptr)
 
-    def iter_rows(self):
+    def iter_rows(self) -> "Iterator[Tuple[int, np.ndarray, np.ndarray]]":
         """Yield ``(row, col_indices, values)`` for every non-empty row."""
         for i in range(self.shape[0]):
             lo, hi = self.indptr[i], self.indptr[i + 1]
@@ -111,5 +112,5 @@ class CSRMatrix:
         np.cumsum(indptr, out=indptr)
         return cls(coo.shape, indptr, coo.cols.copy(), coo.values.copy())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

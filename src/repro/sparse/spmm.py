@@ -10,6 +10,8 @@ specification of its dataflow's arithmetic order.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.sparse.coo import COOMatrix, VALUE_DTYPE
@@ -65,7 +67,7 @@ def spmm_coo(sparse: COOMatrix, dense: np.ndarray) -> np.ndarray:
     return out.astype(VALUE_DTYPE)
 
 
-def _check_dims(sparse_shape, dense: np.ndarray):
+def _check_dims(sparse_shape: "Tuple[int, int]", dense: np.ndarray) -> None:
     if dense.ndim != 2:
         raise ValueError("dense operand must be two-dimensional")
     if sparse_shape[1] != dense.shape[0]:

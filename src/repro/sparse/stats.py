@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from repro.sparse.coo import COOMatrix
@@ -105,7 +107,9 @@ def degree_stats(matrix: COOMatrix, axis: str = "row") -> DegreeStats:
     )
 
 
-def degree_cdf(degrees: np.ndarray, fractions: np.ndarray = None):
+def degree_cdf(
+    degrees: np.ndarray, fractions: "Optional[np.ndarray]" = None
+) -> "Tuple[np.ndarray, np.ndarray]":
     """Cumulative edge share as a function of top-node fraction (Fig. 2 curve).
 
     Returns ``(fractions, shares)`` where ``shares[k]`` is the fraction of

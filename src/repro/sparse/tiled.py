@@ -22,7 +22,7 @@ Cora, shrinking as graphs grow).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -189,7 +189,7 @@ class RegionTiledMatrix:
         )
 
 
-def _bands(lo: int, hi: int, band: Optional[int]):
+def _bands(lo: int, hi: int, band: Optional[int]) -> "Iterator[Tuple[int, int]]":
     """Split ``[lo, hi)`` into consecutive chunks of at most ``band``."""
     if hi <= lo:
         return

@@ -1,0 +1,29 @@
+"""Fixture: config-hygiene violation -- one dead knob.
+
+``shiny_new_knob`` is validated and serialised but never read by any
+model code; ``n_pes`` is consumed.  Never imported, only parsed.
+"""
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class HyMMConfig:
+    n_pes: int = 16
+    shiny_new_knob: float = 0.5        # line 12: dead knob
+
+    def __post_init__(self):
+        # Validation alone must not count as consumption.
+        if not 0.0 < self.shiny_new_knob <= 1.0:
+            raise ValueError("shiny_new_knob out of range")
+
+    def to_dict(self):
+        # Serialisation must not count as consumption either.
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+def build_pe_array(cfg: HyMMConfig) -> list:
+    return [0.0] * cfg.n_pes           # consumes n_pes only

@@ -1,0 +1,32 @@
+"""Fixture: shared-mutable-state hazards.  Never imported, only parsed."""
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def bad_default(jobs=[]):              # line 7: mutable default argument
+    jobs.append(1)
+    return jobs
+
+
+def bad_kwonly(*, memo={}):            # line 12: mutable kw-only default
+    return memo
+
+
+@dataclass
+class PoolRecord:
+    SHARED = {}                        # line 18: mutable class attribute
+
+    name: str = ""
+    tags: List[str] = field(default=[])        # line 21: field(default=[...])
+    counts: Counter = Counter()        # line 22: bare mutable-call default
+
+
+@dataclass
+class CleanRecord:
+    tags: List[str] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+
+def clean(jobs=None, limit=10, mode=("a", "b")):
+    return jobs, limit, mode

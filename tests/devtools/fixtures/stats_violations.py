@@ -1,0 +1,40 @@
+"""Fixture: stats-conservation violations.
+
+A mini ``SimStats`` with one never-written counter, plus writers that
+use an undeclared literal traffic tag.  Loaded under a module name in
+``repro.sim`` so the scope matches; never imported, only parsed.
+"""
+from collections import Counter
+from dataclasses import dataclass, field
+
+TRAFFIC_TAGS = ("A", "W")
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    busy_cycles: int = 0
+    ghost_counter: int = 0             # line 17: never written anywhere
+    dram_read_bytes: Counter = field(default_factory=Counter)
+
+    def merge(self, other):
+        # Bulk copy: writes here must NOT count, or the rule is vacuous.
+        self.cycles += other.cycles
+        self.busy_cycles += other.busy_cycles
+        self.ghost_counter += other.ghost_counter
+        self.dram_read_bytes.update(other.dram_read_bytes)
+
+
+class Engine:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def step(self):
+        self.stats.cycles = 10
+        self.stats.busy_cycles += 1
+        self.stats.dram_read_bytes["A"] += 64        # declared tag: fine
+        self.stats.dram_read_bytes["bogus"] += 64    # line 36: undeclared tag
+
+    def request(self, engine):
+        engine.issue(addr=0, tag="W")                # declared tag: fine
+        engine.issue(addr=0, tag="phantom")          # line 40: undeclared tag

@@ -1,0 +1,45 @@
+"""Fixture: wire-schema violations on a miniature JobSpec/RunResult tree.
+
+``JobSpec`` (root) -> ``BadConfig`` (reachable, no serialisation at
+all); ``RunResult`` omits a field in ``to_dict`` and another in
+``from_dict``.  Never imported, only parsed.
+"""
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class BadConfig:                       # line 12: no to_dict / no from_dict
+    knob: int = 3
+
+
+@dataclass
+class JobSpec:
+    dataset: str
+    config: Optional[BadConfig] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"dataset": self.dataset, "config": None}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(dataset=data["dataset"], config=None)
+
+
+@dataclass
+class RunResult:
+    accelerator: str
+    cycles: int = 0
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, object]:  # line 34: omits "notes"
+        return {"accelerator": self.accelerator, "cycles": self.cycles}
+
+    @classmethod
+    def from_dict(cls, data):                # line 38: never passes "cycles"
+        return cls(accelerator=data["accelerator"], notes=data.get("notes", ""))
+
+
+@dataclass
+class Unreachable:                     # not in the wire set: no findings
+    anything: list = field(default_factory=list)

@@ -1,0 +1,216 @@
+"""Per-rule tests: each fixture module carries known violations and the
+rule must report them at exactly the right locations -- and nothing
+else."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analyzer.core import Project, run_rules
+from repro.devtools.analyzer.rules.config_hygiene import ConfigHygieneRule
+from repro.devtools.analyzer.rules.determinism import DeterminismRule
+from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
+from repro.devtools.analyzer.rules.stats_conservation import StatsConservationRule
+from repro.devtools.analyzer.rules.wire_schema import (
+    WireSchemaRule,
+    reachable_wire_classes,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(filename: str, module: str) -> Project:
+    path = FIXTURES / filename
+    return Project.load([path], root=FIXTURES, module_names={path: module})
+
+
+def line_of(filename: str, snippet: str, occurrence: int = 1) -> int:
+    """1-based line of the nth occurrence of ``snippet`` in a fixture."""
+    text = (FIXTURES / filename).read_text(encoding="utf-8")
+    seen = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if snippet in line:
+            seen += 1
+            if seen == occurrence:
+                return lineno
+    raise AssertionError(f"{snippet!r} (occurrence {occurrence}) not in {filename}")
+
+
+def by_line(findings):
+    return {f.line for f in findings}
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminismRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("det_violations.py", "repro.sim.det_fixture")
+        return run_rules(project, [DeterminismRule()])
+
+    def test_every_finding_location(self, findings):
+        expected = {
+            line_of("det_violations.py", "started = time.time()"),
+            line_of("det_violations.py", "stamp = datetime.now()"),
+            line_of("det_violations.py", "a = random.random()"),
+            line_of("det_violations.py", "b = np.random.rand(4)"),
+            line_of("det_violations.py", "np.random.seed(7)"),
+            line_of("det_violations.py", "g1 = np.random.default_rng()"),
+            line_of("det_violations.py", "g2 = np.random.default_rng(0xBEEF)"),
+            line_of("det_violations.py", "g3 = random.Random()"),
+        }
+        assert by_line(findings) == expected
+        assert all(f.rule == "determinism" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+
+    def test_perf_counter_and_seeded_rng_allowed(self, findings):
+        allowed = {
+            line_of("det_violations.py", "time.perf_counter()"),
+            line_of("det_violations.py", "np.random.default_rng(seed)"),
+        }
+        assert not (by_line(findings) & allowed)
+
+    def test_inline_suppression_honoured(self, findings):
+        suppressed = line_of("det_violations.py", "analyzer: allow[determinism]")
+        assert suppressed not in by_line(findings)
+
+    def test_out_of_scope_module_is_clean(self):
+        project = load_fixture("det_violations.py", "repro.runtime.det_fixture")
+        assert run_rules(project, [DeterminismRule()]) == []
+
+    def test_messages_name_the_hazard(self, findings):
+        messages = " | ".join(f.message for f in findings)
+        assert "wall-clock" in messages
+        assert "hard-coded RNG seed" in messages
+        assert "unseeded RNG" in messages
+        assert "legacy global RNG" in messages
+
+
+# ----------------------------------------------------------------------
+# wire-schema
+# ----------------------------------------------------------------------
+class TestWireSchemaRule:
+    @pytest.fixture()
+    def project(self):
+        return load_fixture("wire_violations.py", "repro.fake.wire_fixture")
+
+    @pytest.fixture()
+    def findings(self, project):
+        return run_rules(project, [WireSchemaRule()])
+
+    def test_reachability(self, project):
+        reachable = reachable_wire_classes(project, ["JobSpec", "RunResult"])
+        assert set(reachable) == {"JobSpec", "RunResult", "BadConfig"}
+
+    def test_missing_pair_on_reachable_dataclass(self, findings):
+        cls_line = line_of("wire_violations.py", "class BadConfig:")
+        bad = [f for f in findings if f.line == cls_line]
+        assert {f.symbol for f in bad} == {
+            "BadConfig.to_dict:missing",
+            "BadConfig.from_dict:missing",
+        }
+
+    def test_to_dict_field_parity(self, findings):
+        fn_line = line_of("wire_violations.py", "def to_dict", occurrence=2)
+        [finding] = [f for f in findings if f.line == fn_line]
+        assert "notes" in finding.message
+        assert finding.symbol == "RunResult.to_dict:notes"
+
+    def test_from_dict_field_parity(self, findings):
+        fn_line = line_of("wire_violations.py", "def from_dict", occurrence=2)
+        [finding] = [f for f in findings if f.line == fn_line]
+        assert "cycles" in finding.message
+
+    def test_unreachable_dataclass_not_checked(self, findings):
+        assert not any("Unreachable" in f.message for f in findings)
+
+    def test_finding_count_is_exact(self, findings):
+        assert len(findings) == 4
+
+
+# ----------------------------------------------------------------------
+# stats-conservation
+# ----------------------------------------------------------------------
+class TestStatsConservationRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("stats_violations.py", "repro.sim.stats_fixture")
+        return run_rules(project, [StatsConservationRule()])
+
+    def test_unwritten_counter_flagged_at_declaration(self, findings):
+        ghost_line = line_of("stats_violations.py", "ghost_counter: int = 0")
+        ghost = [f for f in findings if f.line == ghost_line]
+        assert len(ghost) == 1
+        assert "ghost_counter" in ghost[0].message
+        assert "ever writes it" in ghost[0].message
+
+    def test_merge_writes_do_not_count(self, findings):
+        # merge() writes every field; only ghost_counter must be flagged.
+        unwritten = [f for f in findings if "unwritten" in f.symbol]
+        assert len(unwritten) == 1
+
+    def test_undeclared_tags_flagged(self, findings):
+        expected = {
+            line_of("stats_violations.py", '"bogus"'),
+            line_of("stats_violations.py", '"phantom"'),
+        }
+        tag_findings = {f.line for f in findings if f.symbol.startswith("tag:")}
+        assert tag_findings == expected
+
+    def test_declared_tags_pass(self, findings):
+        assert not any(f.symbol in ("tag:A", "tag:W") for f in findings)
+
+    def test_exact_finding_count(self, findings):
+        assert len(findings) == 3
+
+
+# ----------------------------------------------------------------------
+# config-hygiene
+# ----------------------------------------------------------------------
+class TestConfigHygieneRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("config_violations.py", "repro.hymm.cfg_fixture")
+        return run_rules(project, [ConfigHygieneRule()])
+
+    def test_dead_knob_flagged(self, findings):
+        knob_line = line_of("config_violations.py", "shiny_new_knob: float")
+        [finding] = findings
+        assert finding.line == knob_line
+        assert "dead knob" in finding.message
+        assert finding.symbol == "HyMMConfig.shiny_new_knob:dead-knob"
+
+    def test_consumed_field_not_flagged(self, findings):
+        assert not any("n_pes" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# mutable-state
+# ----------------------------------------------------------------------
+class TestMutableStateRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("mutable_violations.py", "repro.fake.mut_fixture")
+        return run_rules(project, [MutableStateRule()])
+
+    def test_every_hazard_flagged(self, findings):
+        expected = {
+            line_of("mutable_violations.py", "def bad_default(jobs=[])"),
+            line_of("mutable_violations.py", "def bad_kwonly(*, memo={})"),
+            line_of("mutable_violations.py", "SHARED = {}"),
+            line_of("mutable_violations.py", "field(default=[])"),
+            line_of("mutable_violations.py", "counts: Counter = Counter()"),
+        }
+        assert by_line(findings) == expected
+        assert len(findings) == 5
+
+    def test_clean_patterns_pass(self, findings):
+        clean_lines = {
+            line_of("mutable_violations.py", "field(default_factory=list)"),
+            line_of("mutable_violations.py", "field(default_factory=dict)"),
+            line_of("mutable_violations.py", "def clean(jobs=None"),
+        }
+        assert not (by_line(findings) & clean_lines)

@@ -1,0 +1,36 @@
+"""The real ``src/`` tree must be analyzer-clean.
+
+This is the same gate CI runs; keeping it in the suite means a rule
+regression (or a new violation in simulator code) fails fast locally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.analyzer.core import Project, make_rules, run_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_has_no_findings():
+    project = Project.load([SRC], root=REPO_ROOT)
+    assert not project.parse_errors
+    findings = run_rules(project, make_rules())
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_src_tree_loads_every_module():
+    project = Project.load([SRC], root=REPO_ROOT)
+    names = {m.module for m in project.modules}
+    # Spot-check the packages every rule reasons about.
+    for expected in (
+        "repro.sim.stats",
+        "repro.sim.engine",
+        "repro.hymm.accelerator",
+        "repro.hymm.config",
+        "repro.runtime.job",
+        "repro.devtools.analyzer.core",
+    ):
+        assert expected in names
