@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the scalar vs batched timing engines.
+
+Runs HyMM and the two headline baselines (OP, RWP) over registry
+datasets under both engine implementations and records the median
+wall-clock seconds of each, plus the resulting speedups, to
+``BENCH_sim.json`` in the repository root.
+
+The two engines are cycle- and stats-exact by contract (see
+``tests/sim/test_engine_equivalence.py``), so the only thing this
+measures is simulator throughput: how fast the host executes the same
+simulated machine.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim_speed.py [--datasets cora amazon-photo]
+        [--repeats 3] [--output BENCH_sim.json]
+
+Everything is seeded; dataset synthesis and model weights are identical
+across engines and repeats, so run-to-run variance is host noise only
+(hence the median).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench.workloads import bench_scale, make_model
+from repro.runtime.execute import make_accelerator
+
+DEFAULT_DATASETS = ("cora", "amazon-photo")
+KINDS = ("op", "rwp", "hymm")
+ENGINES = ("scalar", "batched")
+SEED = 0
+N_LAYERS = 2
+
+
+def time_run(kind: str, engine: str, model) -> float:
+    acc = make_accelerator(kind)
+    acc.config = acc.config.with_overrides(engine=engine)
+    start = time.perf_counter()
+    acc.run_inference(model)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "workload": {
+            "datasets": args.datasets,
+            "kinds": list(KINDS),
+            "n_layers": N_LAYERS,
+            "seed": SEED,
+            "repeats": args.repeats,
+            "statistic": "median",
+        },
+        "results": {},
+    }
+    grand = {engine: 0.0 for engine in ENGINES}
+    for name in args.datasets:
+        model = make_model(name, bench_scale(name), N_LAYERS, SEED)
+        for kind in KINDS:
+            medians = {}
+            for engine in ENGINES:
+                samples = [
+                    time_run(kind, engine, model) for _ in range(args.repeats)
+                ]
+                medians[engine] = statistics.median(samples)
+                grand[engine] += medians[engine]
+            entry = {
+                "scalar_seconds": round(medians["scalar"], 4),
+                "batched_seconds": round(medians["batched"], 4),
+                "speedup": round(medians["scalar"] / medians["batched"], 3),
+            }
+            report["results"][f"{name}/{kind}"] = entry
+            print(
+                f"{name:20s} {kind:5s} scalar={entry['scalar_seconds']:8.3f}s "
+                f"batched={entry['batched_seconds']:8.3f}s "
+                f"speedup={entry['speedup']:.2f}x",
+                flush=True,
+            )
+    report["aggregate"] = {
+        "scalar_seconds": round(grand["scalar"], 4),
+        "batched_seconds": round(grand["batched"], 4),
+        "speedup": round(grand["scalar"] / grand["batched"], 3),
+    }
+    print(
+        f"aggregate: scalar={report['aggregate']['scalar_seconds']:.2f}s "
+        f"batched={report['aggregate']['batched_seconds']:.2f}s "
+        f"speedup={report['aggregate']['speedup']:.2f}x"
+    )
+    args.output.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

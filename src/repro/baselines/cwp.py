@@ -68,25 +68,32 @@ class CWPAccelerator(AcceleratorBase):
         # PE-local accumulator pool: output row -> present (LRU order).
         pool: "OrderedDict[int, bool]" = OrderedDict()
         touched = set()
+        line_offsets = np.arange(lpr, dtype=np.int64)
+        # One dtype conversion per aggregation, sliced per entry.
+        values64 = adj_csc.values.astype(np.float64)
+        xw64 = xw.astype(np.float64)
 
         def spill_row(row: int) -> None:
-            """Merge an evicted local accumulation into the DMB."""
-            for ln in range(lpr):
-                addr = out_base + row * lpr + ln
-                engine.stats.partials_produced += 1
-                if addr in touched:
-                    engine.rmw(addr, CLASS_PARTIAL, "partial")
-                else:
-                    touched.add(addr)
-                    engine.store(addr, CLASS_PARTIAL, "partial")
+            """Merge an evicted local accumulation into the DMB.
+
+            A PE-local running sum is not a DMB partial line, so --
+            unlike the kernels' PE-merge path -- no footprint peak is
+            tracked here."""
+            engine.merge_rmw_batch(
+                out_base + row * lpr + line_offsets,
+                CLASS_PARTIAL,
+                "partial",
+                touched,
+                track_peak=False,
+            )
 
         for entry in ctx.smq.iter_csc(adj_csc):
             engine.stream(entry.stream_bytes, "A")
             j = entry.pointer
-            base = xw_base + j * lpr
-            for ln in range(lpr):
-                # Sequential (ascending-column) dense-row stream.
-                engine.mac_stream_load(base + ln, CLASS_XW, "XW")
+            # Sequential (ascending-column) dense-row stream.
+            engine.mac_stream_load_batch(
+                xw_base + j * lpr + line_offsets, CLASS_XW, "XW"
+            )
             count = entry.indices.size * max(lpr, passes)
             if count > lpr:
                 engine.mac_local(count - lpr)
@@ -101,8 +108,7 @@ class CWPAccelerator(AcceleratorBase):
             np.add.at(
                 out,
                 entry.indices,
-                entry.values.astype(np.float64)[:, None]
-                * xw[j].astype(np.float64)[None, :],
+                values64[entry.lo:entry.hi][:, None] * xw64[j][None, :],
             )
 
         # Drain the pool, then write resident partials back as outputs.

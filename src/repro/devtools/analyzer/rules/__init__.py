@@ -5,6 +5,7 @@ Importing this package registers every rule with
 """
 
 from repro.devtools.analyzer.rules import (  # noqa: F401
+    batch_api,
     config_hygiene,
     determinism,
     mutable_state,

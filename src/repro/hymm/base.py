@@ -30,7 +30,7 @@ from repro.hymm.kernels import KernelContext, combination_dense, combination_rwp
 from repro.hymm.pe import PEArray
 from repro.hymm.smq import SparseMatrixQueue
 from repro.sim.buffer import CLASS_W, CLASS_XW
-from repro.sim.engine import AccessExecuteEngine
+from repro.sim.engine import make_engine
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
 from repro.sparse import CSRMatrix
@@ -191,7 +191,8 @@ class AcceleratorBase:
         stats = SimStats()
         dram = DRAM(cfg.dram, stats)
         buffer = make_buffer(cfg, dram, stats)
-        engine = AccessExecuteEngine(
+        engine = make_engine(
+            cfg.engine,
             buffer,
             dram,
             stats,

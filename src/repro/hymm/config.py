@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping
 
+from repro.sim.engine import ENGINE_KINDS
 from repro.sim.memory import DRAMConfig
 
 
@@ -67,6 +68,11 @@ class HyMMConfig:
     forwarding: bool = True
     lru: bool = True
 
+    # --- Simulator implementation (no timing effect: the two engines
+    # are cycle- and stats-exact; "scalar" is the reference model,
+    # "batched" the vectorized fast path -- see docs/performance.md)
+    engine: str = "batched"
+
     def __post_init__(self):
         if self.n_pes <= 0:
             raise ValueError("n_pes must be positive")
@@ -82,6 +88,10 @@ class HyMMConfig:
             raise ValueError("threshold_fraction must be in (0, 1]")
         if not 0.0 < self.resident_fraction <= 1.0:
             raise ValueError("resident_fraction must be in (0, 1]")
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -57,6 +57,16 @@ AGGREGATION_PRIORITY = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
 MERGE_MODES = ("dmb", "pe", "deferred")
 
 
+def _row_line_addrs(base: int, rows: np.ndarray, lpr: int) -> np.ndarray:
+    """Line addresses of dense rows ``rows`` (``lpr`` lines each), in
+    the row-major order the scalar kernels visit them (row by row, line
+    within row ascending)."""
+    starts = base + rows.astype(np.int64) * lpr
+    if lpr == 1:
+        return starts
+    return (starts[:, None] + np.arange(lpr, dtype=np.int64)).reshape(-1)
+
+
 @dataclass
 class KernelContext:
     """Everything a kernel needs: hardware models plus the layer index."""
@@ -86,25 +96,21 @@ def combination_rwp(
     ctx.buffer.evict_priority = COMBINATION_PRIORITY
 
     engine = ctx.engine
-    mac_load, store, stream = engine.mac_load, engine.store, engine.stream
-    mac_local = engine.mac_local
+    stream, mac_local = engine.stream, engine.mac_local
+    mac_load_batch, store_batch = engine.mac_load_batch, engine.store_batch
     w_base = ctx.amap.w_addr(ctx.layer, 0, h)
     xw_base = ctx.amap.xw_addr(ctx.layer, 0, h)
     weights32 = weights.astype(VALUE_DTYPE, copy=False)
+    line_offsets = np.arange(lpr, dtype=np.int64)
 
     for entry in ctx.smq.iter_csr(features):
         stream(entry.stream_bytes, "X")
         idx = entry.indices
-        for f in idx.tolist():
-            base = w_base + f * lpr
-            for ln in range(lpr):
-                mac_load(base + ln, CLASS_W, "W")
+        mac_load_batch(_row_line_addrs(w_base, idx, lpr), CLASS_W, "W")
         if extra:
             mac_local(extra * idx.size)
         xw[entry.pointer] = ctx.pe.rwp_row(entry.values, weights32[idx])
-        out_base = xw_base + entry.pointer * lpr
-        for ln in range(lpr):
-            store(out_base + ln, CLASS_XW, "XW")
+        store_batch(xw_base + entry.pointer * lpr + line_offsets, CLASS_XW, "XW")
     return xw
 
 
@@ -125,27 +131,25 @@ def combination_dense(
     ctx.buffer.evict_priority = COMBINATION_PRIORITY
 
     engine = ctx.engine
-    load, mac_load, store = engine.load, engine.mac_load, engine.store
+    load_batch, store_batch = engine.load_batch, engine.store_batch
+    mac_load_batch = engine.mac_load_batch
     in_base = ctx.amap.out_addr(ctx.layer - 1, 0, width_in)
     w_base = ctx.amap.w_addr(ctx.layer, 0, h)
     xw_base = ctx.amap.xw_addr(ctx.layer, 0, h)
+    in_offsets = np.arange(lpr_in, dtype=np.int64)
+    out_offsets = np.arange(lpr_out, dtype=np.int64)
+    # Every row touches every weight line, in the same ascending order.
+    w_addrs = w_base + np.arange(width_in * lpr_out, dtype=np.int64)
 
     xw = (
         dense_in.astype(VALUE_DTYPE) @ weights.astype(VALUE_DTYPE)
     ).astype(VALUE_DTYPE)
     for i in range(n):
-        row_base = in_base + i * lpr_in
-        for ln in range(lpr_in):
-            load(row_base + ln, CLASS_XW, "H")
-        for f in range(width_in):
-            base = w_base + f * lpr_out
-            for ln in range(lpr_out):
-                mac_load(base + ln, CLASS_W, "W")
+        load_batch(in_base + i * lpr_in + in_offsets, CLASS_XW, "H")
+        mac_load_batch(w_addrs, CLASS_W, "W")
         if extra:
             engine.mac_local(extra * width_in)
-        out_base = xw_base + i * lpr_out
-        for ln in range(lpr_out):
-            store(out_base + ln, CLASS_XW, "XW")
+        store_batch(xw_base + i * lpr_out + out_offsets, CLASS_XW, "XW")
     return xw
 
 
@@ -173,16 +177,20 @@ def combination_op(
     w_base = ctx.amap.w_addr(ctx.layer, 0, h)
     xw_base = ctx.amap.xw_addr(ctx.layer, 0, h)
     weights32 = weights.astype(VALUE_DTYPE, copy=False)
+    # One dtype conversion per kernel invocation, sliced per entry.
+    weights64 = weights32.astype(np.float64)
+    values64 = features_csc.values.astype(np.float64)
     deferred = _DeferredPartials(ctx) if merge_mode == "deferred" else None
     touched = set()
+    line_offsets = np.arange(lpr, dtype=np.int64)
 
     for entry in ctx.smq.iter_csc(features_csc):
         engine.stream(entry.stream_bytes, "X")
         f = entry.pointer
-        base = w_base + f * lpr
-        for ln in range(lpr):
-            # Weight rows arrive in ascending-f order: sequential stream.
-            engine.mac_stream_load(base + ln, CLASS_W, "W")
+        # Weight rows arrive in ascending-f order: sequential stream.
+        engine.mac_stream_load_batch(
+            w_base + f * lpr + line_offsets, CLASS_W, "W"
+        )
         count = entry.indices.size * max(lpr, passes)
         if count > lpr:
             engine.mac_local(count - lpr)
@@ -190,8 +198,7 @@ def combination_op(
             ctx, entry.indices, xw_base, lpr, merge_mode, deferred, touched
         )
         xw[entry.indices] += (
-            entry.values.astype(np.float64)[:, None]
-            * weights32[f].astype(np.float64)[None, :]
+            values64[entry.lo:entry.hi][:, None] * weights64[f][None, :]
         )
 
     if merge_mode == "deferred":
@@ -230,24 +237,23 @@ def aggregation_rwp(
     ctx.buffer.evict_priority = AGGREGATION_PRIORITY
 
     engine = ctx.engine
-    mac_load, store, stream = engine.mac_load, engine.store, engine.stream
+    stream = engine.stream
+    mac_load_batch, store_batch = engine.mac_load_batch, engine.store_batch
     xw_base = ctx.amap.xw_addr(ctx.layer, 0, h)
     out_base = ctx.amap.out_addr(ctx.layer, 0, h)
+    line_offsets = np.arange(lpr, dtype=np.int64)
 
     for entry in ctx.smq.iter_csr(adj_csr, extra_pointers):
         stream(entry.stream_bytes, "A")
         idx = entry.indices
-        for j in idx.tolist():
-            base = xw_base + j * lpr
-            for ln in range(lpr):
-                mac_load(base + ln, CLASS_XW, "XW")
+        mac_load_batch(_row_line_addrs(xw_base, idx, lpr), CLASS_XW, "XW")
         if extra:
             engine.mac_local(extra * idx.size)
         i = entry.pointer + row_offset
         out[i] = ctx.pe.rwp_row(entry.values, xw[idx])
-        base = out_base + i * lpr
-        for ln in range(lpr):
-            store(base + ln, CLASS_OUT, "AXW", allocate=False)
+        store_batch(
+            out_base + i * lpr + line_offsets, CLASS_OUT, "AXW", allocate=False
+        )
     return out
 
 
@@ -296,15 +302,19 @@ def aggregation_op(
     deferred = _DeferredPartials(ctx) if merge_mode == "deferred" else None
     touched = set()
     local = accum if accum is not None else np.zeros(out.shape, dtype=np.float64)
+    # One dtype conversion per kernel invocation, sliced per entry.
+    values64 = adj_csc.values.astype(np.float64)
+    xw64 = xw.astype(np.float64)
+    line_offsets = np.arange(lpr, dtype=np.int64)
 
     for entry in ctx.smq.iter_csc(adj_csc, extra_pointers):
         engine.stream(entry.stream_bytes, "A")
         j = entry.pointer
-        base = xw_base + j * lpr
-        for ln in range(lpr):
-            # XW rows arrive in ascending-column order: the OP engine's
-            # defining sequential input stream (Section III).
-            engine.mac_stream_load(base + ln, CLASS_XW, "XW")
+        # XW rows arrive in ascending-column order: the OP engine's
+        # defining sequential input stream (Section III).
+        engine.mac_stream_load_batch(
+            xw_base + j * lpr + line_offsets, CLASS_XW, "XW"
+        )
         count = entry.indices.size * max(lpr, passes)
         if count > lpr:
             engine.mac_local(count - lpr)
@@ -313,8 +323,7 @@ def aggregation_op(
         np.add.at(
             local,
             rows,
-            entry.values.astype(np.float64)[:, None]
-            * xw[j].astype(np.float64)[None, :],
+            values64[entry.lo:entry.hi][:, None] * xw64[j][None, :],
         )
 
     if merge_mode == "deferred":
@@ -416,38 +425,14 @@ def _merge_partials(
         deferred.emit(rows.size * lpr)
         touched.update(rows.tolist())
         return
+    addrs = _row_line_addrs(out_base, rows, lpr)
     if merge_mode == "dmb":
-        for i in rows.tolist():
-            base = out_base + i * lpr
-            for ln in range(lpr):
-                engine.accumulate_store(base + ln, "partial")
+        engine.accumulate_store_batch(addrs, "partial")
         return
     # "pe": read-modify-write through the PE array; the first touch of a
     # line is a plain write-allocate (there is nothing to read yet).
-    for i in rows.tolist():
-        base = out_base + i * lpr
-        for ln in range(lpr):
-            addr = base + ln
-            ctx.engine.stats.partials_produced += 1
-            if addr in touched:
-                engine.rmw(addr, CLASS_PARTIAL, "partial")
-            else:
-                touched.add(addr)
-                engine.store(addr, CLASS_PARTIAL, "partial")
-            _track_pe_partial_peak(ctx)
-
-
-def _track_pe_partial_peak(ctx: KernelContext) -> None:
-    """In PE-merge mode the footprint is the distinct partial lines
-    resident plus those spilled; mirror the accumulator's tracking."""
-    buf = ctx.buffer
-    # SplitBufferPair routes partials to its output half.
-    target = getattr(buf, "output_buffer", buf)
-    footprint = (
-        target.resident_lines(CLASS_PARTIAL) + len(target._spilled_partials)
-    ) * target.line_bytes
-    if footprint > ctx.engine.stats.partial_peak_bytes:
-        ctx.engine.stats.partial_peak_bytes = footprint
+    # The engine mirrors the accumulator's footprint-peak tracking.
+    engine.merge_rmw_batch(addrs, CLASS_PARTIAL, "partial", touched, track_peak=True)
 
 
 class _DeferredPartials:

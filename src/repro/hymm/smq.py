@@ -58,6 +58,12 @@ class SMQEntry:
     indices: np.ndarray
     values: np.ndarray
     stream_bytes: int
+    #: Span of this entry in the operand's ``values`` array
+    #: (``values is matrix.values[lo:hi]``).  Kernels convert the whole
+    #: operand's values to float64 once and slice per entry with these,
+    #: instead of calling ``astype`` on every entry.
+    lo: int = 0
+    hi: int = 0
 
 
 class SparseMatrixQueue:
@@ -79,27 +85,43 @@ class SparseMatrixQueue:
         self, matrix: CSRMatrix, extra_pointers: int = 1
     ) -> Iterator[SMQEntry]:
         """Yield non-empty rows of a CSR operand, with byte costs."""
-        for row, cols, vals in matrix.iter_rows():
-            yield SMQEntry(
-                FLAG_CSR,
-                row,
-                cols,
-                vals,
-                csr_row_stream_bytes(cols.size, extra_pointers),
-            )
+        indptr = matrix.indptr
+        indices = matrix.indices
+        values = matrix.values
+        for row in range(matrix.shape[0]):
+            lo = int(indptr[row])
+            hi = int(indptr[row + 1])
+            if hi > lo:
+                yield SMQEntry(
+                    FLAG_CSR,
+                    row,
+                    indices[lo:hi],
+                    values[lo:hi],
+                    csr_row_stream_bytes(hi - lo, extra_pointers),
+                    lo,
+                    hi,
+                )
 
     def iter_csc(
         self, matrix: CSCMatrix, extra_pointers: int = 1
     ) -> Iterator[SMQEntry]:
         """Yield non-empty columns of a CSC operand, with byte costs."""
-        for col, rows, vals in matrix.iter_cols():
-            yield SMQEntry(
-                FLAG_CSC,
-                col,
-                rows,
-                vals,
-                csc_col_stream_bytes(rows.size, extra_pointers),
-            )
+        indptr = matrix.indptr
+        indices = matrix.indices
+        values = matrix.values
+        for col in range(matrix.shape[1]):
+            lo = int(indptr[col])
+            hi = int(indptr[col + 1])
+            if hi > lo:
+                yield SMQEntry(
+                    FLAG_CSC,
+                    col,
+                    indices[lo:hi],
+                    values[lo:hi],
+                    csc_col_stream_bytes(hi - lo, extra_pointers),
+                    lo,
+                    hi,
+                )
 
     @staticmethod
     def pointer_stream_bytes(matrix) -> int:

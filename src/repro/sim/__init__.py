@@ -32,7 +32,12 @@ Components
 from repro.sim.stats import SimStats
 from repro.sim.memory import DRAM, DRAMConfig
 from repro.sim.buffer import CacheBuffer, CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL
-from repro.sim.engine import AccessExecuteEngine
+from repro.sim.engine import (
+    ENGINE_KINDS,
+    AccessExecuteEngine,
+    BatchedAccessExecuteEngine,
+    make_engine,
+)
 
 __all__ = [
     "SimStats",
@@ -44,4 +49,7 @@ __all__ = [
     "CLASS_OUT",
     "CLASS_PARTIAL",
     "AccessExecuteEngine",
+    "BatchedAccessExecuteEngine",
+    "ENGINE_KINDS",
+    "make_engine",
 ]

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
@@ -41,11 +42,30 @@ ALL_CLASSES = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
 DEFAULT_EVICT_PRIORITY = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
 
 
-@dataclass
 class _Line:
-    cls: str
-    dirty: bool
-    ready: float  # cycle at which the line's data is valid on-chip
+    """One resident line.
+
+    A ``__slots__`` class rather than a dataclass: the engines touch
+    these attributes once per simulated access.  ``owner`` is the
+    per-class LRU ``OrderedDict`` the line currently lives in (kept in
+    sync by ``_insert``/``reclassify``), so a hit can LRU-touch without
+    re-deriving ``self._sets[line.cls]``.
+    """
+
+    __slots__ = ("cls", "dirty", "ready", "owner")
+
+    def __init__(
+        self,
+        cls: str,
+        dirty: bool,
+        ready: float,
+        owner: "OrderedDict[int, _Line]",
+    ) -> None:
+        self.cls = cls
+        self.dirty = dirty
+        #: Cycle at which the line's data is valid on-chip.
+        self.ready = ready
+        self.owner = owner
 
 
 class CacheBuffer:
@@ -79,6 +99,12 @@ class CacheBuffer:
         self._sets: Dict[str, "OrderedDict[int, _Line]"] = {
             cls: OrderedDict() for cls in ALL_CLASSES
         }
+        # Unified residency index (addr -> _Line across all classes):
+        # the single-probe tag lookup both the scalar `read` path and
+        # the batched engine's inlined hit path share.  Kept in sync by
+        # _insert/_evict/flush/invalidate; `reclassify` only relabels
+        # the line object, which the index aliases.
+        self._index: Dict[int, _Line] = {}
         self._evict_priority: Tuple[str, ...] = ()
         self.evict_priority = evict_priority
         self._size = 0
@@ -87,6 +113,11 @@ class CacheBuffer:
         self._mshr_heap: List[Tuple[float, int]] = []
         # Partial lines evicted to DRAM whose value is a partial sum.
         self._spilled_partials: Set[int] = set()
+        # Precomputed DRAM constants, so the single-frame miss path
+        # below evolves ``dram.next_free`` with arithmetic bit-identical
+        # to DRAM.read/write without walking the call chain per miss.
+        self._line_cost = dram.config.cycles_for(line_bytes)
+        self._read_latency = dram.config.latency_cycles
 
     # ------------------------------------------------------------------
     # Introspection / configuration
@@ -118,7 +149,32 @@ class CacheBuffer:
 
     def contains(self, addr: int) -> bool:
         """Whether the address is resident (no LRU side effects)."""
-        return self._find(addr) is not None
+        return addr in self._index
+
+    def route(self, cls: str) -> "CacheBuffer":
+        """The physical buffer requests of class ``cls`` land in.
+
+        The unified DMB is one buffer, so this is ``self``; the split
+        organisation overrides it.  The batched engine resolves the
+        route once per address batch instead of once per address.
+        """
+        return self
+
+    def classify_batch(self, addrs: "np.ndarray") -> "np.ndarray":
+        """Residency mask for a whole address batch (no LRU effects).
+
+        One vectorised membership pass against the unified index.  The
+        mask is only a valid *plan* while residency is invariant -- the
+        batched engine uses it for stream loads (which never allocate)
+        and falls back to per-address probes whenever an access could
+        insert or evict lines mid-batch.
+        """
+        index = self._index
+        if not index:
+            return np.zeros(len(addrs), dtype=bool)
+        return np.fromiter(
+            map(index.__contains__, addrs.tolist()), dtype=bool, count=len(addrs)
+        )
 
     def resident_lines(self, cls: str) -> int:
         """Resident line count of one class."""
@@ -139,21 +195,55 @@ class CacheBuffer:
         Returns ``(ready_cycle, issue_cycle)``; ``issue_cycle >= cycle``
         when the request had to stall for a free MSHR.
         """
-        line = self._find(addr)
+        line = self._index.get(addr)
         if line is not None:
             self._touch(addr, line.cls)
             self.stats.buffer_hits[tag] += 1
             return max(cycle + self.hit_latency, line.ready), cycle
-        if addr in self._outstanding:
+        self.stats.buffer_misses[tag] += 1
+        pending = self._outstanding.get(addr)
+        if pending is not None:
             # Secondary miss: merged into the pending MSHR, no new DRAM
             # traffic, but the data was not on-chip -> counts as a miss.
-            self.stats.buffer_misses[tag] += 1
-            return max(cycle + self.hit_latency, self._outstanding[addr]), cycle
-        self.stats.buffer_misses[tag] += 1
-        issue = self._acquire_mshr(cycle)
-        ready = self.dram.read(issue, self.line_bytes, tag)
-        self._outstanding[addr] = ready
-        heapq.heappush(self._mshr_heap, (ready, addr))
+            return max(cycle + self.hit_latency, pending), cycle
+        self.stats.dram_read_bytes[tag] += self.line_bytes
+        return self._read_miss(cycle, addr, cls, tag)
+
+    def _read_miss(
+        self, cycle: float, addr: int, cls: str, tag: str
+    ) -> Tuple[float, float]:
+        """Primary-miss machinery in a single frame: MSHR acquire, DRAM
+        fetch, miss registration, line insertion.
+
+        Equivalent to ``_acquire_mshr`` + ``DRAM.read`` + ``_insert``
+        minus the hit/miss/byte counters, which are the caller's (the
+        batched engine folds them into one update per address batch;
+        :meth:`read` pays them up front).
+        """
+        outstanding = self._outstanding
+        heap = self._mshr_heap
+        issue = float(cycle)
+        # Retire completed misses.
+        while heap and heap[0][0] <= issue:
+            ready, a = heapq.heappop(heap)
+            if outstanding.get(a) == ready:
+                del outstanding[a]
+        limit = self.mshr_entries
+        while len(outstanding) >= limit:
+            ready, a = heapq.heappop(heap)
+            if outstanding.get(a) == ready:
+                del outstanding[a]
+            if ready > issue:
+                issue = ready
+        dram = self.dram
+        start = dram.next_free
+        if issue > start:
+            start = issue
+        end = start + self._line_cost
+        dram.next_free = end
+        ready = end + self._read_latency
+        outstanding[addr] = ready
+        heapq.heappush(heap, (ready, addr))
         self._insert(issue, addr, cls, dirty=False, ready=ready)
         return ready, issue
 
@@ -223,6 +313,7 @@ class CacheBuffer:
                     if c == CLASS_PARTIAL:
                         self._spilled_partials.add(addr)
                 del lines[addr]
+                del self._index[addr]
                 self._size -= 1
         return end
 
@@ -234,6 +325,8 @@ class CacheBuffer:
         """
         lines = self._sets[cls]
         n = len(lines)
+        for addr in lines:
+            del self._index[addr]
         lines.clear()
         self._size -= n
         return n
@@ -252,6 +345,7 @@ class CacheBuffer:
         n = len(src)
         for addr, line in src.items():
             line.cls = to_cls
+            line.owner = dst
             dst[addr] = line
         src.clear()
         return n
@@ -266,11 +360,7 @@ class CacheBuffer:
     # Internals
     # ------------------------------------------------------------------
     def _find(self, addr: int) -> Optional[_Line]:
-        for lines in self._sets.values():
-            line = lines.get(addr)
-            if line is not None:
-                return line
-        return None
+        return self._index.get(addr)
 
     def _touch(self, addr: int, cls: str) -> None:
         if self.lru:
@@ -292,29 +382,49 @@ class CacheBuffer:
         return issue
 
     def _insert(self, cycle: float, addr: int, cls: str, dirty: bool, ready: float) -> None:
-        if cls not in self._sets:
-            raise ValueError(f"unknown line class {cls!r}")
-        while self._size >= self.capacity_lines:
-            self._evict(cycle)
-        self._sets[cls][addr] = _Line(cls, dirty, ready)
-        self._size += 1
+        """Allocate one line, evicting until there is room.
 
-    def _evict(self, cycle: float) -> None:
-        """Evict one line: lowest-priority non-empty class, LRU within."""
-        for cls in self.evict_priority:
-            lines = self._sets[cls]
-            if lines:
-                # Front of the ordered dict is LRU when hits re-append
-                # (self.lru) and plain FIFO when they do not.
-                addr, line = lines.popitem(last=False)
-                self._size -= 1
-                if line.dirty:
-                    self.dram.write(cycle, self.line_bytes, cls)
-                    if cls == CLASS_PARTIAL:
-                        self._spilled_partials.add(addr)
-                        self.stats.partial_spill_bytes += self.line_bytes
-                return
-        raise RuntimeError("evict called on an empty buffer")
+        Victims come from the lowest-priority non-empty class, LRU
+        within (front of the ordered dict is LRU when hits re-append
+        and plain FIFO when they do not); the eviction loop is inlined
+        into this frame -- the writeback arithmetic is bit-identical to
+        ``DRAM.write`` via the precomputed ``_line_cost``.
+        """
+        sets = self._sets
+        lines = sets.get(cls)
+        if lines is None:
+            raise ValueError(f"unknown line class {cls!r}")
+        index = self._index
+        size = self._size
+        if size >= self.capacity_lines:
+            stats = self.stats
+            dram = self.dram
+            nbytes = self.line_bytes
+            line_cost = self._line_cost
+            capacity = self.capacity_lines
+            while size >= capacity:
+                for c in self._evict_priority:
+                    victims = sets[c]
+                    if victims:
+                        a, victim = victims.popitem(last=False)
+                        del index[a]
+                        size -= 1
+                        if victim.dirty:
+                            stats.dram_write_bytes[c] += nbytes
+                            start = dram.next_free
+                            if cycle > start:
+                                start = cycle
+                            dram.next_free = start + line_cost
+                            if c == CLASS_PARTIAL:
+                                self._spilled_partials.add(a)
+                                stats.partial_spill_bytes += nbytes
+                        break
+                else:
+                    raise RuntimeError("evict called on an empty buffer")
+        line = _Line(cls, dirty, ready, lines)
+        lines[addr] = line
+        index[addr] = line
+        self._size = size + 1
 
     def _update_partial_peak(self) -> None:
         footprint = (

@@ -22,10 +22,23 @@ at vector-op granularity:
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Dict, List, Set
 
-from repro.sim.buffer import CacheBuffer
+import numpy as np
+
+from repro.sim.buffer import CLASS_PARTIAL, CacheBuffer
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
+
+#: Engine implementations selectable via ``HyMMConfig.engine``.
+ENGINE_KINDS = ("scalar", "batched")
+
+#: Address bits below the (space, layer) prefix of
+#: :class:`repro.hymm.dmb.AddressMap` addresses.  The batched engine
+#: tracks which prefixes currently sit in the forwarding window so a
+#: whole load batch over a different matrix can skip the per-address
+#: store-map probe.
+_SPACE_BITS = 32
 
 
 class AccessExecuteEngine:
@@ -214,3 +227,786 @@ class AccessExecuteEngine:
         self._store_map.move_to_end(addr)
         while len(self._store_map) > self.lsq_depth:
             self._store_map.popitem(last=False)
+
+    def _track_partial_peak(self) -> None:
+        """PE-merge footprint tracking: distinct partial lines resident
+        plus those spilled, mirroring the near-memory accumulator's
+        bookkeeping (the split organisation routes partials to its
+        output half)."""
+        target = getattr(self.buffer, "output_buffer", self.buffer)
+        footprint = (
+            target.resident_lines(CLASS_PARTIAL) + len(target._spilled_partials)
+        ) * target.line_bytes
+        if footprint > self.stats.partial_peak_bytes:
+            self.stats.partial_peak_bytes = footprint
+
+    # ------------------------------------------------------------------
+    # Batch primitives (reference implementations)
+    #
+    # Kernels always issue whole address batches.  These loops over the
+    # scalar primitives *define* the semantics; the batched engine
+    # subclass replaces them with inlined fast paths that must stay
+    # cycle- and stats-exact (the equivalence property tests compare
+    # full ``SimStats`` between the two paths).
+    # ------------------------------------------------------------------
+    def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        """One :meth:`mac_load` per address, in array order."""
+        mac_load = self.mac_load
+        for addr in addrs.tolist():
+            mac_load(addr, cls, tag)
+
+    def load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        """One :meth:`load` per address, in array order."""
+        load = self.load
+        for addr in addrs.tolist():
+            load(addr, cls, tag)
+
+    def mac_stream_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        """One :meth:`mac_stream_load` per address, in array order."""
+        mac_stream_load = self.mac_stream_load
+        for addr in addrs.tolist():
+            mac_stream_load(addr, cls, tag)
+
+    def store_batch(
+        self, addrs: np.ndarray, cls: str, tag: str, allocate: bool = True
+    ) -> None:
+        """One :meth:`store` per address, in array order."""
+        store = self.store
+        for addr in addrs.tolist():
+            store(addr, cls, tag, allocate=allocate)
+
+    def accumulate_store_batch(self, addrs: np.ndarray, tag: str = "partial") -> None:
+        """One :meth:`accumulate_store` per address, in array order."""
+        accumulate_store = self.accumulate_store
+        for addr in addrs.tolist():
+            accumulate_store(addr, tag)
+
+    def merge_rmw_batch(
+        self,
+        addrs: np.ndarray,
+        cls: str,
+        tag: str,
+        touched: Set[int],
+        track_peak: bool = False,
+    ) -> None:
+        """Merge one partial output per address through the PE array.
+
+        The no-near-memory-accumulator merge path: the first touch of a
+        line write-allocates (nothing to read yet); later touches are a
+        read-modify-write.  ``touched`` is the caller's cross-batch set
+        of first-touched addresses; ``track_peak`` additionally mirrors
+        the accumulator's partial-footprint peak tracking (kernels track
+        it, the CWP baseline's PE-local pool does not)."""
+        stats = self.stats
+        for addr in addrs.tolist():
+            stats.partials_produced += 1
+            if addr in touched:
+                self.rmw(addr, cls, tag)
+            else:
+                touched.add(addr)
+                self.store(addr, cls, tag)
+            if track_peak:
+                self._track_partial_peak()
+
+
+class BatchedAccessExecuteEngine(AccessExecuteEngine):
+    """Vectorized batch-issue fast path of the decoupled pipeline.
+
+    Overrides every batch primitive with a single Python loop that
+    inlines the per-address hot path -- LSQ ring slot, store-to-load
+    forwarding probe, unified-index residency probe, LRU touch and the
+    three-timeline arithmetic -- and batches the stats-counter updates.
+    Primary misses run through the buffer's single-frame
+    :meth:`repro.sim.buffer.CacheBuffer._read_miss` / ``_insert``, so
+    the MSHR/DRAM/eviction machinery has exactly one implementation.
+
+    The timeline recurrences are kept in scalar Python floats in the
+    exact operation order of the scalar primitives (no closed-form
+    numpy reassociation), so every cycle value is bit-identical to the
+    reference engine -- the equivalence contract ``docs/performance.md``
+    documents and ``tests/sim/test_engine_equivalence.py`` enforces.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Live count of forwarding-window addresses per address-space
+        # prefix (``addr >> _SPACE_BITS``), kept in sync with every
+        # store-map insertion/trim; see :meth:`_forward_active`.
+        self._store_spaces: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Forwarding-window bookkeeping
+    # ------------------------------------------------------------------
+    def _record_store(self, addr: int, ready: float) -> None:
+        if not self.forwarding:
+            return
+        store_map = self._store_map
+        if addr in store_map:
+            store_map[addr] = ready
+            store_map.move_to_end(addr)
+            return
+        store_map[addr] = ready
+        spaces = self._store_spaces
+        sp = addr >> _SPACE_BITS
+        spaces[sp] = spaces.get(sp, 0) + 1
+        while len(store_map) > self.lsq_depth:
+            a, _ = store_map.popitem(last=False)
+            sp = a >> _SPACE_BITS
+            c = spaces[sp] - 1
+            if c:
+                spaces[sp] = c
+            else:
+                del spaces[sp]
+
+    def _forward_active(self, addr_list: List[int]) -> bool:
+        """Whether the forwarding window could match *any* address of
+        the batch.
+
+        Kernels emit monotone address batches, so equal first/last
+        space prefixes mean the whole batch lives in one (space, layer)
+        region and a single ``_store_spaces`` lookup settles it; a
+        batch spanning regions conservatively probes per address.
+        """
+        if not self.forwarding or not self._store_map:
+            return False
+        sp = addr_list[0] >> _SPACE_BITS
+        if sp != (addr_list[-1] >> _SPACE_BITS):
+            return True
+        return sp in self._store_spaces
+
+    # ------------------------------------------------------------------
+    # Batch primitives (inlined fast paths)
+    # ------------------------------------------------------------------
+    def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        stats = self.stats
+        buf = self.buffer.route(cls)
+        index = buf._index
+        outstanding = buf._outstanding
+        read_miss = buf._read_miss
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        store_map = self._store_map
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        exec_t = self.exec_t
+        hits = 0
+        misses = 0
+        fetches = 0
+        forwards = 0
+        addr_list = addrs.tolist()
+        fwd = self._forward_active(addr_list)
+        for addr in addr_list:
+            slot = ring[k]
+            issue = issue_t + 1.0
+            if slot > issue:
+                issue = slot
+            if fwd and addr in store_map:
+                ready = store_map[addr]
+                if issue > ready:
+                    ready = issue
+                forwards += 1
+            else:
+                line = index.get(addr)
+                if line is not None:
+                    if lru:
+                        line.owner.move_to_end(addr)
+                    hits += 1
+                    ready = issue + hit_lat
+                    if line.ready > ready:
+                        ready = line.ready
+                else:
+                    misses += 1
+                    pending = outstanding.get(addr)
+                    if pending is not None:
+                        # Secondary miss: merged into the pending MSHR.
+                        ready = issue + hit_lat
+                        if pending > ready:
+                            ready = pending
+                    else:
+                        fetches += 1
+                        ready, issue = read_miss(issue, addr, cls, tag)
+            issue_t = issue
+            e = exec_t + 1.0
+            if ready > e:
+                e = ready
+            exec_t = e
+            ring[k] = e
+            k += 1
+            if k == depth:
+                k = 0
+        self.issue_t = issue_t
+        self.exec_t = exec_t
+        self._k += n
+        stats.requests_issued += n
+        stats.busy_cycles += n
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+        if fetches:
+            stats.dram_read_bytes[tag] += fetches * buf.line_bytes
+        if forwards:
+            stats.lsq_forwards += forwards
+
+    def load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        stats = self.stats
+        buf = self.buffer.route(cls)
+        index = buf._index
+        outstanding = buf._outstanding
+        read_miss = buf._read_miss
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        store_map = self._store_map
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        exec_t = self.exec_t
+        hits = 0
+        misses = 0
+        fetches = 0
+        forwards = 0
+        addr_list = addrs.tolist()
+        fwd = self._forward_active(addr_list)
+        for addr in addr_list:
+            slot = ring[k]
+            issue = issue_t + 1.0
+            if slot > issue:
+                issue = slot
+            if fwd and addr in store_map:
+                ready = store_map[addr]
+                if issue > ready:
+                    ready = issue
+                forwards += 1
+            else:
+                line = index.get(addr)
+                if line is not None:
+                    if lru:
+                        line.owner.move_to_end(addr)
+                    hits += 1
+                    ready = issue + hit_lat
+                    if line.ready > ready:
+                        ready = line.ready
+                else:
+                    misses += 1
+                    pending = outstanding.get(addr)
+                    if pending is not None:
+                        ready = issue + hit_lat
+                        if pending > ready:
+                            ready = pending
+                    else:
+                        fetches += 1
+                        ready, issue = read_miss(issue, addr, cls, tag)
+            issue_t = issue
+            # A plain fetch: the backend waits but records no busy MAC.
+            if ready > exec_t:
+                exec_t = ready
+            ring[k] = exec_t
+            k += 1
+            if k == depth:
+                k = 0
+        self.issue_t = issue_t
+        self.exec_t = exec_t
+        self._k += n
+        stats.requests_issued += n
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+        if fetches:
+            stats.dram_read_bytes[tag] += fetches * buf.line_bytes
+        if forwards:
+            stats.lsq_forwards += forwards
+
+    def mac_stream_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        top = self.buffer
+        buf = top.route(cls)
+        mask = top.classify_batch(addrs)
+        if buf is not top:
+            # Split organisation: an address resident in the *other*
+            # half hits the top-level contains() but would miss (and
+            # allocate) in the routed half, changing residency mid-batch
+            # and invalidating the plan -- replay exactly, one scalar
+            # primitive at a time.
+            if bool(np.any(mask & ~buf.classify_batch(addrs))):
+                AccessExecuteEngine.mac_stream_load_batch(self, addrs, cls, tag)
+                return
+        # Residency is invariant across the batch: hits never allocate
+        # and streamed lines are never inserted, so the mask stays true.
+        stats = self.stats
+        index = buf._index
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        store_map = self._store_map
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        exec_t = self.exec_t
+        dram = self.dram
+        line_bytes = buf.line_bytes
+        line_cost = buf._line_cost
+        slack = self._stream_slack
+        hits = 0
+        misses = 0
+        forwards = 0
+        nk = 0
+        addr_list = addrs.tolist()
+        fwd = self._forward_active(addr_list)
+        for addr, resident in zip(addr_list, mask.tolist()):
+            if resident:
+                slot = ring[k]
+                issue = issue_t + 1.0
+                if slot > issue:
+                    issue = slot
+                if fwd and addr in store_map:
+                    ready = store_map[addr]
+                    if issue > ready:
+                        ready = issue
+                    forwards += 1
+                else:
+                    line = index[addr]
+                    if lru:
+                        line.owner.move_to_end(addr)
+                    hits += 1
+                    ready = issue + hit_lat
+                    if line.ready > ready:
+                        ready = line.ready
+                issue_t = issue
+                e = exec_t + 1.0
+                if ready > e:
+                    e = ready
+                exec_t = e
+                ring[k] = e
+                k += 1
+                if k == depth:
+                    k = 0
+                nk += 1
+            else:
+                # Stream miss: bandwidth only (DRAM.stream_read,
+                # inlined; the byte counter is batched below).
+                misses += 1
+                issue_t += 1.0
+                start = dram.next_free
+                if issue_t > start:
+                    start = issue_t
+                end = start + line_cost
+                dram.next_free = end
+                throttled = end - slack
+                if throttled > issue_t:
+                    issue_t = throttled
+                e = exec_t + 1.0
+                if issue_t > e:
+                    e = issue_t
+                exec_t = e
+        self.issue_t = issue_t
+        self.exec_t = exec_t
+        self._k += nk
+        stats.requests_issued += n
+        stats.busy_cycles += n
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+            stats.dram_read_bytes[tag] += misses * line_bytes
+        if forwards:
+            stats.lsq_forwards += forwards
+
+    def store_batch(
+        self, addrs: np.ndarray, cls: str, tag: str, allocate: bool = True
+    ) -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        stats = self.stats
+        buf = self.buffer.route(cls)
+        index = buf._index
+        insert = buf._insert
+        dram = buf.dram
+        line_cost = buf._line_cost
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        fwd = self.forwarding
+        store_map = self._store_map
+        spaces = self._store_spaces
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        write_t = self.write_t
+        # Stores never advance the backend, so the forwarded ready value
+        # (scalar: ``_record_store(addr, self.exec_t)``) is constant.
+        exec_t = self.exec_t
+        hits = 0
+        misses = 0
+        posted = 0
+        for addr in addrs.tolist():
+            slot = ring[k]
+            issue = write_t + 1.0
+            if slot > issue:
+                issue = slot
+            line = index.get(addr)
+            if line is not None:
+                hits += 1
+                line.dirty = True
+                r = issue + hit_lat
+                if r > line.ready:
+                    line.ready = r
+                if lru:
+                    line.owner.move_to_end(addr)
+            elif allocate:
+                misses += 1
+                insert(issue, addr, cls, True, issue + hit_lat)
+            else:
+                # Write-through/no-allocate: DRAM.write, inlined; the
+                # byte counter is batched below.
+                misses += 1
+                posted += 1
+                start = dram.next_free
+                if issue > start:
+                    start = issue
+                dram.next_free = start + line_cost
+            write_t = issue
+            r2 = issue + 1.0
+            if exec_t > r2:
+                r2 = exec_t
+            ring[k] = r2
+            k += 1
+            if k == depth:
+                k = 0
+            if fwd:
+                if addr in store_map:
+                    store_map[addr] = exec_t
+                    store_map.move_to_end(addr)
+                else:
+                    store_map[addr] = exec_t
+                    sp = addr >> _SPACE_BITS
+                    spaces[sp] = spaces.get(sp, 0) + 1
+        if fwd:
+            # Deferred trim: the surviving window is the last lsq_depth
+            # distinct addresses in last-store order either way, and no
+            # forwarding lookup happens inside a store batch.
+            while len(store_map) > depth:
+                a, _ = store_map.popitem(last=False)
+                sp = a >> _SPACE_BITS
+                c = spaces[sp] - 1
+                if c:
+                    spaces[sp] = c
+                else:
+                    del spaces[sp]
+        self.write_t = write_t
+        self._k += n
+        stats.requests_issued += n
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+        if posted:
+            stats.dram_write_bytes[tag] += posted * buf.line_bytes
+
+    def accumulate_store_batch(self, addrs: np.ndarray, tag: str = "partial") -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        stats = self.stats
+        buf = getattr(self.buffer, "output_buffer", self.buffer)
+        index = buf._index
+        insert = buf._insert
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        partial_set = buf._sets[CLASS_PARTIAL]
+        spilled = buf._spilled_partials
+        line_bytes = buf.line_bytes
+        stride = stats.PARTIAL_TIMELINE_STRIDE
+        timeline = stats.partial_timeline
+        fwd = self.forwarding
+        store_map = self._store_map
+        spaces = self._store_spaces
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        write_t = self.write_t
+        exec_t = self.exec_t
+        hits = 0
+        misses = 0
+        pp = stats.partials_produced
+        peak = stats.partial_peak_bytes
+        # The partial footprint only changes when a line is inserted,
+        # evicted or refetched -- all inside the miss branches below --
+        # so it is recomputed there and cached across the hits.
+        footprint = (len(partial_set) + len(spilled)) * line_bytes
+        for addr in addrs.tolist():
+            slot = ring[k]
+            issue = write_t + 1.0
+            if slot > issue:
+                issue = slot
+            pp += 1
+            line = index.get(addr)
+            if line is not None:
+                hits += 1
+                line.dirty = True
+                r = issue + hit_lat
+                if r > line.ready:
+                    line.ready = r
+                if lru:
+                    line.owner.move_to_end(addr)
+                if footprint > peak:
+                    peak = footprint
+                if pp % stride == 0:
+                    timeline.append((pp, footprint))
+            elif addr in spilled:
+                # Spilled partial: demand refetch + re-merge.  The
+                # scalar accumulate bumps partials_produced and reads/
+                # updates the peak itself: sync the locals around it.
+                stats.partials_produced = pp - 1
+                stats.partial_peak_bytes = peak
+                buf.accumulate(issue, addr, tag)
+                peak = stats.partial_peak_bytes
+                footprint = (len(partial_set) + len(spilled)) * line_bytes
+            else:
+                misses += 1
+                insert(issue, addr, CLASS_PARTIAL, True, issue + hit_lat)
+                footprint = (len(partial_set) + len(spilled)) * line_bytes
+                if footprint > peak:
+                    peak = footprint
+                if pp % stride == 0:
+                    timeline.append((pp, footprint))
+            write_t = issue
+            r2 = issue + 1.0
+            if exec_t > r2:
+                r2 = exec_t
+            ring[k] = r2
+            k += 1
+            if k == depth:
+                k = 0
+            if fwd:
+                if addr in store_map:
+                    store_map[addr] = exec_t
+                    store_map.move_to_end(addr)
+                else:
+                    store_map[addr] = exec_t
+                    sp = addr >> _SPACE_BITS
+                    spaces[sp] = spaces.get(sp, 0) + 1
+        if fwd:
+            while len(store_map) > depth:
+                a, _ = store_map.popitem(last=False)
+                sp = a >> _SPACE_BITS
+                c = spaces[sp] - 1
+                if c:
+                    spaces[sp] = c
+                else:
+                    del spaces[sp]
+        self.write_t = write_t
+        self._k += n
+        stats.partials_produced = pp
+        stats.partial_peak_bytes = peak
+        stats.requests_issued += n
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+
+    def merge_rmw_batch(
+        self,
+        addrs: np.ndarray,
+        cls: str,
+        tag: str,
+        touched: Set[int],
+        track_peak: bool = False,
+    ) -> None:
+        n = len(addrs)
+        if n == 0:
+            return
+        stats = self.stats
+        buf = self.buffer.route(cls)
+        index = buf._index
+        insert = buf._insert
+        outstanding = buf._outstanding
+        read_miss = buf._read_miss
+        lru = buf.lru
+        hit_lat = buf.hit_latency
+        fwd = self.forwarding
+        store_map = self._store_map
+        spaces = self._store_spaces
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        write_t = self.write_t
+        exec_t = self.exec_t
+        target = getattr(self.buffer, "output_buffer", self.buffer)
+        partial_set = target._sets[CLASS_PARTIAL]
+        target_spilled = target._spilled_partials
+        target_line_bytes = target.line_bytes
+        requests = 0
+        busy = 0
+        hits = 0
+        misses = 0
+        fetches = 0
+        forwards = 0
+        nk = 0
+        pp = stats.partials_produced
+        peak = stats.partial_peak_bytes
+        # Cached like in accumulate_store_batch: only the miss branches
+        # change the partial footprint.
+        footprint = (len(partial_set) + len(target_spilled)) * target_line_bytes
+        for addr in addrs.tolist():
+            pp += 1
+            if addr in touched:
+                # rmw = load + alu_op(1) + store.
+                requests += 1
+                slot = ring[k]
+                issue = issue_t + 1.0
+                if slot > issue:
+                    issue = slot
+                if fwd and addr in store_map:
+                    ready = store_map[addr]
+                    if issue > ready:
+                        ready = issue
+                    forwards += 1
+                    probe = True
+                    line = None
+                else:
+                    probe = False
+                    line = index.get(addr)
+                    if line is not None:
+                        if lru:
+                            line.owner.move_to_end(addr)
+                        hits += 1
+                        ready = issue + hit_lat
+                        if line.ready > ready:
+                            ready = line.ready
+                    else:
+                        misses += 1
+                        pending = outstanding.get(addr)
+                        if pending is not None:
+                            # Secondary miss: merged into the pending
+                            # MSHR (the line was evicted while still in
+                            # flight, so it is genuinely absent and the
+                            # store leg write-allocates).
+                            ready = issue + hit_lat
+                            if pending > ready:
+                                ready = pending
+                        else:
+                            fetches += 1
+                            ready, issue = read_miss(issue, addr, cls, tag)
+                            footprint = (
+                                len(partial_set) + len(target_spilled)
+                            ) * target_line_bytes
+                            # The read just allocated the line; the
+                            # store leg below reuses it.
+                            line = index[addr]
+                issue_t = issue
+                if ready > exec_t:
+                    exec_t = ready
+                ring[k] = exec_t
+                k += 1
+                if k == depth:
+                    k = 0
+                nk += 1
+                exec_t += 1.0
+                busy += 1
+            else:
+                touched.add(addr)
+                probe = True
+                line = None
+            # The (write-allocating) store leg, shared by both
+            # branches; nothing between the load leg's probe and here
+            # can evict, so a line it found (or allocated) is reused.
+            requests += 1
+            slot = ring[k]
+            issue = write_t + 1.0
+            if slot > issue:
+                issue = slot
+            if probe:
+                line = index.get(addr)
+            if line is not None:
+                hits += 1
+                line.dirty = True
+                r = issue + hit_lat
+                if r > line.ready:
+                    line.ready = r
+                if lru:
+                    line.owner.move_to_end(addr)
+            else:
+                misses += 1
+                insert(issue, addr, cls, True, issue + hit_lat)
+                footprint = (
+                    len(partial_set) + len(target_spilled)
+                ) * target_line_bytes
+            write_t = issue
+            r2 = issue + 1.0
+            if exec_t > r2:
+                r2 = exec_t
+            ring[k] = r2
+            k += 1
+            if k == depth:
+                k = 0
+            nk += 1
+            if fwd:
+                # Loads probe the window inside this batch, so the trim
+                # must happen per store, exactly as _record_store does.
+                if addr in store_map:
+                    store_map[addr] = exec_t
+                    store_map.move_to_end(addr)
+                else:
+                    store_map[addr] = exec_t
+                    sp = addr >> _SPACE_BITS
+                    spaces[sp] = spaces.get(sp, 0) + 1
+                    if len(store_map) > depth:
+                        a, _ = store_map.popitem(last=False)
+                        sp = a >> _SPACE_BITS
+                        c = spaces[sp] - 1
+                        if c:
+                            spaces[sp] = c
+                        else:
+                            del spaces[sp]
+            if track_peak and footprint > peak:
+                peak = footprint
+        self.issue_t = issue_t
+        self.write_t = write_t
+        self.exec_t = exec_t
+        self._k += nk
+        stats.partials_produced = pp
+        stats.requests_issued += requests
+        stats.busy_cycles += busy
+        if hits:
+            stats.buffer_hits[tag] += hits
+        if misses:
+            stats.buffer_misses[tag] += misses
+        if fetches:
+            stats.dram_read_bytes[tag] += fetches * buf.line_bytes
+        if forwards:
+            stats.lsq_forwards += forwards
+        if track_peak and peak > stats.partial_peak_bytes:
+            stats.partial_peak_bytes = peak
+
+
+def make_engine(
+    kind: str,
+    buffer: CacheBuffer,
+    dram: DRAM,
+    stats: SimStats,
+    **kwargs,
+) -> AccessExecuteEngine:
+    """Build the engine implementation ``kind`` names.
+
+    ``"scalar"`` is the reference model (one Python call per access);
+    ``"batched"`` is the cycle-exact vectorized fast path and the
+    default of :class:`repro.hymm.config.HyMMConfig`.
+    """
+    if kind == "scalar":
+        return AccessExecuteEngine(buffer, dram, stats, **kwargs)
+    if kind == "batched":
+        return BatchedAccessExecuteEngine(buffer, dram, stats, **kwargs)
+    raise ValueError(f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}")

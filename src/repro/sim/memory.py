@@ -43,6 +43,16 @@ class DRAMConfig:
         if self.latency_cycles < 0:
             raise ValueError("latency_cycles must be non-negative")
 
+    def cycles_for(self, nbytes: int) -> float:
+        """Channel cycles ``nbytes`` occupy.
+
+        The single source of the bandwidth division: :meth:`DRAM._occupy`
+        and the batched engine's inlined stream path both use it, so a
+        precomputed per-line cost is bit-identical to the per-access
+        scalar computation.
+        """
+        return nbytes / self.bytes_per_cycle
+
     # ------------------------------------------------------------------
     # Serialisation (nested inside HyMMConfig on the runtime wire)
     # ------------------------------------------------------------------
@@ -75,7 +85,7 @@ class DRAM:
     def _occupy(self, cycle: float, nbytes: int) -> float:
         """Reserve channel time for ``nbytes``; returns transfer-end cycle."""
         start = max(float(cycle), self.next_free)
-        self.next_free = start + nbytes / self.config.bytes_per_cycle
+        self.next_free = start + self.config.cycles_for(nbytes)
         return self.next_free
 
     def read(self, cycle: float, nbytes: int, tag: str) -> float:

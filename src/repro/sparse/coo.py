@@ -76,6 +76,15 @@ class COOMatrix:
         """Sort row-major and merge duplicate coordinates by summing."""
         if self.rows.size == 0:
             return
+        if self.rows.size > 1:
+            row_step = self.rows[1:] > self.rows[:-1]
+            col_step = (self.rows[1:] == self.rows[:-1]) & (
+                self.cols[1:] > self.cols[:-1]
+            )
+            if bool(np.all(row_step | col_step)):
+                # Already row-major sorted with no duplicate coordinates:
+                # the O(nnz) check above is far cheaper than the lexsort.
+                return
         order = np.lexsort((self.cols, self.rows))
         rows, cols, values = self.rows[order], self.cols[order], self.values[order]
         # Detect runs of identical (row, col) pairs and sum their values.
@@ -181,6 +190,9 @@ class COOMatrix:
             self.rows[mask] - row_lo,
             self.cols[mask] - col_lo,
             self.values[mask],
+            # A masked subset of canonical triplets stays sorted and
+            # duplicate-free; rebasing shifts both axes uniformly.
+            _canonical=True,
         )
 
     def row_degrees(self) -> np.ndarray:

@@ -1,0 +1,35 @@
+"""Fixture for the batch-api rule: scalar engine primitives in loops."""
+
+import numpy as np
+
+
+def bad_kernel(ctx, rows):
+    engine = ctx.engine
+    for row in rows:
+        engine.mac_load(row, "a", "A")  # flagged: scalar load in loop
+        ctx.engine.store(row + 1, "out", "OUT")  # flagged: dotted receiver
+    i = 0
+    while i < len(rows):
+        engine.accumulate_store(rows[i], "partial")  # flagged: while loop
+        i += 1
+    for row in rows:
+        if row % 2:
+            engine.rmw(row, "out", "OUT")  # flagged: nested in conditional
+    for row in rows:
+        def spill():
+            engine.mac_stream_load(row, "xw", "XW")  # flagged: closure in loop
+        spill()
+
+
+def good_kernel(ctx, rows):
+    engine = ctx.engine
+    engine.load(rows[0], "a", "A")  # ok: not in a loop
+    engine.mac_load_batch(np.asarray(rows), "a", "A")  # ok: batch API
+    for row in rows:
+        engine.mac_local(1)  # ok: not a per-element memory primitive
+        engine.mac_load_batch(np.asarray([row]), "a", "A")  # ok: batch call
+        rows.store(row)  # ok: receiver is not an engine
+    for row in rows:
+        engine.stream(64, "A")  # ok: stream is already aggregate
+    for row in rows:
+        ctx.engine.load(row, "a", "A")  # analyzer: allow[batch-api]

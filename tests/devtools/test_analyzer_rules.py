@@ -9,6 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.devtools.analyzer.core import Project, run_rules
+from repro.devtools.analyzer.rules.batch_api import BatchApiRule
 from repro.devtools.analyzer.rules.config_hygiene import ConfigHygieneRule
 from repro.devtools.analyzer.rules.determinism import DeterminismRule
 from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
@@ -214,3 +215,49 @@ class TestMutableStateRule:
             line_of("mutable_violations.py", "def clean(jobs=None"),
         }
         assert not (by_line(findings) & clean_lines)
+
+
+# ----------------------------------------------------------------------
+# batch-api
+# ----------------------------------------------------------------------
+class TestBatchApiRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("batch_violations.py", "repro.baselines.batch_fixture")
+        return run_rules(project, [BatchApiRule()])
+
+    def test_every_scalar_call_in_loop_flagged(self, findings):
+        expected = {
+            line_of("batch_violations.py", "engine.mac_load(row,"),
+            line_of("batch_violations.py", "ctx.engine.store(row + 1,"),
+            line_of("batch_violations.py", "engine.accumulate_store(rows[i],"),
+            line_of("batch_violations.py", "engine.rmw(row,"),
+            line_of("batch_violations.py", "engine.mac_stream_load(row,"),
+        }
+        assert by_line(findings) == expected
+        assert all(f.rule == "batch-api" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+
+    def test_clean_patterns_pass(self, findings):
+        clean = {
+            line_of("batch_violations.py", 'engine.load(rows[0], "a", "A")'),
+            line_of("batch_violations.py", 'engine.mac_load_batch(np.asarray(rows)'),
+            line_of("batch_violations.py", "engine.mac_local(1)"),
+            line_of("batch_violations.py", "engine.mac_load_batch(np.asarray([row])"),
+            line_of("batch_violations.py", "rows.store(row)"),
+            line_of("batch_violations.py", 'engine.stream(64, "A")'),
+        }
+        assert not (by_line(findings) & clean)
+
+    def test_inline_suppression_honoured(self, findings):
+        suppressed = line_of("batch_violations.py", "analyzer: allow[batch-api]")
+        assert suppressed not in by_line(findings)
+
+    def test_out_of_scope_module_is_clean(self):
+        project = load_fixture("batch_violations.py", "repro.sim.engine_fixture")
+        assert run_rules(project, [BatchApiRule()]) == []
+
+    def test_messages_point_at_batch_variant(self, findings):
+        messages = " | ".join(f.message for f in findings)
+        assert "mac_load_batch()" in messages
+        assert "store_batch()" in messages

@@ -1,0 +1,87 @@
+"""Golden ``SimStats`` snapshots for every accelerator.
+
+One small seeded dataset runs through HyMM and every baseline; the full
+stats dict of each is compared -- exactly, field by field -- against a
+checked-in JSON snapshot.  The simulator is deterministic, so *any*
+drift in cycle counts, traffic bytes, or hit rates is a behaviour
+change that must be either a bug or an intentional model change.
+
+Intentional changes regenerate the snapshot::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/integration/test_golden_stats.py
+
+and the diff of ``golden_stats.json`` becomes part of the review.
+
+Both engine implementations are checked against the *same* snapshot:
+the batched fast path (the default) and the scalar reference must not
+only agree with each other -- they must agree with history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import ALL_ACCELERATORS
+from repro.gcn.model import GCNModel
+from repro.graphs import load_dataset
+from repro.runtime.execute import make_accelerator
+
+GOLDEN_PATH = Path(__file__).parent / "golden_stats.json"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN", "") not in ("", "0")
+
+ENGINES = ("batched", "scalar")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GCNModel(load_dataset("cora", scale=0.1, seed=1), n_layers=2, seed=2)
+
+
+def run_stats(kind: str, engine: str, model) -> dict:
+    acc = make_accelerator(kind)
+    acc.config = acc.config.with_overrides(engine=engine)
+    return acc.run_inference(model).stats.to_dict()
+
+
+@pytest.fixture(scope="module")
+def golden(model):
+    if UPDATE:
+        snapshot = {
+            kind: run_stats(kind, "batched", model) for kind in ALL_ACCELERATORS
+        }
+        GOLDEN_PATH.write_text(
+            json.dumps(snapshot, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    if not GOLDEN_PATH.is_file():
+        pytest.fail(
+            f"golden snapshot {GOLDEN_PATH} missing; regenerate with "
+            f"REPRO_UPDATE_GOLDEN=1"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_snapshot_covers_every_accelerator(golden):
+    assert sorted(golden) == sorted(ALL_ACCELERATORS)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kind", ALL_ACCELERATORS)
+def test_stats_match_golden(kind, engine, model, golden):
+    stats = run_stats(kind, engine, model)
+    expected = golden[kind]
+    assert sorted(stats) == sorted(expected), (
+        f"{kind}/{engine}: stats schema drifted"
+    )
+    mismatched = {
+        key: (stats[key], expected[key])
+        for key in expected
+        if stats[key] != expected[key]
+    }
+    assert not mismatched, (
+        f"{kind}/{engine} drifted from golden snapshot "
+        f"(REPRO_UPDATE_GOLDEN=1 regenerates if intentional): {mismatched}"
+    )

@@ -1,0 +1,227 @@
+"""Scalar-vs-batched engine equivalence.
+
+The batched engine is a pure performance fast path: for every kernel,
+merge mode, and dataset it must produce *exactly* the ``SimStats`` the
+scalar reference produces -- same cycle counts (float-for-float), same
+traffic bytes, same hit/miss/forward tallies -- and bit-identical
+numerical outputs.  These tests drive both engines over the same
+inputs and diff the full stats dict.
+
+Coverage:
+
+* every kernel entry point (``combination_rwp``, ``combination_dense``,
+  ``combination_op``, ``aggregation_rwp``, ``aggregation_op``,
+  ``aggregation_hybrid``) under a buffer small enough to force
+  evictions, spills, and partial-merge traffic;
+* all three partial-merge modes (``dmb``, ``pe``, ``deferred``) on the
+  outer-product kernels;
+* three seeded registry datasets with different sparsity structure;
+* full accelerator runs for HyMM and every baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gcn.model import GCNModel
+from repro.graphs import load_dataset
+from repro.hymm.accelerator import plan_regions
+from repro.hymm.config import HyMMConfig
+from repro.hymm.dmb import AddressMap, make_buffer
+from repro.hymm.kernels import (
+    MERGE_MODES,
+    KernelContext,
+    aggregation_hybrid,
+    aggregation_op,
+    aggregation_rwp,
+    combination_dense,
+    combination_op,
+    combination_rwp,
+)
+from repro.hymm.pe import PEArray
+from repro.hymm.smq import SparseMatrixQueue
+from repro.runtime.execute import make_accelerator
+from repro.sim.engine import ENGINE_KINDS, make_engine
+from repro.sim.memory import DRAM
+from repro.sim.stats import SimStats
+from repro.sparse import coo_to_csc, coo_to_csr
+from repro.graphs.preprocess import degree_sort
+
+DATASETS = [
+    ("cora", 0.1, 1),
+    ("amazon-photo", 0.06, 2),
+    ("coauthor-cs", 0.04, 3),
+]
+
+#: Small enough that every dataset overflows it: the interesting engine
+#: behaviour (evictions, partial spills, refetches) all happens under
+#: pressure.
+SMALL_BUFFER = 16 * 1024
+
+
+@pytest.fixture(scope="module", params=DATASETS, ids=lambda d: d[0])
+def model(request):
+    name, scale, seed = request.param
+    return GCNModel(load_dataset(name, scale=scale, seed=seed), n_layers=1, seed=seed)
+
+
+def build_ctx(engine_kind: str, unified: bool = True, layer: int = 0) -> KernelContext:
+    cfg = HyMMConfig(
+        dmb_bytes=SMALL_BUFFER, unified_buffer=unified, engine=engine_kind
+    )
+    stats = SimStats()
+    dram = DRAM(cfg.dram, stats)
+    buffer = make_buffer(cfg, dram, stats)
+    engine = make_engine(
+        engine_kind,
+        buffer,
+        dram,
+        stats,
+        lsq_depth=cfg.lsq_entries,
+        forwarding=cfg.forwarding,
+        smq_buffer_bytes=cfg.smq_bytes,
+    )
+    return KernelContext(
+        cfg,
+        engine,
+        buffer,
+        AddressMap(cfg),
+        PEArray(cfg.n_pes),
+        SparseMatrixQueue(cfg.smq_pointer_bytes, cfg.smq_index_bytes),
+        layer=layer,
+    )
+
+
+def run_both(kernel_fn, model, layer=0, **kwargs):
+    """Run ``kernel_fn(ctx, ...)`` under both engines; return the two
+    (stats_dict, output) pairs after draining all in-flight traffic."""
+    results = []
+    for engine_kind in ENGINE_KINDS:
+        ctx = build_ctx(engine_kind, layer=layer)
+        out = kernel_fn(ctx, model, **kwargs)
+        ctx.engine.drain()
+        results.append((ctx.engine.stats.to_dict(), out))
+    return results
+
+
+def assert_equivalent(results):
+    (scalar_stats, scalar_out), (batched_stats, batched_out) = results
+    mismatched = {
+        key: (scalar_stats[key], batched_stats.get(key))
+        for key in scalar_stats
+        if scalar_stats[key] != batched_stats.get(key)
+    }
+    assert sorted(scalar_stats) == sorted(batched_stats)
+    assert not mismatched, f"stats diverged between engines: {mismatched}"
+    np.testing.assert_array_equal(scalar_out, batched_out)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level equivalence
+# ----------------------------------------------------------------------
+def test_combination_rwp(model):
+    features = coo_to_csr(model.dataset.features.to_coo())
+    weights = model.layers[0].weights
+
+    def run(ctx, model):
+        return combination_rwp(ctx, features, weights)
+
+    assert_equivalent(run_both(run, model))
+
+
+def test_combination_dense(model):
+    rng = np.random.default_rng(7)
+    dense_in = rng.standard_normal(
+        (model.dataset.n_nodes, model.layers[0].weights.shape[0]), dtype=np.float32
+    )
+    weights = model.layers[0].weights
+
+    def run(ctx, model):
+        return combination_dense(ctx, dense_in, weights)
+
+    # Dense combination consumes the *previous* layer's output rows, so
+    # it only ever runs at layer >= 1.
+    assert_equivalent(run_both(run, model, layer=1))
+
+
+@pytest.mark.parametrize("merge_mode", MERGE_MODES)
+def test_combination_op(model, merge_mode):
+    features = coo_to_csc(model.dataset.features.to_coo())
+    weights = model.layers[0].weights
+
+    def run(ctx, model):
+        return combination_op(ctx, features, weights, merge_mode=merge_mode)
+
+    assert_equivalent(run_both(run, model))
+
+
+def _xw(model) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    h = model.layers[0].weights.shape[1]
+    return rng.standard_normal((model.dataset.n_nodes, h), dtype=np.float32)
+
+
+def test_aggregation_rwp(model):
+    adj = coo_to_csr(model.norm_adj)
+    xw = _xw(model)
+
+    def run(ctx, model):
+        return aggregation_rwp(ctx, adj, xw)
+
+    assert_equivalent(run_both(run, model))
+
+
+@pytest.mark.parametrize("merge_mode", MERGE_MODES)
+def test_aggregation_op(model, merge_mode):
+    adj = coo_to_csc(model.norm_adj)
+    xw = _xw(model)
+
+    def run(ctx, model):
+        return aggregation_op(ctx, adj, xw, merge_mode=merge_mode)
+
+    assert_equivalent(run_both(run, model))
+
+
+def test_aggregation_hybrid(model):
+    perm = degree_sort(model.dataset.adjacency).permutation
+    sorted_norm = model.norm_adj.permute(row_perm=perm, col_perm=perm)
+    plan = plan_regions(
+        sorted_norm,
+        hidden_dim=model.dataset.hidden_dim,
+        dmb_bytes=SMALL_BUFFER,
+        threshold_fraction=HyMMConfig().threshold_fraction,
+        resident_fraction=HyMMConfig().resident_fraction,
+    )
+    n = sorted_norm.shape[0]
+    low_rows = coo_to_csr(sorted_norm.submatrix(plan.threshold, n, 0, n))
+    xw = _xw(model)
+
+    def run(ctx, model):
+        return aggregation_hybrid(ctx, plan, low_rows, xw)
+
+    assert_equivalent(run_both(run, model))
+
+
+# ----------------------------------------------------------------------
+# Whole-accelerator equivalence (kernels in situ, multi-layer)
+# ----------------------------------------------------------------------
+ACCELERATOR_KINDS = ("op", "rwp", "cwp", "gcod", "op-deferred", "op-tiled", "hymm")
+
+
+@pytest.mark.parametrize("kind", ACCELERATOR_KINDS)
+def test_accelerator_equivalence(model, kind):
+    runs = {}
+    for engine_kind in ENGINE_KINDS:
+        acc = make_accelerator(kind)
+        acc.config = acc.config.with_overrides(
+            dmb_bytes=SMALL_BUFFER, engine=engine_kind
+        )
+        runs[engine_kind] = acc.run_inference(model)
+    scalar, batched = runs["scalar"], runs["batched"]
+    s, b = scalar.stats.to_dict(), batched.stats.to_dict()
+    mismatched = {k: (s[k], b.get(k)) for k in s if s[k] != b.get(k)}
+    assert not mismatched, f"{kind}: stats diverged between engines: {mismatched}"
+    assert len(scalar.outputs) == len(batched.outputs)
+    for out_s, out_b in zip(scalar.outputs, batched.outputs):
+        np.testing.assert_array_equal(out_s, out_b)
