@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Wall-clock benchmark of the scalar vs batched timing engines.
 
-Runs HyMM and the two headline baselines (OP, RWP) over registry
-datasets under both engine implementations and records the median
-wall-clock seconds of each, plus the resulting speedups, to
-``BENCH_sim.json`` in the repository root.
+Runs every baseline accelerator plus HyMM over the full registry bench
+suite under both engine implementations and records the median
+wall-clock seconds of each, plus the resulting speedups, as one new
+entry in the append-only trajectory ``BENCH_sim.json`` in the
+repository root.  Each entry is keyed by git SHA and date, so the
+performance history survives across PRs; an entry also reports its
+batched-engine speedup against the most recent previous entry with the
+same workload signature (the cross-PR regression signal).
 
 The two engines are cycle- and stats-exact by contract (see
 ``tests/sim/test_engine_equivalence.py``), so the only thing this
@@ -13,8 +17,15 @@ simulated machine.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_sim_speed.py [--datasets cora amazon-photo]
+    PYTHONPATH=src python scripts/bench_sim_speed.py
+        [--datasets cora amazon-photo] [--kinds op rwp hymm]
         [--repeats 3] [--output BENCH_sim.json]
+
+    PYTHONPATH=src python scripts/bench_sim_speed.py --smoke
+
+``--smoke`` is the CI guard: a tiny fixed workload, nothing written to
+the trajectory, non-zero exit if the batched engine is not faster than
+the scalar reference.
 
 Everything is seeded; dataset synthesis and model weights are identical
 across engines and repeats, so run-to-run variance is host noise only
@@ -24,19 +35,29 @@ across engines and repeats, so run-to-run variance is host noise only
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import statistics
+import subprocess
+import sys
 import time
 from pathlib import Path
+from typing import Any, Dict, List, Optional
 
-from repro.bench.workloads import bench_scale, make_model
+from repro.bench.workloads import BENCH_DATASETS, bench_scale, make_model
 from repro.runtime.execute import make_accelerator
 
-DEFAULT_DATASETS = ("cora", "amazon-photo")
-KINDS = ("op", "rwp", "hymm")
+#: Every accelerator the equivalence tests cover, Table I order-ish.
+ALL_KINDS = ("op", "rwp", "cwp", "gcod", "op-deferred", "op-tiled", "hymm")
 ENGINES = ("scalar", "batched")
 SEED = 0
 N_LAYERS = 2
+
+#: The CI smoke workload: small, fast, still exercising eviction
+#: pressure and all three dataflow families.
+SMOKE_DATASETS = ("cora",)
+SMOKE_KINDS = ("op", "rwp", "hymm")
+SMOKE_SCALE = 0.5
 
 
 def time_run(kind: str, engine: str, model) -> float:
@@ -47,37 +68,76 @@ def time_run(kind: str, engine: str, model) -> float:
     return time.perf_counter() - start
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS))
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
-    )
-    args = parser.parse_args()
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
-    report = {
+
+def load_trajectory(path: Path) -> Dict[str, Any]:
+    """Read the trajectory file, migrating the pre-trajectory format
+    (one flat report dict) into the first run entry."""
+    if not path.exists():
+        return {"schema": 2, "runs": []}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if "runs" in data:
+        return data
+    legacy = dict(data)
+    legacy.setdefault("sha", "pre-trajectory")
+    legacy.setdefault("date", "")
+    return {"schema": 2, "runs": [legacy]}
+
+
+def previous_matching(
+    runs: List[Dict[str, Any]], workload: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Most recent earlier run with the same workload signature."""
+    signature = ("datasets", "kinds", "n_layers", "seed", "scales")
+    for run in reversed(runs):
+        prev = run.get("workload", {})
+        if all(prev.get(key) == workload.get(key) for key in signature):
+            return run
+    return None
+
+
+def bench(
+    datasets: List[str],
+    kinds: List[str],
+    repeats: int,
+    scale_override: Optional[float] = None,
+) -> Dict[str, Any]:
+    scales = {
+        name: scale_override if scale_override is not None else bench_scale(name)
+        for name in datasets
+    }
+    run: Dict[str, Any] = {
+        "sha": git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d"),
         "workload": {
-            "datasets": args.datasets,
-            "kinds": list(KINDS),
+            "datasets": list(datasets),
+            "kinds": list(kinds),
+            "scales": scales,
             "n_layers": N_LAYERS,
             "seed": SEED,
-            "repeats": args.repeats,
+            "repeats": repeats,
             "statistic": "median",
         },
         "results": {},
     }
     grand = {engine: 0.0 for engine in ENGINES}
-    for name in args.datasets:
-        model = make_model(name, bench_scale(name), N_LAYERS, SEED)
-        for kind in KINDS:
+    for name in datasets:
+        model = make_model(name, scales[name], N_LAYERS, SEED)
+        for kind in kinds:
             medians = {}
             for engine in ENGINES:
-                samples = [
-                    time_run(kind, engine, model) for _ in range(args.repeats)
-                ]
+                samples = [time_run(kind, engine, model) for _ in range(repeats)]
                 medians[engine] = statistics.median(samples)
                 grand[engine] += medians[engine]
             entry = {
@@ -85,25 +145,101 @@ def main() -> None:
                 "batched_seconds": round(medians["batched"], 4),
                 "speedup": round(medians["scalar"] / medians["batched"], 3),
             }
-            report["results"][f"{name}/{kind}"] = entry
+            run["results"][f"{name}/{kind}"] = entry
             print(
-                f"{name:20s} {kind:5s} scalar={entry['scalar_seconds']:8.3f}s "
+                f"{name:20s} {kind:12s} scalar={entry['scalar_seconds']:8.3f}s "
                 f"batched={entry['batched_seconds']:8.3f}s "
                 f"speedup={entry['speedup']:.2f}x",
                 flush=True,
             )
-    report["aggregate"] = {
+    run["aggregate"] = {
         "scalar_seconds": round(grand["scalar"], 4),
         "batched_seconds": round(grand["batched"], 4),
         "speedup": round(grand["scalar"] / grand["batched"], 3),
     }
     print(
-        f"aggregate: scalar={report['aggregate']['scalar_seconds']:.2f}s "
-        f"batched={report['aggregate']['batched_seconds']:.2f}s "
-        f"speedup={report['aggregate']['speedup']:.2f}x"
+        f"aggregate: scalar={run['aggregate']['scalar_seconds']:.2f}s "
+        f"batched={run['aggregate']['batched_seconds']:.2f}s "
+        f"speedup={run['aggregate']['speedup']:.2f}x"
     )
-    args.output.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
-    print(f"wrote {args.output}")
+    return run
+
+
+def attach_vs_previous(run: Dict[str, Any], prev: Dict[str, Any]) -> None:
+    """Cross-PR comparison: this run's batched engine against the
+    previous matching entry's (per result and in aggregate)."""
+    per_result = {}
+    for key, entry in run["results"].items():
+        old = prev.get("results", {}).get(key)
+        if old and entry["batched_seconds"] > 0:
+            per_result[key] = round(
+                old["batched_seconds"] / entry["batched_seconds"], 3
+            )
+    comparison = {
+        "sha": prev.get("sha", "unknown"),
+        "date": prev.get("date", ""),
+        "batched_speedup": per_result,
+    }
+    old_agg = prev.get("aggregate", {}).get("batched_seconds")
+    new_agg = run["aggregate"]["batched_seconds"]
+    if old_agg and new_agg:
+        comparison["aggregate_batched_speedup"] = round(old_agg / new_agg, 3)
+        print(
+            f"vs previous entry {comparison['sha']}: batched engine "
+            f"{comparison['aggregate_batched_speedup']:.2f}x faster in aggregate"
+        )
+    run["vs_previous"] = comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--datasets", nargs="+", default=list(BENCH_DATASETS))
+    parser.add_argument(
+        "--kinds",
+        nargs="+",
+        default=list(ALL_KINDS),
+        choices=list(ALL_KINDS),
+        metavar="KIND",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fixed workload, no trajectory write; exit 1 unless the "
+        "batched engine beats the scalar reference",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        run = bench(
+            list(SMOKE_DATASETS), list(SMOKE_KINDS), repeats=1,
+            scale_override=SMOKE_SCALE,
+        )
+        speedup = run["aggregate"]["speedup"]
+        if speedup < 1.0:
+            print(
+                f"SMOKE FAIL: batched engine slower than scalar "
+                f"({speedup:.2f}x)",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+        print(f"smoke ok: batched {speedup:.2f}x scalar")
+        return
+
+    trajectory = load_trajectory(args.output)
+    run = bench(args.datasets, args.kinds, args.repeats)
+    prev = previous_matching(trajectory["runs"], run["workload"])
+    if prev is not None:
+        attach_vs_previous(run, prev)
+    trajectory["runs"].append(run)
+    args.output.write_text(json.dumps(trajectory, indent=1) + "\n", encoding="utf-8")
+    print(f"appended run {run['sha']} to {args.output} "
+          f"({len(trajectory['runs'])} entries)")
 
 
 if __name__ == "__main__":

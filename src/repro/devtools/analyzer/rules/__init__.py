@@ -6,6 +6,7 @@ Importing this package registers every rule with
 
 from repro.devtools.analyzer.rules import (  # noqa: F401
     batch_api,
+    buffer_internals,
     config_hygiene,
     determinism,
     mutable_state,

@@ -1,0 +1,122 @@
+"""Rule ``buffer-internals``: the slot arena is the buffer's business.
+
+:class:`repro.sim.buffer.CacheBuffer` stores its state as a
+preallocated slot arena -- parallel per-slot arrays, per-class
+slot-keyed LRU OrderedDicts, a FIFO MSHR file and one addr->slot map.
+That layout is a performance representation, not an interface: it has
+changed once already (dict-of-``_Line`` objects -> slot arena) and may
+change again, and every field update carries invariants (class counts,
+LRU membership, the ``_max_ready`` watermark) that only the buffer's
+own methods and the batched engine's audited fast paths maintain.
+
+Kernel or baseline code reaching into those fields would couple model
+code to the representation *and* bypass the invariant maintenance --
+a silent way to corrupt eviction order or miss accounting without any
+equivalence test noticing.  The public surface (``read``, ``write``,
+``accumulate``, ``classify_batch``, ``contains``, ``flush``,
+``invalidate``, ``reclassify``, ``occupancy_by_class``,
+``resident_lines``, ``evict_priority``) covers every legitimate use.
+
+Scope mirrors the ``batch-api`` rule: compute kernels and baseline
+accelerators.  ``repro.sim.engine`` is deliberately outside the scope
+-- the batched engine's flat loops are the audited fast path and hoist
+these fields by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+
+#: Private slot-arena state of :class:`repro.sim.buffer.CacheBuffer`.
+#: Kept in sync with the buffer implementation; the rule's own test
+#: cross-checks this set against the live class.
+ARENA_FIELDS = {
+    "_slot_of",
+    "_slot_cls",
+    "_slot_dirty",
+    "_slot_ready",
+    "_slot_addr",
+    "_lru_ods",
+    "_free_slots",
+    "_class_count",
+    "_mshr_fifo",
+    "_outstanding",
+    "_spilled_partials",
+    "_max_ready",
+    "_evict_ctx",
+    "_evict_order",
+    "_line_cost",
+    "_read_latency",
+    "_size",
+}
+
+#: Private methods that are likewise representation, not interface.
+ARENA_METHODS = {
+    "_insert",
+    "_read_miss",
+    "_acquire_mshr",
+    "_touch_slot",
+    "_update_partial_peak",
+}
+
+
+@register
+class BufferInternalsRule(Rule):
+    name = "buffer-internals"
+    description = (
+        "kernels and baselines must not touch CacheBuffer's private "
+        "slot-arena fields; use the public read/write/classify API"
+    )
+    default_severity = "error"
+    default_options = {
+        "scope": [
+            "repro.hymm.kernels",
+            "repro.baselines",
+        ],
+    }
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        scope = tuple(self.options["scope"])
+        private = ARENA_FIELDS | ARENA_METHODS
+        for mod in project.in_package(*scope):
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr not in private:
+                    continue
+                receiver = _receiver_chain(node.value)
+                if receiver is None or not _looks_like_buffer(receiver):
+                    continue
+                kind = "method" if node.attr in ARENA_METHODS else "field"
+                yield self.finding(
+                    project, mod, node,
+                    f"access to CacheBuffer private slot-arena {kind} "
+                    f"{receiver}.{node.attr}: the arena layout is a "
+                    f"representation, not an interface -- go through the "
+                    f"public buffer API",
+                    symbol=f"{receiver}.{node.attr}",
+                )
+
+
+def _looks_like_buffer(receiver: str) -> bool:
+    """Kernels and baselines reach the buffer through names containing
+    ``buf`` (``buf``, ``buffer``, ``self.buffer``, ``dmb.buffer``,
+    ``top_buf``); an unrelated object with a ``_size`` attribute under
+    a different name is not worth flagging."""
+    return "buf" in receiver.lower()
+
+
+def _receiver_chain(node: ast.AST) -> "str | None":
+    """Dotted receiver of an attribute access (``ctx.buffer`` for
+    ``ctx.buffer._slot_of``); ``None`` for computed receivers."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -16,13 +16,27 @@ A set of 64-byte lines managed with:
   PE array; partial lines evicted to DRAM are re-fetched and re-merged
   if touched again, and the partial-output footprint (resident +
   spilled) is tracked for the paper's Figure 10.
+
+Internally the buffer is a **preallocated slot arena**: every per-line
+attribute lives in a parallel Python list indexed by an integer slot
+(``_slot_cls`` / ``_slot_dirty`` / ``_slot_ready`` / ``_slot_addr``)
+and a single ``_slot_of`` dict maps addr -> slot, so no per-line object
+is ever allocated on the hot path.  LRU order is one intrusive
+doubly-linked list of slots per class, realized as a slot-keyed
+``OrderedDict`` (CPython's OrderedDict *is* a C-level intrusive linked
+list over its keys): a touch is one ``move_to_end`` on a small-int key,
+eviction is one ``popitem(last=False)``, both O(1) with no per-entry
+allocation and no scanning.  The MSHR file is a plain FIFO deque
+rather than a heap: miss ready-times are strictly monotone in
+acquisition order (each miss occupies the DRAM channel after the
+previous one, and the per-line transfer cost is positive), so FIFO pop
+order *is* earliest-ready order, exactly.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -37,39 +51,41 @@ CLASS_PARTIAL = "partial"
 #: Every line class the buffer knows about.
 ALL_CLASSES = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
 
+#: Dense class indices used by the slot arena (and the batched engine's
+#: inlined hit paths).
+CLASS_INDEX: Dict[str, int] = {cls: i for i, cls in enumerate(ALL_CLASSES)}
+
+_N_CLASSES = len(ALL_CLASSES)
+_PARTIAL_IDX = CLASS_INDEX[CLASS_PARTIAL]
+
 #: Paper eviction order: weights first, then combination results; final
 #: outputs and partial outputs are retained as long as possible.
 DEFAULT_EVICT_PRIORITY = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
 
 
-class _Line:
-    """One resident line.
-
-    A ``__slots__`` class rather than a dataclass: the engines touch
-    these attributes once per simulated access.  ``owner`` is the
-    per-class LRU ``OrderedDict`` the line currently lives in (kept in
-    sync by ``_insert``/``reclassify``), so a hit can LRU-touch without
-    re-deriving ``self._sets[line.cls]``.
-    """
-
-    __slots__ = ("cls", "dirty", "ready", "owner")
-
-    def __init__(
-        self,
-        cls: str,
-        dirty: bool,
-        ready: float,
-        owner: "OrderedDict[int, _Line]",
-    ) -> None:
-        self.cls = cls
-        self.dirty = dirty
-        #: Cycle at which the line's data is valid on-chip.
-        self.ready = ready
-        self.owner = owner
-
-
 class CacheBuffer:
-    """Unified on-chip buffer with priority-LRU eviction and MSHRs."""
+    """Unified on-chip buffer with priority-LRU eviction and MSHRs.
+
+    Slot-arena layout (all lists preallocated in ``__init__``):
+
+    ``_slot_of``
+        addr -> slot, the single residency probe shared by the scalar
+        ``read`` path and the batched engine's inlined hit loops.
+    ``_slot_cls`` / ``_slot_dirty`` / ``_slot_ready`` / ``_slot_addr``
+        per-slot line state, ``_slot_cls`` holding dense
+        :data:`CLASS_INDEX` values.
+    ``_lru_ods``
+        one intrusive LRU list of slots per class, as a slot-keyed
+        ``OrderedDict`` (front = LRU, back = MRU).  Touch =
+        ``move_to_end``, evict = ``popitem(last=False)``, both O(1)
+        C-level linked-list splices on small-int keys.
+    ``_free_slots``
+        stack of unused slot indices.
+    ``_max_ready``
+        watermark over every ready time ever handed to a resident line
+        -- lets the batched engine's all-hit lane skip the per-element
+        ready check when no fetch can still be in flight.
+    """
 
     def __init__(
         self,
@@ -95,22 +111,28 @@ class CacheBuffer:
         self.hit_latency = hit_latency
         self.mshr_entries = mshr_entries
         self.lru = lru
-        # Per-class LRU maps: addr -> _Line, insertion/MRU order at the end.
-        self._sets: Dict[str, "OrderedDict[int, _Line]"] = {
-            cls: OrderedDict() for cls in ALL_CLASSES
-        }
-        # Unified residency index (addr -> _Line across all classes):
-        # the single-probe tag lookup both the scalar `read` path and
-        # the batched engine's inlined hit path share.  Kept in sync by
-        # _insert/_evict/flush/invalidate; `reclassify` only relabels
-        # the line object, which the index aliases.
-        self._index: Dict[int, _Line] = {}
+        cap = capacity_lines
+        self._slot_cls: List[int] = [0] * cap
+        self._slot_dirty: List[bool] = [False] * cap
+        self._slot_ready: List[float] = [0.0] * cap
+        self._slot_addr: List[int] = [0] * cap
+        self._lru_ods: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(_N_CLASSES)
+        ]
+        self._free_slots: List[int] = list(range(cap - 1, -1, -1))
+        self._class_count: List[int] = [0] * _N_CLASSES
+        self._slot_of: Dict[int, int] = {}
         self._evict_priority: Tuple[str, ...] = ()
+        self._evict_order: Tuple[int, ...] = ()
         self.evict_priority = evict_priority
         self._size = 0
-        # MSHRs: addr -> ready cycle, plus a heap for capacity stalls.
+        self._max_ready = 0.0
+        # MSHRs: addr -> ready cycle, plus the FIFO of (ready, addr) in
+        # acquisition order.  Readies are strictly increasing along the
+        # FIFO (see module docstring), so the front is always the
+        # earliest outstanding miss -- heap semantics without the heap.
         self._outstanding: Dict[int, float] = {}
-        self._mshr_heap: List[Tuple[float, int]] = []
+        self._mshr_fifo: Deque[Tuple[float, int]] = deque()
         # Partial lines evicted to DRAM whose value is a partial sum.
         self._spilled_partials: Set[int] = set()
         # Precomputed DRAM constants, so the single-frame miss path
@@ -118,6 +140,20 @@ class CacheBuffer:
         # to DRAM.read/write without walking the call chain per miss.
         self._line_cost = dram.config.cycles_for(line_bytes)
         self._read_latency = dram.config.latency_cycles
+        # Everything the eviction scan needs, bound once: unpacking one
+        # tuple is cheaper than a dozen attribute loads per evicting
+        # insert (the outer lists are never rebound, only mutated in
+        # place, so the bindings stay valid).
+        self._evict_ctx = (
+            stats,
+            dram,
+            line_bytes,
+            self._line_cost,
+            capacity_lines,
+            self._slot_addr,
+            self._slot_dirty,
+            self._lru_ods,
+        )
 
     # ------------------------------------------------------------------
     # Introspection / configuration
@@ -141,6 +177,7 @@ class CacheBuffer:
                 f"evict_priority must be a permutation of {ALL_CLASSES}, got {order}"
             )
         self._evict_priority = order
+        self._evict_order = tuple(CLASS_INDEX[c] for c in order)
 
     @property
     def size_lines(self) -> int:
@@ -149,7 +186,7 @@ class CacheBuffer:
 
     def contains(self, addr: int) -> bool:
         """Whether the address is resident (no LRU side effects)."""
-        return addr in self._index
+        return addr in self._slot_of
 
     def route(self, cls: str) -> "CacheBuffer":
         """The physical buffer requests of class ``cls`` land in.
@@ -163,28 +200,28 @@ class CacheBuffer:
     def classify_batch(self, addrs: "np.ndarray") -> "np.ndarray":
         """Residency mask for a whole address batch (no LRU effects).
 
-        One vectorised membership pass against the unified index.  The
-        mask is only a valid *plan* while residency is invariant -- the
+        One vectorised membership pass against the slot map.  The mask
+        is only a valid *plan* while residency is invariant -- the
         batched engine uses it for stream loads (which never allocate)
         and falls back to per-address probes whenever an access could
         insert or evict lines mid-batch.
         """
-        index = self._index
-        if not index:
+        slot_of = self._slot_of
+        if not slot_of:
             return np.zeros(len(addrs), dtype=bool)
         return np.fromiter(
-            map(index.__contains__, addrs.tolist()), dtype=bool, count=len(addrs)
+            map(slot_of.__contains__, addrs.tolist()), dtype=bool, count=len(addrs)
         )
 
     def resident_lines(self, cls: str) -> int:
         """Resident line count of one class."""
-        return len(self._sets[cls])
+        return self._class_count[CLASS_INDEX[cls]]
 
     def occupancy_by_class(self) -> Dict[str, int]:
         """Lines held per class -- the Section III "dynamic space
         management" observable: during RWP phases the buffer fills with
         XW, during OP phases with partial outputs."""
-        return {cls: len(lines) for cls, lines in self._sets.items()}
+        return {cls: self._class_count[CLASS_INDEX[cls]] for cls in ALL_CLASSES}
 
     # ------------------------------------------------------------------
     # Accesses
@@ -195,11 +232,12 @@ class CacheBuffer:
         Returns ``(ready_cycle, issue_cycle)``; ``issue_cycle >= cycle``
         when the request had to stall for a free MSHR.
         """
-        line = self._index.get(addr)
-        if line is not None:
-            self._touch(addr, line.cls)
+        slot = self._slot_of.get(addr)
+        if slot is not None:
+            if self.lru:
+                self._lru_ods[self._slot_cls[slot]].move_to_end(slot)
             self.stats.buffer_hits[tag] += 1
-            return max(cycle + self.hit_latency, line.ready), cycle
+            return max(cycle + self.hit_latency, self._slot_ready[slot]), cycle
         self.stats.buffer_misses[tag] += 1
         pending = self._outstanding.get(addr)
         if pending is not None:
@@ -213,7 +251,8 @@ class CacheBuffer:
         self, cycle: float, addr: int, cls: str, tag: str
     ) -> Tuple[float, float]:
         """Primary-miss machinery in a single frame: MSHR acquire, DRAM
-        fetch, miss registration, line insertion.
+        fetch, miss registration, line insertion (with any evictions the
+        insertion needs, via :meth:`_insert`'s flat victim scan).
 
         Equivalent to ``_acquire_mshr`` + ``DRAM.read`` + ``_insert``
         minus the hit/miss/byte counters, which are the caller's (the
@@ -221,18 +260,18 @@ class CacheBuffer:
         :meth:`read` pays them up front).
         """
         outstanding = self._outstanding
-        heap = self._mshr_heap
+        fifo = self._mshr_fifo
         issue = float(cycle)
-        # Retire completed misses.
-        while heap and heap[0][0] <= issue:
-            ready, a = heapq.heappop(heap)
-            if outstanding.get(a) == ready:
-                del outstanding[a]
+        # Retire completed misses.  FIFO order == ready order: each
+        # registered miss has ready strictly greater than its
+        # predecessor's, so popping the front is popping the minimum.
+        while fifo and fifo[0][0] <= issue:
+            _, a = fifo.popleft()
+            del outstanding[a]
         limit = self.mshr_entries
         while len(outstanding) >= limit:
-            ready, a = heapq.heappop(heap)
-            if outstanding.get(a) == ready:
-                del outstanding[a]
+            ready, a = fifo.popleft()
+            del outstanding[a]
             if ready > issue:
                 issue = ready
         dram = self.dram
@@ -243,7 +282,7 @@ class CacheBuffer:
         dram.next_free = end
         ready = end + self._read_latency
         outstanding[addr] = ready
-        heapq.heappush(heap, (ready, addr))
+        fifo.append((ready, addr))
         self._insert(issue, addr, cls, dirty=False, ready=ready)
         return ready, issue
 
@@ -256,12 +295,17 @@ class CacheBuffer:
         straight to DRAM, which is how streaming outputs (RWP final
         results) avoid polluting the buffer.
         """
-        line = self._find(addr)
-        if line is not None:
+        slot = self._slot_of.get(addr)
+        if slot is not None:
             self.stats.buffer_hits[tag] += 1
-            line.dirty = True
-            line.ready = max(line.ready, cycle + self.hit_latency)
-            self._touch(addr, line.cls)
+            self._slot_dirty[slot] = True
+            ready = cycle + self.hit_latency
+            if ready > self._slot_ready[slot]:
+                self._slot_ready[slot] = ready
+                if ready > self._max_ready:
+                    self._max_ready = ready
+            if self.lru:
+                self._lru_ods[self._slot_cls[slot]].move_to_end(slot)
             return cycle + self.hit_latency
         self.stats.buffer_misses[tag] += 1
         if allocate:
@@ -277,12 +321,17 @@ class CacheBuffer:
         re-merged (demand read).  Footprint tracking feeds Fig. 10.
         """
         self.stats.partials_produced += 1
-        line = self._find(addr)
-        if line is not None:
+        slot = self._slot_of.get(addr)
+        if slot is not None:
             self.stats.buffer_hits[tag] += 1
-            line.dirty = True
-            line.ready = max(line.ready, cycle + self.hit_latency)
-            self._touch(addr, line.cls)
+            self._slot_dirty[slot] = True
+            ready = cycle + self.hit_latency
+            if ready > self._slot_ready[slot]:
+                self._slot_ready[slot] = ready
+                if ready > self._max_ready:
+                    self._max_ready = ready
+            if self.lru:
+                self._lru_ods[self._slot_cls[slot]].move_to_end(slot)
             self._update_partial_peak()
             return cycle + self.hit_latency
         self.stats.buffer_misses[tag] += 1
@@ -301,20 +350,34 @@ class CacheBuffer:
         """Write back and drop lines (all classes, or one).
 
         Returns the cycle the last writeback finishes transferring.
-        Clean lines are dropped silently.
+        Clean lines are dropped silently.  Lines retire in LRU order
+        within each class (the class list's front-to-back order -- the
+        order the legacy per-class map iterated).
         """
         end = float(cycle)
         classes = [cls] if cls is not None else list(self.evict_priority)
+        slot_of = self._slot_of
+        slot_addr = self._slot_addr
+        slot_dirty = self._slot_dirty
+        free = self._free_slots
         for c in classes:
-            lines = self._sets[c]
-            for addr, line in list(lines.items()):
-                if line.dirty:
-                    end = self.dram.write(end, self.line_bytes, tag or c)
-                    if c == CLASS_PARTIAL:
+            ci = CLASS_INDEX[c]
+            if not self._class_count[ci]:
+                continue
+            od = self._lru_ods[ci]
+            write_tag = tag or c
+            is_partial = ci == _PARTIAL_IDX
+            for slot in od:
+                addr = slot_addr[slot]
+                if slot_dirty[slot]:
+                    end = self.dram.write(end, self.line_bytes, write_tag)
+                    if is_partial:
                         self._spilled_partials.add(addr)
-                del lines[addr]
-                del self._index[addr]
-                self._size -= 1
+                del slot_of[addr]
+                free.append(slot)
+            od.clear()
+            self._size -= self._class_count[ci]
+            self._class_count[ci] = 0
         return end
 
     def invalidate(self, cls: str) -> int:
@@ -323,11 +386,19 @@ class CacheBuffer:
         Used between phases/layers for data that is dead (e.g. XW after
         the aggregation that consumed it).  Returns lines dropped.
         """
-        lines = self._sets[cls]
-        n = len(lines)
-        for addr in lines:
-            del self._index[addr]
-        lines.clear()
+        ci = CLASS_INDEX[cls]
+        n = self._class_count[ci]
+        if not n:
+            return 0
+        slot_of = self._slot_of
+        slot_addr = self._slot_addr
+        free = self._free_slots
+        od = self._lru_ods[ci]
+        for slot in od:
+            del slot_of[slot_addr[slot]]
+            free.append(slot)
+        od.clear()
+        self._class_count[ci] = 0
         self._size -= n
         return n
 
@@ -338,16 +409,25 @@ class CacheBuffer:
         an outer-product combination): the data stays resident but now
         follows the destination class's eviction priority.  ``cycle`` is
         unused here but kept for interface parity with the split-buffer
-        organisation, where reclassification costs writebacks.
+        organisation, where reclassification costs writebacks.  The
+        relabelled lines land at the destination's MRU end in source
+        LRU order -- exactly the legacy "append the source map onto the
+        destination map" splice.
         """
-        src = self._sets[from_cls]
-        dst = self._sets[to_cls]
-        n = len(src)
-        for addr, line in src.items():
-            line.cls = to_cls
-            line.owner = dst
-            dst[addr] = line
-        src.clear()
+        src_ci = CLASS_INDEX[from_cls]
+        dst_ci = CLASS_INDEX[to_cls]
+        n = self._class_count[src_ci]
+        if n == 0 or src_ci == dst_ci:
+            return n
+        slot_cls = self._slot_cls
+        src_od = self._lru_ods[src_ci]
+        dst_od = self._lru_ods[dst_ci]
+        for slot in src_od:
+            slot_cls[slot] = dst_ci
+            dst_od[slot] = None
+        src_od.clear()
+        self._class_count[dst_ci] += n
+        self._class_count[src_ci] = 0
         return n
 
     def drop_spilled_partials(self) -> int:
@@ -359,76 +439,92 @@ class CacheBuffer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _find(self, addr: int) -> Optional[_Line]:
-        return self._index.get(addr)
-
-    def _touch(self, addr: int, cls: str) -> None:
-        if self.lru:
-            self._sets[cls].move_to_end(addr)
+    def _touch_slot(self, slot: int) -> None:
+        """Mark a resident slot most-recently-used (one list splice)."""
+        self._lru_ods[self._slot_cls[slot]].move_to_end(slot)
 
     def _acquire_mshr(self, cycle: float) -> float:
         """Wait for a free MSHR; returns the (possibly delayed) issue cycle."""
         issue = float(cycle)
-        # Retire completed misses.
-        while self._mshr_heap and self._mshr_heap[0][0] <= issue:
-            ready, addr = heapq.heappop(self._mshr_heap)
-            if self._outstanding.get(addr) == ready:
-                del self._outstanding[addr]
-        while len(self._outstanding) >= self.mshr_entries:
-            ready, addr = heapq.heappop(self._mshr_heap)
-            if self._outstanding.get(addr) == ready:
-                del self._outstanding[addr]
-            issue = max(issue, ready)
+        fifo = self._mshr_fifo
+        outstanding = self._outstanding
+        # Retire completed misses (FIFO front is the earliest ready).
+        while fifo and fifo[0][0] <= issue:
+            _, addr = fifo.popleft()
+            del outstanding[addr]
+        while len(outstanding) >= self.mshr_entries:
+            ready, addr = fifo.popleft()
+            del outstanding[addr]
+            if ready > issue:
+                issue = ready
         return issue
 
     def _insert(self, cycle: float, addr: int, cls: str, dirty: bool, ready: float) -> None:
         """Allocate one line, evicting until there is room.
 
         Victims come from the lowest-priority non-empty class, LRU
-        within (front of the ordered dict is LRU when hits re-append
-        and plain FIFO when they do not); the eviction loop is inlined
-        into this frame -- the writeback arithmetic is bit-identical to
+        within: one ``popitem(last=False)`` off the class list -- O(1),
+        no scanning.  The whole pop/evict/insert sequence runs in this
+        one frame -- the writeback arithmetic is bit-identical to
         ``DRAM.write`` via the precomputed ``_line_cost``.
         """
-        sets = self._sets
-        lines = sets.get(cls)
-        if lines is None:
-            raise ValueError(f"unknown line class {cls!r}")
-        index = self._index
+        try:
+            ci = CLASS_INDEX[cls]
+        except KeyError:
+            raise ValueError(f"unknown line class {cls!r}") from None
+        slot_of = self._slot_of
+        free = self._free_slots
+        counts = self._class_count
+        ods = self._lru_ods
         size = self._size
         if size >= self.capacity_lines:
-            stats = self.stats
-            dram = self.dram
-            nbytes = self.line_bytes
-            line_cost = self._line_cost
-            capacity = self.capacity_lines
+            (
+                stats,
+                dram,
+                nbytes,
+                line_cost,
+                capacity,
+                slot_addr,
+                slot_dirty,
+                _,
+            ) = self._evict_ctx
             while size >= capacity:
-                for c in self._evict_priority:
-                    victims = sets[c]
-                    if victims:
-                        a, victim = victims.popitem(last=False)
-                        del index[a]
+                for vc in self._evict_order:
+                    if counts[vc]:
+                        victim, _ = ods[vc].popitem(last=False)
+                        a = slot_addr[victim]
+                        del slot_of[a]
+                        counts[vc] -= 1
                         size -= 1
-                        if victim.dirty:
+                        free.append(victim)
+                        if slot_dirty[victim]:
+                            c = ALL_CLASSES[vc]
                             stats.dram_write_bytes[c] += nbytes
                             start = dram.next_free
                             if cycle > start:
                                 start = cycle
                             dram.next_free = start + line_cost
-                            if c == CLASS_PARTIAL:
+                            if vc == _PARTIAL_IDX:
                                 self._spilled_partials.add(a)
                                 stats.partial_spill_bytes += nbytes
                         break
                 else:
                     raise RuntimeError("evict called on an empty buffer")
-        line = _Line(cls, dirty, ready, lines)
-        lines[addr] = line
-        index[addr] = line
+        slot = free.pop()
+        self._slot_cls[slot] = ci
+        self._slot_dirty[slot] = dirty
+        self._slot_ready[slot] = ready
+        self._slot_addr[slot] = addr
+        ods[ci][slot] = None
+        slot_of[addr] = slot
+        counts[ci] += 1
         self._size = size + 1
+        if ready > self._max_ready:
+            self._max_ready = ready
 
     def _update_partial_peak(self) -> None:
         footprint = (
-            len(self._sets[CLASS_PARTIAL]) + len(self._spilled_partials)
+            self._class_count[_PARTIAL_IDX] + len(self._spilled_partials)
         ) * self.line_bytes
         if footprint > self.stats.partial_peak_bytes:
             self.stats.partial_peak_bytes = footprint

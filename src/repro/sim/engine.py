@@ -21,12 +21,13 @@ at vector-op granularity:
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Dict, List, Set
 
 import numpy as np
 
-from repro.sim.buffer import CLASS_PARTIAL, CacheBuffer
+from repro.sim.buffer import CLASS_INDEX, CLASS_PARTIAL, CacheBuffer
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
 
@@ -39,6 +40,26 @@ ENGINE_KINDS = ("scalar", "batched")
 #: whole load batch over a different matrix can skip the per-address
 #: store-map probe.
 _SPACE_BITS = 32
+
+_PARTIAL_IDX = CLASS_INDEX[CLASS_PARTIAL]
+
+#: Minimum all-hit prefix length worth routing through the vector lane
+#: (below this the numpy setup costs more than the flat loop saves).
+_LANE_MIN = 48
+
+#: Exactness gate for the vector lanes: every timeline value must sit
+#: on the 2^-16 dyadic grid with magnitude below 2^35.  All simulator
+#: cycle values are sums of multiples of 1/64 (DRAM transfer costs) and
+#: integers (latencies, per-cycle steps), so in practice every value
+#: qualifies; the gate makes the lane *provably* bit-exact -- on-grid
+#: bounded operands make every add/max in the recurrence exact real
+#: arithmetic, and exact arithmetic makes the closed form identical to
+#: the sequential loop.  Any off-grid value falls back to the flat loop.
+_LANE_MAG = float(1 << 35)
+
+
+def _lane_scalar_ok(v: float) -> bool:
+    return -_LANE_MAG < v < _LANE_MAG and (v * 65536.0).is_integer()
 
 
 class AccessExecuteEngine:
@@ -314,17 +335,27 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
 
     Overrides every batch primitive with a single Python loop that
     inlines the per-address hot path -- LSQ ring slot, store-to-load
-    forwarding probe, unified-index residency probe, LRU touch and the
-    three-timeline arithmetic -- and batches the stats-counter updates.
-    Primary misses run through the buffer's single-frame
-    :meth:`repro.sim.buffer.CacheBuffer._read_miss` / ``_insert``, so
-    the MSHR/DRAM/eviction machinery has exactly one implementation.
+    forwarding probe, slot-arena residency probe, one-splice intrusive
+    LRU touch and the three-timeline arithmetic -- and batches the
+    stats-counter updates.  Primary misses run through the buffer's
+    single-frame :meth:`repro.sim.buffer.CacheBuffer._read_miss` /
+    ``_insert``, so the MSHR/DRAM/eviction machinery has exactly one
+    implementation.
 
-    The timeline recurrences are kept in scalar Python floats in the
-    exact operation order of the scalar primitives (no closed-form
-    numpy reassociation), so every cycle value is bit-identical to the
-    reference engine -- the equivalence contract ``docs/performance.md``
-    documents and ``tests/sim/test_engine_equivalence.py`` enforces.
+    On top of the flat loops, the load-side primitives route **all-hit
+    prefixes** through a numpy vector lane (:meth:`_all_hit_lane`): when
+    pre-classification proves a prefix of the batch entirely resident,
+    ready in time, and outside the forwarding window, the uniform-latency
+    timeline recurrence is computed elementwise in closed form and the
+    LRU touches applied as one run of C-level list splices.  The lane
+    only engages when
+    an exactness gate proves the closed form bit-identical to the
+    sequential loop (all operands on a dyadic grid, see ``_LANE_MAG``);
+    everything else takes the flat loop, which performs the *same scalar
+    operations in the same order* as the reference engine.  Either way
+    every cycle value is bit-identical to the scalar engine -- the
+    equivalence contract ``docs/performance.md`` documents and
+    ``tests/sim/test_engine_equivalence.py`` enforces.
     """
 
     def __init__(self, *args, **kwargs) -> None:
@@ -333,6 +364,27 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         # prefix (``addr >> _SPACE_BITS``), kept in sync with every
         # store-map insertion/trim; see :meth:`_forward_active`.
         self._store_spaces: Dict[int, int] = {}
+        # Cached [0, 1, ..., lsq_depth) for the vector lane's prefix-max
+        # recurrence (sliced per call, never reallocated).
+        self._lane_idx = np.arange(self.lsq_depth, dtype=np.float64)
+        # Whole-simulation grid proof for the vector lane.  Every cycle
+        # value any engine produces is built from the start cycle by
+        # max() and by adding 1.0, integer latencies, or DRAM transfer
+        # costs ``nbytes / bytes_per_cycle``.  When bytes_per_cycle is a
+        # power of two <= 2^16, every such cost is an exact multiple of
+        # 2^-16; with a nonnegative on-grid start cycle the induction
+        # gives *every* timeline/ring/ready/forwarding value nonnegative
+        # and on the 2^-16 grid, so the lane's per-array grid gate is
+        # provably redundant and only magnitude checks remain.
+        bpc = self.dram.config.bytes_per_cycle
+        self._lane_grid_exact = (
+            bpc > 0.0
+            and math.frexp(bpc)[0] == 0.5
+            and bpc <= 65536.0
+            and self.issue_t >= 0.0
+            and (self.issue_t * 65536.0).is_integer()
+            and (self._stream_slack * 65536.0).is_integer()
+        )
 
     # ------------------------------------------------------------------
     # Forwarding-window bookkeeping
@@ -375,6 +427,186 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         return sp in self._store_spaces
 
     # ------------------------------------------------------------------
+    # All-hit vector lane
+    # ------------------------------------------------------------------
+    def _all_hit_lane(self, buf: CacheBuffer, addr_list: List[int], mac: bool) -> int:
+        """Vectorize the longest all-hit prefix of a load batch.
+
+        Preconditions (checked here; any failure returns 0 or a shorter
+        prefix and the caller's flat loop handles the rest):
+
+        * every prefix address resident in ``buf`` (hits never allocate
+          or evict, so residency is invariant across the prefix);
+        * every hit line ready by its issue floor
+          (``line.ready <= issue_t + 1 + hit_latency``), so each
+          per-element ready is exactly ``issue + hit_latency``;
+        * the caller established the forwarding window cannot match
+          (space filter empty), so no per-address store-map probe;
+        * ``issue_t``/``exec_t`` and every consumed LSQ ring value on
+          the 2^-16 grid with magnitude < 2^35, so the closed-form
+          recurrences below are exact real arithmetic -- the same
+          per-element operations as the flat loop, just elementwise.
+
+        With ``S_j`` the pre-lane ring values (``j < depth``), the
+        sequential all-hit recurrences
+
+        ``issue_i = max(issue_(i-1) + 1, ring_slot_i)``
+        ``ready_i = issue_i + hit_latency``
+        mac:   ``exec_i  = max(exec_(i-1) + 1, ready_i)``
+        plain: ``exec_i  = max(exec_(i-1), ready_i)``
+
+        unroll to ``issue_i = i + base_i`` with
+        ``base_i = max(issue_t + 1, max_{j<=min(i, depth-1)}(S_j - j))``
+        -- a prefix maximum over *at most lsq_depth* values, because
+        ring slots consumed beyond ``depth`` were written by this lane
+        and provably never bind: the exec timeline leads the issue
+        timeline by at most ``C = max(exec_t - issue_t, hit_latency)``
+        throughout an all-hit run, so the slot-reuse constraint
+        ``exec_(i-depth) <= issue_(i-1) + 1`` holds whenever
+        ``C <= depth`` (checked; the lane truncates to ``depth``
+        elements otherwise).  Past ``depth`` everything is affine in
+        ``i``, so the whole lane costs O(lsq_depth) numpy work no
+        matter how long the batch.
+
+        The per-element ready check itself is usually free: the
+        buffer's ``_max_ready`` watermark bounds every resident line's
+        ready time, so when it sits at or below the first issue floor
+        no gather is needed at all.
+
+        LRU touches are applied afterwards in batch order -- each one
+        C-level intrusive-list splice, duplicates re-splicing exactly
+        like the sequential per-hit touches.
+
+        Returns the number of prefix elements consumed (0 if the lane
+        did not engage); updates ``issue_t``/``exec_t``/ring/``_k`` and
+        the LRU lists for exactly that prefix.
+        """
+        slot_of = buf._slot_of
+        if not slot_of or addr_list[0] not in slot_of:
+            return 0
+        issue_t = self.issue_t
+        exec_t = self.exec_t
+        if self._lane_grid_exact:
+            # On-grid and nonnegative by construction; bound magnitude.
+            if issue_t >= _LANE_MAG or exec_t >= _LANE_MAG:
+                return 0
+        elif not (_lane_scalar_ok(issue_t) and _lane_scalar_ok(exec_t)):
+            return 0
+        n = len(addr_list)
+        try:
+            slot_list = list(map(slot_of.__getitem__, addr_list))
+            m = n
+        except KeyError:
+            mask = np.fromiter(
+                map(slot_of.__contains__, addr_list), np.bool_, count=n
+            )
+            m = int(np.argmin(mask))
+            if m < _LANE_MIN:
+                return 0
+            slot_list = list(map(slot_of.__getitem__, addr_list[:m]))
+        hit_lat = buf.hit_latency
+        floor0 = issue_t + 1.0 + hit_lat
+        if buf._max_ready > floor0:
+            ready_list = list(map(buf._slot_ready.__getitem__, slot_list))
+            if max(ready_list) > floor0:
+                ready_arr = np.fromiter(ready_list, np.float64, count=m)
+                m = int(np.argmin(ready_arr <= floor0))
+                if m < _LANE_MIN:
+                    return 0
+                slot_list = slot_list[:m]
+        depth = self.lsq_depth
+        if m > depth and exec_t - issue_t > depth:
+            # The ring-feedback no-bind bound needs C <= depth; consume
+            # only pre-lane ring slots instead.
+            m = depth
+            slot_list = slot_list[:m]
+        ring = self._ring
+        k0 = self._k % depth
+        w = m if m < depth else depth
+        if k0 + w <= depth:
+            S = np.array(ring[k0 : k0 + w], dtype=np.float64)
+        else:
+            cut = depth - k0
+            S = np.empty(w, dtype=np.float64)
+            S[:cut] = ring[k0:]
+            S[cut:] = ring[: w - cut]
+        idx = self._lane_idx[:w]
+        if self._lane_grid_exact:
+            # Ring values are on-grid and nonnegative by construction
+            # (see ``__init__``); compute the prefix max in place and
+            # bound the magnitude afterwards -- ``bl + depth`` bounds
+            # every consumed ring value, so one scalar comparison
+            # replaces the per-array gate.  (An over-bound value makes
+            # ``bl`` huge even under rounding, so the check is safe.)
+            np.subtract(S, idx, out=S)
+            np.maximum.accumulate(S, out=S)
+            base = np.maximum(S, issue_t + 1.0, out=S)
+            bl = float(base[w - 1])
+            if bl + depth >= _LANE_MAG:
+                return 0
+        else:
+            # Exactness gate on the consumed pre-lane ring values
+            # (values the lane writes are grid sums of grid values,
+            # still exact).
+            scaled = S * 65536.0
+            if not (
+                (np.abs(S) < _LANE_MAG).all()
+                and (scaled == np.floor(scaled)).all()
+            ):
+                return 0
+            base = np.maximum(issue_t + 1.0, np.maximum.accumulate(S - idx))
+            bl = float(base[w - 1])
+        h = float(hit_lat)
+        if mac:
+            np.add(base, h, out=base)
+            np.maximum(base, exec_t + 1.0, out=base)
+            np.add(base, idx, out=base)
+            e_head = base.tolist()
+        else:
+            np.add(base, h, out=base)
+            np.add(base, idx, out=base)
+            e_head = np.maximum(base, exec_t, out=base).tolist()
+        if m <= depth:
+            if k0 + m <= depth:
+                ring[k0 : k0 + m] = e_head
+            else:
+                cut = depth - k0
+                ring[k0:] = e_head[:cut]
+                ring[: m - cut] = e_head[cut:]
+            exec_last = e_head[-1]
+        else:
+            # The final ring state is E_i for the last `depth` elements;
+            # past i = depth the base is the constant `bl`, so those
+            # values are affine in i.
+            lo = m - depth
+            start_i = depth if lo < depth else lo
+            if mac:
+                c = max(exec_t + 1.0, bl + h)
+                aff = (np.arange(start_i, m, dtype=np.float64) + c).tolist()
+            else:
+                aff = np.maximum(
+                    exec_t, np.arange(start_i, m, dtype=np.float64) + (bl + h)
+                ).tolist()
+            tail_vals = (e_head[lo:] + aff) if lo < depth else aff
+            p0 = (k0 + lo) % depth
+            cut = depth - p0
+            ring[p0:] = tail_vals[:cut]
+            ring[:p0] = tail_vals[cut:]
+            exec_last = tail_vals[-1]
+        self.issue_t = (m - 1) + max(issue_t + 1.0, bl)
+        self.exec_t = exec_last
+        self._k += m
+        if buf.lru:
+            # Bulk LRU touch in batch order: per-slot C-level list
+            # splices; a duplicate slot re-splices to the tail exactly
+            # like the sequential per-hit touches would.
+            ods = buf._lru_ods
+            cls_arr = buf._slot_cls
+            for s in slot_list:
+                ods[cls_arr[s]].move_to_end(s)
+        return m
+
+    # ------------------------------------------------------------------
     # Batch primitives (inlined fast paths)
     # ------------------------------------------------------------------
     def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
@@ -383,7 +615,21 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         stats = self.stats
         buf = self.buffer.route(cls)
-        index = buf._index
+        addr_list = addrs.tolist()
+        fwd = self._forward_active(addr_list)
+        start = 0
+        if not fwd and n >= _LANE_MIN:
+            start = self._all_hit_lane(buf, addr_list, mac=True)
+            if start:
+                stats.requests_issued += start
+                stats.busy_cycles += start
+                stats.buffer_hits[tag] += start
+                if start == n:
+                    return
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
         outstanding = buf._outstanding
         read_miss = buf._read_miss
         lru = buf.lru
@@ -398,9 +644,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         misses = 0
         fetches = 0
         forwards = 0
-        addr_list = addrs.tolist()
-        fwd = self._forward_active(addr_list)
-        for addr in addr_list:
+        for addr in addr_list[start:] if start else addr_list:
             slot = ring[k]
             issue = issue_t + 1.0
             if slot > issue:
@@ -411,14 +655,15 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     ready = issue
                 forwards += 1
             else:
-                line = index.get(addr)
-                if line is not None:
+                s = slot_of.get(addr)
+                if s is not None:
                     if lru:
-                        line.owner.move_to_end(addr)
+                        ods[cls_arr[s]].move_to_end(s)
                     hits += 1
                     ready = issue + hit_lat
-                    if line.ready > ready:
-                        ready = line.ready
+                    sr = slot_ready[s]
+                    if sr > ready:
+                        ready = sr
                 else:
                     misses += 1
                     pending = outstanding.get(addr)
@@ -439,11 +684,12 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             k += 1
             if k == depth:
                 k = 0
+        rest = n - start
         self.issue_t = issue_t
         self.exec_t = exec_t
-        self._k += n
-        stats.requests_issued += n
-        stats.busy_cycles += n
+        self._k += rest
+        stats.requests_issued += rest
+        stats.busy_cycles += rest
         if hits:
             stats.buffer_hits[tag] += hits
         if misses:
@@ -459,7 +705,20 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         stats = self.stats
         buf = self.buffer.route(cls)
-        index = buf._index
+        addr_list = addrs.tolist()
+        fwd = self._forward_active(addr_list)
+        start = 0
+        if not fwd and n >= _LANE_MIN:
+            start = self._all_hit_lane(buf, addr_list, mac=False)
+            if start:
+                stats.requests_issued += start
+                stats.buffer_hits[tag] += start
+                if start == n:
+                    return
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
         outstanding = buf._outstanding
         read_miss = buf._read_miss
         lru = buf.lru
@@ -474,9 +733,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         misses = 0
         fetches = 0
         forwards = 0
-        addr_list = addrs.tolist()
-        fwd = self._forward_active(addr_list)
-        for addr in addr_list:
+        for addr in addr_list[start:] if start else addr_list:
             slot = ring[k]
             issue = issue_t + 1.0
             if slot > issue:
@@ -487,14 +744,15 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     ready = issue
                 forwards += 1
             else:
-                line = index.get(addr)
-                if line is not None:
+                s = slot_of.get(addr)
+                if s is not None:
                     if lru:
-                        line.owner.move_to_end(addr)
+                        ods[cls_arr[s]].move_to_end(s)
                     hits += 1
                     ready = issue + hit_lat
-                    if line.ready > ready:
-                        ready = line.ready
+                    sr = slot_ready[s]
+                    if sr > ready:
+                        ready = sr
                 else:
                     misses += 1
                     pending = outstanding.get(addr)
@@ -513,10 +771,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             k += 1
             if k == depth:
                 k = 0
+        rest = n - start
         self.issue_t = issue_t
         self.exec_t = exec_t
-        self._k += n
-        stats.requests_issued += n
+        self._k += rest
+        stats.requests_issued += rest
         if hits:
             stats.buffer_hits[tag] += hits
         if misses:
@@ -532,20 +791,31 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         top = self.buffer
         buf = top.route(cls)
-        mask = top.classify_batch(addrs)
+        # One residency pass against the routed half only; the scalar
+        # reference consults top-level contains(), but the two agree
+        # whenever no address is resident in the *other* half.
+        mask = buf.classify_batch(addrs)
         if buf is not top:
-            # Split organisation: an address resident in the *other*
-            # half hits the top-level contains() but would miss (and
+            other = (
+                top.output_buffer
+                if buf is top.input_buffer
+                else top.input_buffer
+            )
+            # Split organisation: an address resident in the other half
+            # hits the top-level contains() but would miss (and
             # allocate) in the routed half, changing residency mid-batch
             # and invalidating the plan -- replay exactly, one scalar
             # primitive at a time.
-            if bool(np.any(mask & ~buf.classify_batch(addrs))):
+            if bool(np.any(other.classify_batch(addrs) & ~mask)):
                 AccessExecuteEngine.mac_stream_load_batch(self, addrs, cls, tag)
                 return
         # Residency is invariant across the batch: hits never allocate
         # and streamed lines are never inserted, so the mask stays true.
         stats = self.stats
-        index = buf._index
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
         lru = buf.lru
         hit_lat = buf.hit_latency
         store_map = self._store_map
@@ -576,13 +846,14 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                         ready = issue
                     forwards += 1
                 else:
-                    line = index[addr]
+                    s = slot_of[addr]
                     if lru:
-                        line.owner.move_to_end(addr)
+                        ods[cls_arr[s]].move_to_end(s)
                     hits += 1
                     ready = issue + hit_lat
-                    if line.ready > ready:
-                        ready = line.ready
+                    sr = slot_ready[s]
+                    if sr > ready:
+                        ready = sr
                 issue_t = issue
                 e = exec_t + 1.0
                 if ready > e:
@@ -631,7 +902,12 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         stats = self.stats
         buf = self.buffer.route(cls)
-        index = buf._index
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        slot_dirty = buf._slot_dirty
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
+        mr = buf._max_ready
         insert = buf._insert
         dram = buf.dram
         line_cost = buf._line_cost
@@ -655,15 +931,17 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             issue = write_t + 1.0
             if slot > issue:
                 issue = slot
-            line = index.get(addr)
-            if line is not None:
+            s = slot_of.get(addr)
+            if s is not None:
                 hits += 1
-                line.dirty = True
+                slot_dirty[s] = True
                 r = issue + hit_lat
-                if r > line.ready:
-                    line.ready = r
+                if r > slot_ready[s]:
+                    slot_ready[s] = r
+                    if r > mr:
+                        mr = r
                 if lru:
-                    line.owner.move_to_end(addr)
+                    ods[cls_arr[s]].move_to_end(s)
             elif allocate:
                 misses += 1
                 insert(issue, addr, cls, True, issue + hit_lat)
@@ -704,6 +982,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     spaces[sp] = c
                 else:
                     del spaces[sp]
+        if mr > buf._max_ready:
+            buf._max_ready = mr
         self.write_t = write_t
         self._k += n
         stats.requests_issued += n
@@ -720,11 +1000,16 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         stats = self.stats
         buf = getattr(self.buffer, "output_buffer", self.buffer)
-        index = buf._index
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        slot_dirty = buf._slot_dirty
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
+        mr = buf._max_ready
         insert = buf._insert
         lru = buf.lru
         hit_lat = buf.hit_latency
-        partial_set = buf._sets[CLASS_PARTIAL]
+        counts = buf._class_count
         spilled = buf._spilled_partials
         line_bytes = buf.line_bytes
         stride = stats.PARTIAL_TIMELINE_STRIDE
@@ -744,22 +1029,24 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         # The partial footprint only changes when a line is inserted,
         # evicted or refetched -- all inside the miss branches below --
         # so it is recomputed there and cached across the hits.
-        footprint = (len(partial_set) + len(spilled)) * line_bytes
+        footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
         for addr in addrs.tolist():
             slot = ring[k]
             issue = write_t + 1.0
             if slot > issue:
                 issue = slot
             pp += 1
-            line = index.get(addr)
-            if line is not None:
+            s = slot_of.get(addr)
+            if s is not None:
                 hits += 1
-                line.dirty = True
+                slot_dirty[s] = True
                 r = issue + hit_lat
-                if r > line.ready:
-                    line.ready = r
+                if r > slot_ready[s]:
+                    slot_ready[s] = r
+                    if r > mr:
+                        mr = r
                 if lru:
-                    line.owner.move_to_end(addr)
+                    ods[cls_arr[s]].move_to_end(s)
                 if footprint > peak:
                     peak = footprint
                 if pp % stride == 0:
@@ -772,11 +1059,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                 stats.partial_peak_bytes = peak
                 buf.accumulate(issue, addr, tag)
                 peak = stats.partial_peak_bytes
-                footprint = (len(partial_set) + len(spilled)) * line_bytes
+                footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
             else:
                 misses += 1
                 insert(issue, addr, CLASS_PARTIAL, True, issue + hit_lat)
-                footprint = (len(partial_set) + len(spilled)) * line_bytes
+                footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
                 if footprint > peak:
                     peak = footprint
                 if pp % stride == 0:
@@ -806,6 +1093,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     spaces[sp] = c
                 else:
                     del spaces[sp]
+        if mr > buf._max_ready:
+            buf._max_ready = mr
         self.write_t = write_t
         self._k += n
         stats.partials_produced = pp
@@ -829,7 +1118,12 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             return
         stats = self.stats
         buf = self.buffer.route(cls)
-        index = buf._index
+        slot_of = buf._slot_of
+        slot_ready = buf._slot_ready
+        slot_dirty = buf._slot_dirty
+        ods = buf._lru_ods
+        cls_arr = buf._slot_cls
+        mr = buf._max_ready
         insert = buf._insert
         outstanding = buf._outstanding
         read_miss = buf._read_miss
@@ -845,7 +1139,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         write_t = self.write_t
         exec_t = self.exec_t
         target = getattr(self.buffer, "output_buffer", self.buffer)
-        partial_set = target._sets[CLASS_PARTIAL]
+        target_counts = target._class_count
         target_spilled = target._spilled_partials
         target_line_bytes = target.line_bytes
         requests = 0
@@ -859,7 +1153,9 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         peak = stats.partial_peak_bytes
         # Cached like in accumulate_store_batch: only the miss branches
         # change the partial footprint.
-        footprint = (len(partial_set) + len(target_spilled)) * target_line_bytes
+        footprint = (
+            target_counts[_PARTIAL_IDX] + len(target_spilled)
+        ) * target_line_bytes
         for addr in addrs.tolist():
             pp += 1
             if addr in touched:
@@ -875,17 +1171,18 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                         ready = issue
                     forwards += 1
                     probe = True
-                    line = None
+                    s = None
                 else:
                     probe = False
-                    line = index.get(addr)
-                    if line is not None:
+                    s = slot_of.get(addr)
+                    if s is not None:
                         if lru:
-                            line.owner.move_to_end(addr)
+                            ods[cls_arr[s]].move_to_end(s)
                         hits += 1
                         ready = issue + hit_lat
-                        if line.ready > ready:
-                            ready = line.ready
+                        sr = slot_ready[s]
+                        if sr > ready:
+                            ready = sr
                     else:
                         misses += 1
                         pending = outstanding.get(addr)
@@ -901,11 +1198,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                             fetches += 1
                             ready, issue = read_miss(issue, addr, cls, tag)
                             footprint = (
-                                len(partial_set) + len(target_spilled)
+                                target_counts[_PARTIAL_IDX] + len(target_spilled)
                             ) * target_line_bytes
                             # The read just allocated the line; the
                             # store leg below reuses it.
-                            line = index[addr]
+                            s = slot_of[addr]
                 issue_t = issue
                 if ready > exec_t:
                     exec_t = ready
@@ -919,7 +1216,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             else:
                 touched.add(addr)
                 probe = True
-                line = None
+                s = None
             # The (write-allocating) store leg, shared by both
             # branches; nothing between the load leg's probe and here
             # can evict, so a line it found (or allocated) is reused.
@@ -929,20 +1226,22 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             if slot > issue:
                 issue = slot
             if probe:
-                line = index.get(addr)
-            if line is not None:
+                s = slot_of.get(addr)
+            if s is not None:
                 hits += 1
-                line.dirty = True
+                slot_dirty[s] = True
                 r = issue + hit_lat
-                if r > line.ready:
-                    line.ready = r
+                if r > slot_ready[s]:
+                    slot_ready[s] = r
+                    if r > mr:
+                        mr = r
                 if lru:
-                    line.owner.move_to_end(addr)
+                    ods[cls_arr[s]].move_to_end(s)
             else:
                 misses += 1
                 insert(issue, addr, cls, True, issue + hit_lat)
                 footprint = (
-                    len(partial_set) + len(target_spilled)
+                    target_counts[_PARTIAL_IDX] + len(target_spilled)
                 ) * target_line_bytes
             write_t = issue
             r2 = issue + 1.0
@@ -973,6 +1272,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                             del spaces[sp]
             if track_peak and footprint > peak:
                 peak = footprint
+        if mr > buf._max_ready:
+            buf._max_ready = mr
         self.issue_t = issue_t
         self.write_t = write_t
         self.exec_t = exec_t

@@ -10,6 +10,11 @@ import pytest
 
 from repro.devtools.analyzer.core import Project, run_rules
 from repro.devtools.analyzer.rules.batch_api import BatchApiRule
+from repro.devtools.analyzer.rules.buffer_internals import (
+    ARENA_FIELDS,
+    ARENA_METHODS,
+    BufferInternalsRule,
+)
 from repro.devtools.analyzer.rules.config_hygiene import ConfigHygieneRule
 from repro.devtools.analyzer.rules.determinism import DeterminismRule
 from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
@@ -261,3 +266,70 @@ class TestBatchApiRule:
         messages = " | ".join(f.message for f in findings)
         assert "mac_load_batch()" in messages
         assert "store_batch()" in messages
+
+
+# ----------------------------------------------------------------------
+# buffer-internals
+# ----------------------------------------------------------------------
+class TestBufferInternalsRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture(
+            "buffer_violations.py", "repro.baselines.buffer_fixture"
+        )
+        return run_rules(project, [BufferInternalsRule()])
+
+    def test_every_arena_access_flagged(self, findings):
+        expected = {
+            line_of("buffer_violations.py", "buf._slot_of.get(0x40)"),
+            line_of("buffer_violations.py", "buf._slot_ready[slot]"),
+            line_of("buffer_violations.py", "engine.buffer._max_ready = 0.0"),
+            line_of("buffer_violations.py", "buf._insert(0.0,"),
+            line_of("buffer_violations.py", "engine.buffer._read_miss(0.0,"),
+            line_of("buffer_violations.py", "buf._lru_ods[0].popitem"),
+        }
+        assert by_line(findings) == expected
+        assert all(f.rule == "buffer-internals" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+
+    def test_public_api_not_flagged(self, findings):
+        clean = {
+            line_of("buffer_violations.py", "buf.read(0.0,"),
+            line_of("buffer_violations.py", "buf.write(issue,"),
+            line_of("buffer_violations.py", "buf.classify_batch(addrs, 0)"),
+            line_of("buffer_violations.py", "buf.contains(0xC0)"),
+            line_of("buffer_violations.py", 'buf.reclassify("partial", "out")'),
+            line_of("buffer_violations.py", 'buf.flush(ready, "drain")'),
+            line_of("buffer_violations.py", 'getattr(tracker, "_size", None)'),
+        }
+        assert not (by_line(findings) & clean)
+
+    def test_inline_suppression_honoured(self, findings):
+        suppressed = line_of(
+            "buffer_violations.py", "analyzer: allow[buffer-internals]"
+        )
+        assert suppressed not in by_line(findings)
+
+    def test_out_of_scope_module_is_clean(self):
+        project = load_fixture(
+            "buffer_violations.py", "repro.sim.engine_fixture"
+        )
+        assert run_rules(project, [BufferInternalsRule()]) == []
+
+    def test_field_set_matches_live_buffer(self):
+        """The rule's field list must track the real class: every listed
+        field/method exists on a constructed CacheBuffer, so a rename in
+        the buffer forces this list (and the rule) to follow."""
+        from repro.sim.buffer import CacheBuffer
+        from repro.sim.memory import DRAM, DRAMConfig
+        from repro.sim.stats import SimStats
+
+        stats = SimStats()
+        buf = CacheBuffer(
+            capacity_lines=16,
+            line_bytes=64,
+            dram=DRAM(DRAMConfig(), stats),
+            stats=stats,
+        )
+        for name in ARENA_FIELDS | ARENA_METHODS:
+            assert hasattr(buf, name), name
