@@ -96,7 +96,9 @@ class TiledOPAccelerator(AcceleratorBase):
         width: int,
     ) -> np.ndarray:
         out = np.zeros((out_rows, width), dtype=VALUE_DTYPE)
+        tracer = ctx.engine.tracer
         for lo, band_csc in bands:
+            t0 = ctx.engine.drain()
             kernel(
                 ctx,
                 band_csc,
@@ -107,6 +109,11 @@ class TiledOPAccelerator(AcceleratorBase):
                 extra_pointers=1,
                 finalize=True,
             )
+            if tracer.enabled:
+                tracer.span(
+                    "op-band", t0, ctx.engine.drain(), "region",
+                    {"row_lo": int(lo), "rows": int(band_csc.shape[0])},
+                )
         return out
 
     def run_combination(

@@ -66,12 +66,13 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig9": _figure(figures.fig9_hit_rate),
     "fig10": _figure(figures.fig10_partial_outputs),
     "fig11": _figure(figures.fig11_dram_breakdown),
+    "phases": _figure(figures.phases_breakdown),
 }
 
 #: Run order for "all" (cheap first; Figs. 7-11 share memoised runs).
 ALL_ORDER = (
     "table1", "table3", "table2", "fig2", "fig6",
-    "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "phases",
 )
 
 #: Accelerator kinds each experiment simulates (None = no simulation).
@@ -88,6 +89,7 @@ EXPERIMENT_KINDS: Dict[str, tuple] = {
     "fig9": _FIG_SUITE_KINDS,
     "fig10": ("op-deferred", "hymm"),
     "fig11": _FIG_SUITE_KINDS,
+    "phases": _FIG_SUITE_KINDS,
 }
 
 

@@ -6,11 +6,16 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-from repro.bench.report import format_table, render_series
+from repro.bench.report import (
+    format_table,
+    render_phase_breakdown,
+    render_series,
+)
 from repro.bench.runner import (
     aggregation_cycles,
     aggregation_hit_rate,
     aggregation_utilization,
+    phase_snapshot_rows,
     run_accelerator,
     run_suite,
 )
@@ -174,7 +179,7 @@ def fig10_partial_outputs(
     ``stats.partial_timeline``.
     """
     headers = ["dataset", "no accumulator KB", "exceeds DMB?",
-               "with accumulator KB", "reduction %"]
+               "with accumulator KB", "reduction %", "vs naive spill %"]
     rows = []
     reduction: Dict[str, float] = {}
     timelines: Dict[str, list] = {}
@@ -188,10 +193,14 @@ def fig10_partial_outputs(
         red = 100.0 * (1.0 - peak_w / peak_wo) if peak_wo else 0.0
         reduction[abbr] = red
         timelines[abbr] = without.stats.partial_timeline
+        # Reduction against spilling every partial, at the run's
+        # configured buffer-line size (not the 64B default).
+        line = with_acc.config.line_bytes if with_acc.config else 64
+        red_naive = 100.0 * with_acc.stats.partial_reduction(line)
         rows.append([
             abbr, peak_wo / 1024,
             "yes" if peak_wo > dmb_bytes else "no",
-            peak_w / 1024, red,
+            peak_w / 1024, red, red_naive,
         ])
     return {
         "reduction_pct": reduction,
@@ -199,6 +208,34 @@ def fig10_partial_outputs(
         "timelines": timelines,
         "text": "Fig.10  Peak partial-output footprint\n" + format_table(headers, rows),
     }
+
+
+def phases_breakdown(
+    datasets: Iterable[str] = BENCH_DATASETS,
+    kinds=_FIG7_KINDS,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Per-phase cycle / DRAM / hit breakdown (Figs. 8 & 11 companion).
+
+    One row per (dataset, accelerator, phase) from the run's
+    ``phase_snapshots``; each run's TOTAL row equals its whole-run
+    SimStats by the conservation invariant, so this table is the bench
+    view of what ``python -m repro.obs report <trace>`` prints.
+    """
+    rows_by_label: Dict[str, list] = {}
+    data: Dict[str, Dict[str, Dict[str, Dict[str, int]]]] = {}
+    for name in datasets:
+        runs = run_suite(name, kinds=kinds, seed=seed)
+        abbr = _abbrev(name)
+        data[abbr] = {}
+        for kind in kinds:
+            rows = phase_snapshot_rows(runs[kind])
+            rows_by_label[f"{abbr}/{kind}"] = rows
+            data[abbr][kind] = {phase: fields for phase, fields in rows}
+    text = render_phase_breakdown(
+        "Phases  Per-phase cycle and DRAM breakdown", rows_by_label
+    )
+    return {"phases": data, "text": text}
 
 
 def fig11_dram_breakdown(

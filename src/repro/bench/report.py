@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 def _fmt(value) -> str:
@@ -57,3 +57,45 @@ def render_series(title: str, series: Dict[str, Dict[str, float]],
             ]
         )
     return f"{title}\n{format_table(headers, rows)}"
+
+
+#: Columns of a per-phase breakdown table, in print order (matches
+#: ``repro.obs.report.PHASE_FIELDS`` so bench tables and trace reports
+#: line up).
+PHASE_BREAKDOWN_FIELDS = (
+    "cycles",
+    "busy_cycles",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "buffer_hits",
+    "buffer_misses",
+)
+
+
+def render_phase_breakdown(
+    title: str,
+    rows_by_label: Dict[str, List[Tuple[str, Dict[str, int]]]],
+) -> str:
+    """Render per-phase SimStats snapshots as one table.
+
+    ``rows_by_label[run_label]`` is the output of
+    :func:`repro.bench.runner.phase_snapshot_rows` for that run; each
+    run contributes one row per phase plus a TOTAL row, and by the
+    conservation invariant the TOTAL cycles equal the run's whole-run
+    cycle count.
+    """
+    headers = ["run", "phase"] + list(PHASE_BREAKDOWN_FIELDS)
+    table: List[List[object]] = []
+    for label, rows in rows_by_label.items():
+        totals = {f: 0 for f in PHASE_BREAKDOWN_FIELDS}
+        for phase, fields in rows:
+            table.append(
+                [label, phase]
+                + [fields.get(f, 0) for f in PHASE_BREAKDOWN_FIELDS]
+            )
+            for f in PHASE_BREAKDOWN_FIELDS:
+                totals[f] += fields.get(f, 0)
+        table.append(
+            [label, "TOTAL"] + [totals[f] for f in PHASE_BREAKDOWN_FIELDS]
+        )
+    return f"{title}\n{format_table(headers, table)}"

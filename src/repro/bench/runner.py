@@ -11,10 +11,11 @@ aggregation-phase metric helpers the figure generators read.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hymm import HyMMConfig
 from repro.hymm.base import RunResult
+from repro.sim import SimStats
 from repro.runtime import (
     JobSpec,
     ResultCache,
@@ -39,6 +40,8 @@ __all__ = [
     "aggregation_cycles",
     "aggregation_utilization",
     "aggregation_hit_rate",
+    "phase_snapshot_rows",
+    "merged_phase_snapshot",
     "clear_cache",
 ]
 
@@ -254,6 +257,42 @@ def aggregation_hit_rate(result: RunResult) -> float:
     sums = _aggregation_phase_sums(result)
     total = sums["hits"] + sums["forwards"] + sums["misses"]
     return (sums["hits"] + sums["forwards"]) / total if total else 0.0
+
+
+def phase_snapshot_rows(
+    result: RunResult,
+) -> List[Tuple[str, Dict[str, int]]]:
+    """(phase, summed fields) per entry of ``result.phase_snapshots``,
+    in execution order -- the rows the bench report tables and the obs
+    trace report both print, so the two agree by construction."""
+    rows: List[Tuple[str, Dict[str, int]]] = []
+    for phase, snap in result.phase_snapshots.items():
+        rows.append(
+            (
+                phase,
+                {
+                    "cycles": snap.cycles,
+                    "busy_cycles": snap.busy_cycles,
+                    "dram_read_bytes": sum(snap.dram_read_bytes.values()),
+                    "dram_write_bytes": sum(snap.dram_write_bytes.values()),
+                    "buffer_hits": sum(snap.buffer_hits.values()),
+                    "buffer_misses": sum(snap.buffer_misses.values()),
+                },
+            )
+        )
+    return rows
+
+
+def merged_phase_snapshot(result: RunResult, suffix: str = "") -> SimStats:
+    """Fold the phase snapshots whose name ends with ``suffix`` into one
+    :class:`SimStats` via ``merge`` (empty suffix folds everything --
+    by the conservation invariant that reproduces the whole-run
+    aggregate, minus fields prepare-time code never touches)."""
+    merged = SimStats()
+    for phase, snap in result.phase_snapshots.items():
+        if phase.endswith(suffix):
+            merged.merge(snap)
+    return merged
 
 
 def clear_cache() -> int:

@@ -10,6 +10,7 @@ from repro.devtools.analyzer.rules import (  # noqa: F401
     config_hygiene,
     determinism,
     mutable_state,
+    obs_hygiene,
     stats_conservation,
     wire_schema,
 )

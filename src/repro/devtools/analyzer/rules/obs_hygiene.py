@@ -1,0 +1,141 @@
+"""Rule ``obs-hygiene``: tracing is opt-in and must stay free when off.
+
+Two contracts keep :mod:`repro.obs` honest in model code (kernels and
+baseline accelerators):
+
+* **Events go through the Tracer API.**  Appending to a tracer's event
+  list directly (``tracer._events.append(...)`` or ``tracer.events``)
+  bypasses the schema the exporter and the validator agree on; the only
+  legitimate emitters are ``span`` / ``instant`` / ``counter``.
+* **Every emission is guarded.**  ``tracer.span(...)`` builds its args
+  dict before the no-op body runs, so an unguarded call allocates on
+  the hot path even with the :class:`~repro.obs.tracer.NullTracer`.
+  Call sites must sit under ``if tracer.enabled:`` (or an equivalent
+  conditional expression), which is a single attribute load on a class
+  constant when tracing is off.
+
+Scope is the model code the zero-overhead contract protects:
+``repro.hymm`` and ``repro.baselines``.  The obs package itself and
+the simulator core are exempt -- the tracer's own methods obviously
+touch ``_events``, and the engine's guarded sites are covered by this
+rule's pattern anyway (``repro.sim`` can be added to the scope once it
+has no audited exceptions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+
+#: The Tracer API's emitting methods.
+TRACER_METHODS = {"span", "instant", "counter"}
+
+#: Event-list attributes that only the tracer implementation may touch.
+EVENT_FIELDS = {"events", "_events"}
+
+
+@register
+class ObsHygieneRule(Rule):
+    name = "obs-hygiene"
+    description = (
+        "kernels and baselines emit trace events only via the Tracer "
+        "API, with every call site guarded by `if tracer.enabled:`"
+    )
+    default_severity = "error"
+    default_options = {
+        "scope": [
+            "repro.hymm",
+            "repro.baselines",
+        ],
+    }
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        scope = tuple(self.options["scope"])
+        for mod in project.in_package(*scope):
+            parents = _parent_map(mod.tree)
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Attribute):
+                    if node.attr in EVENT_FIELDS:
+                        receiver = _receiver_chain(node.value)
+                        if receiver is not None and _tracer_like(receiver):
+                            yield self.finding(
+                                project, mod, node,
+                                f"direct access to tracer event list "
+                                f"{receiver}.{node.attr}: emit through the "
+                                f"Tracer API (span/instant/counter)",
+                                symbol=f"{receiver}.{node.attr}",
+                            )
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in TRACER_METHODS:
+                    continue
+                receiver = _receiver_chain(func.value)
+                if receiver is None or not _tracer_like(receiver):
+                    continue
+                if _enabled_guarded(node, parents):
+                    continue
+                yield self.finding(
+                    project, mod, node,
+                    f"unguarded tracer call {receiver}.{func.attr}(...): "
+                    f"wrap in `if {receiver}.enabled:` so the NullTracer "
+                    f"path stays allocation-free",
+                    symbol=f"{receiver}.{func.attr}",
+                )
+
+
+def _tracer_like(receiver: str) -> bool:
+    """Model code reaches the tracer through names containing
+    ``tracer`` (``tracer``, ``self.tracer``, ``ctx.engine.tracer``);
+    an unrelated ``span``/``counter`` method on a differently named
+    object is not the Tracer API."""
+    return "tracer" in receiver.lower()
+
+
+def _receiver_chain(node: ast.AST) -> Optional[str]:
+    """Dotted receiver of an attribute access; ``None`` if computed."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _mentions_enabled(test: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(test)
+    )
+
+
+def _enabled_guarded(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True when an enclosing ``if``/conditional expression tests
+    ``<something>.enabled``.  Function boundaries stop the walk: a
+    guard around a *call* to a helper does not make the helper's own
+    emissions guarded."""
+    current: Optional[ast.AST] = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return False
+        if isinstance(current, (ast.If, ast.IfExp)) and _mentions_enabled(
+            current.test
+        ):
+            return True
+        current = parents.get(current)
+    return False

@@ -12,8 +12,9 @@ silently rots:
   assignment, an augmented assignment, a subscript store, or an
   in-place mutator call (``update``/``append``/``extend``/``add``) --
   anywhere except ``SimStats``'s own bulk-copy methods (``merge``,
-  ``to_dict``/``from_dict``/``as_dict``), which touch every field by
-  construction and would make the check vacuous;
+  ``to_dict``/``from_dict``/``as_dict``, ``copy``/``delta_since``),
+  which touch every field by construction and would make the check
+  vacuous;
 * a breakdown is keyed with a tag outside the declared traffic-tag
   vocabulary (``TRAFFIC_TAGS`` in ``repro.sim.stats``) -- the Fig. 11
   stacking would grow a phantom component.  Every *literal* tag (a
@@ -33,7 +34,10 @@ from repro.devtools.analyzer.core import Finding, Project, Rule, SourceModule, r
 MUTATORS = {"update", "append", "extend", "add", "subtract", "clear", "insert"}
 
 #: SimStats methods whose writes do not count (bulk copies by design).
-EXEMPT_METHODS = {"merge", "to_dict", "from_dict", "as_dict", "__init__"}
+EXEMPT_METHODS = {
+    "merge", "to_dict", "from_dict", "as_dict", "__init__",
+    "copy", "delta_since",
+}
 
 
 @register

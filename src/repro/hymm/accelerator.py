@@ -102,4 +102,15 @@ class HyMMAccelerator(AcceleratorBase):
     def run_aggregation(
         self, ctx: KernelContext, prep: Dict[str, Any], xw: np.ndarray
     ) -> np.ndarray:
+        tracer = ctx.engine.tracer
+        if tracer.enabled:
+            plan = prep["plan"]
+            tracer.instant(
+                "hybrid.plan", ctx.engine.drain(), "region",
+                {
+                    "threshold": int(plan.threshold),
+                    "region2_tiles": int(plan.n_region2_tiles),
+                    "rwp_rows": int(prep["low_rows_csr"].shape[0]),
+                },
+            )
         return aggregation_hybrid(ctx, prep["plan"], prep["low_rows_csr"], xw)

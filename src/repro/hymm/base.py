@@ -29,6 +29,7 @@ from repro.hymm.dmb import AddressMap, make_buffer
 from repro.hymm.kernels import KernelContext, combination_dense, combination_rwp
 from repro.hymm.pe import PEArray
 from repro.hymm.smq import SparseMatrixQueue
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.buffer import CLASS_W, CLASS_XW
 from repro.sim.engine import make_engine
 from repro.sim.memory import DRAM
@@ -57,6 +58,13 @@ class RunResult:
     #: Figs. 8/9 characterise, and exposes the end-of-phase buffer
     #: composition (Section III's dynamic space management).
     phase_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Full per-phase :class:`SimStats` deltas (phase -> snapshot),
+    #: including a trailing ``"drain"`` pseudo-phase when DRAM finishes
+    #: after the engine.  Conservation invariant: folding every snapshot
+    #: with :meth:`SimStats.merge` reproduces :attr:`stats` exactly --
+    #: cycles sum, counters sum, the peak is the max of running peaks,
+    #: and the timeline concatenates.
+    phase_snapshots: Dict[str, SimStats] = field(default_factory=dict)
     sort_ms: float = 0.0
     wall_seconds: float = 0.0
     extra: Dict[str, object] = field(default_factory=dict)
@@ -80,8 +88,8 @@ class RunResult:
 
     #: Wire-format version of :meth:`to_dict`.  Bump on layout changes;
     #: the runtime's disk cache treats records of any other version as
-    #: misses.
-    SCHEMA_VERSION = 1
+    #: misses.  v2: added ``phase_snapshots``.
+    SCHEMA_VERSION = 2
 
     # ------------------------------------------------------------------
     # Serialisation (runtime disk cache + cross-process transport)
@@ -109,6 +117,10 @@ class RunResult:
                         for k, v in counters.items()}
                 for phase, counters in self.phase_stats.items()
             },
+            "phase_snapshots": {
+                phase: snap.to_dict()
+                for phase, snap in self.phase_snapshots.items()
+            },
             "sort_ms": self.sort_ms,
             "wall_seconds": self.wall_seconds,
             "extra": sanitize_extra(self.extra),
@@ -133,6 +145,10 @@ class RunResult:
             outputs=[array_from_dict(a) for a in data["outputs"]],
             phase_cycles=dict(data["phase_cycles"]),
             phase_stats={p: dict(c) for p, c in data["phase_stats"].items()},
+            phase_snapshots={
+                p: SimStats.from_dict(s)
+                for p, s in data["phase_snapshots"].items()
+            },
             sort_ms=data["sort_ms"],
             wall_seconds=data["wall_seconds"],
             extra=dict(data["extra"]),
@@ -184,13 +200,26 @@ class AcceleratorBase:
     # ------------------------------------------------------------------
     # The run loop
     # ------------------------------------------------------------------
-    def run_inference(self, model: GCNModel) -> RunResult:
-        """Simulate full inference of ``model`` on this accelerator."""
+    def run_inference(
+        self, model: GCNModel, tracer: Optional[Tracer] = None
+    ) -> RunResult:
+        """Simulate full inference of ``model`` on this accelerator.
+
+        ``tracer`` (optional, disabled :data:`NULL_TRACER` by default)
+        receives simulated-time events: engine batch spans, buffer
+        cold-path events, kernel region spans, and one ``cat="phase"``
+        span per phase boundary.  Tracing never touches ``stats`` --
+        cycle counts and every counter are identical whether or not a
+        tracer is attached.
+        """
         wall_start = time.perf_counter()
+        tracer = tracer if tracer is not None else NULL_TRACER
         cfg = self.config
         stats = SimStats()
         dram = DRAM(cfg.dram, stats)
         buffer = make_buffer(cfg, dram, stats)
+        if tracer.enabled:
+            buffer.set_tracer(tracer)
         engine = make_engine(
             cfg.engine,
             buffer,
@@ -199,24 +228,30 @@ class AcceleratorBase:
             lsq_depth=cfg.lsq_entries,
             forwarding=cfg.forwarding,
             smq_buffer_bytes=cfg.smq_bytes,
+            tracer=tracer,
         )
         amap = AddressMap(cfg)
         pe = PEArray(cfg.n_pes)
         smq = SparseMatrixQueue(cfg.smq_pointer_bytes, cfg.smq_index_bytes)
 
         prep = self.prepare(model)
+        if tracer.enabled:
+            tracer.instant("prepare", engine.drain(), "phase")
         features: CSRMatrix = prep["features"]
         unpermute = prep.get("unpermute")
 
         outputs: List[np.ndarray] = []
         phase_cycles: Dict[str, float] = {}
         phase_stats: Dict[str, Dict[str, float]] = {}
+        phase_snapshots: Dict[str, SimStats] = {}
         dense_h: Optional[np.ndarray] = None
         mark = 0.0
         snap = self._snapshot(stats)
+        base_snapshot = stats.copy()
+        cum_mark = 0
 
         def close_phase(name: str) -> None:
-            nonlocal mark, snap
+            nonlocal mark, snap, base_snapshot, cum_mark
             now = engine.drain()
             new_snap = self._snapshot(stats)
             phase_cycles[name] = now - mark
@@ -229,6 +264,35 @@ class AcceleratorBase:
                 # End-of-phase buffer composition (Section III dynamics).
                 "occupancy": buffer.occupancy_by_class(),
             }
+            # Full SimStats delta for this phase.  Phase cycles use the
+            # cumulative-ceil scheme (ceil of the running drain, minus
+            # the previous mark) so integer per-phase cycles sum to the
+            # whole-run ceil total exactly -- the conservation invariant
+            # phase_snapshots documents.
+            delta = stats.delta_since(base_snapshot)
+            cum_now = int(math.ceil(now))
+            delta.cycles = cum_now - cum_mark
+            phase_snapshots[name] = delta
+            if tracer.enabled:
+                tracer.span(
+                    name, mark, now, "phase",
+                    {
+                        "cycles": delta.cycles,
+                        "busy_cycles": delta.busy_cycles,
+                        "dram_read_bytes": sum(delta.dram_read_bytes.values()),
+                        "dram_write_bytes": sum(
+                            delta.dram_write_bytes.values()
+                        ),
+                        "buffer_hits": sum(delta.buffer_hits.values()),
+                        "buffer_misses": sum(delta.buffer_misses.values()),
+                    },
+                )
+                tracer.counter(
+                    "buffer_occupancy_lines", now,
+                    dict(buffer.occupancy_by_class()),
+                )
+            base_snapshot = stats.copy()
+            cum_mark = cum_now
             mark = now
             snap = new_snap
 
@@ -252,6 +316,16 @@ class AcceleratorBase:
             buffer.invalidate(CLASS_XW)
 
         stats.cycles = int(math.ceil(max(engine.drain(), dram.busy_until)))
+        tail = stats.cycles - cum_mark
+        if tail:
+            # DRAM finishes the last writebacks after the engine drains;
+            # give the tail its own pseudo-phase so the snapshots still
+            # sum to the whole-run aggregate.
+            phase_snapshots["drain"] = SimStats(cycles=tail)
+            if tracer.enabled:
+                tracer.instant(
+                    "drain", float(stats.cycles), "phase", {"cycles": tail}
+                )
         return RunResult(
             accelerator=self.name,
             dataset=model.dataset.name,
@@ -260,6 +334,7 @@ class AcceleratorBase:
             outputs=outputs,
             phase_cycles=phase_cycles,
             phase_stats=phase_stats,
+            phase_snapshots=phase_snapshots,
             sort_ms=prep.get("sort_ms", 0.0),
             wall_seconds=time.perf_counter() - wall_start,
             extra={k: v for k, v in prep.items()

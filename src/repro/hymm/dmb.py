@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Optional, Tuple, Union
 import numpy as np
 
 from repro.hymm.config import HyMMConfig
+from repro.obs.tracer import Tracer
 from repro.sim.buffer import (
     CLASS_OUT,
     CLASS_PARTIAL,
@@ -146,6 +147,11 @@ class SplitBufferPair:
 
     def drop_spilled_partials(self) -> int:
         return self.output_buffer.drop_spilled_partials()
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to both physical halves."""
+        self.input_buffer.set_tracer(tracer)
+        self.output_buffer.set_tracer(tracer)
 
     def invalidate(self, cls: str) -> int:
         return self.input_buffer.invalidate(cls) + self.output_buffer.invalidate(cls)

@@ -369,9 +369,11 @@ def aggregation_hybrid(
     # Rows >= threshold span one pointer array per region-2 column band
     # plus region 3's.
     extra_ptrs = max(1, plan.n_region2_tiles + 1)
+    tracer = ctx.engine.tracer
 
     def run_op_tiles() -> None:
         for tile in plan.tiled.tiles_in_region(1):
+            t0 = ctx.engine.drain()
             aggregation_op(
                 ctx,
                 tile.matrix,
@@ -381,9 +383,18 @@ def aggregation_hybrid(
                 merge_mode=merge_mode,
                 finalize=True,
             )
+            if tracer.enabled:
+                tracer.span(
+                    "region1.op-tile", t0, ctx.engine.drain(), "region",
+                    {
+                        "row_lo": int(tile.row_lo),
+                        "rows": int(tile.matrix.shape[0]),
+                    },
+                )
 
     def run_rwp_rows() -> None:
         if low_rows_csr.shape[0]:
+            t0 = ctx.engine.drain()
             aggregation_rwp(
                 ctx,
                 low_rows_csr,
@@ -392,6 +403,11 @@ def aggregation_hybrid(
                 row_offset=threshold,
                 extra_pointers=extra_ptrs,
             )
+            if tracer.enabled:
+                tracer.span(
+                    "region23.rwp-rows", t0, ctx.engine.drain(), "region",
+                    {"rows": int(low_rows_csr.shape[0])},
+                )
 
     if ctx.config.op_first:
         run_op_tiles()

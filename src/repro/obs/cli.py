@@ -1,0 +1,195 @@
+"""``python -m repro.obs`` -- trace, report, diff, validate.
+
+Subcommands:
+
+``trace DATASET [--kind hymm] [-o out.json]``
+    Run one simulation with a :class:`repro.obs.tracer.ChromeTracer`
+    attached and write the Chrome trace-event JSON.  The job spec and
+    the run's SimStats totals land in ``otherData`` (no wall times), so
+    the export is byte-deterministic for a given spec.
+``report FILE [--json]``
+    Per-phase breakdown of a trace, or per-job telemetry of a run
+    manifest (auto-detected).
+``diff A B``
+    Compare two traces (per-phase cycles and DRAM bytes) or two
+    manifests (per-label wall time and status).
+``validate FILE [FILE ...]``
+    Structural check against the in-repo trace schema; exit 1 on any
+    problem.
+
+Runtime/bench imports happen inside the handlers -- the CLI must be
+importable (e.g. for ``--help``) without dragging the workload layer in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.report import (
+    diff_report,
+    is_manifest,
+    is_trace,
+    load_json,
+    manifest_report,
+    manifest_summary,
+    trace_report,
+    trace_summary,
+)
+from repro.obs.schema import validate_trace
+from repro.obs.tracer import ChromeTracer
+
+#: Whole-run totals stored in a trace's ``otherData`` -- the fields the
+#: report cross-checks against the per-phase sums.
+TOTAL_FIELDS = (
+    "cycles",
+    "busy_cycles",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "buffer_hits",
+    "buffer_misses",
+)
+
+
+def build_trace(spec: Any) -> Tuple[ChromeTracer, Any, Dict[str, Any]]:
+    """Run ``spec`` traced; returns (tracer, result, otherData metadata).
+
+    The metadata carries only deterministic values (spec + simulated
+    totals, never wall times), so two runs of the same spec export
+    byte-identical JSON.
+    """
+    from repro.runtime.execute import execute_spec
+
+    tracer = ChromeTracer()
+    result = execute_spec(spec, tracer=tracer)
+    stats = result.stats
+    totals = {
+        "cycles": stats.cycles,
+        "busy_cycles": stats.busy_cycles,
+        "dram_read_bytes": sum(stats.dram_read_bytes.values()),
+        "dram_write_bytes": sum(stats.dram_write_bytes.values()),
+        "buffer_hits": sum(stats.buffer_hits.values()),
+        "buffer_misses": sum(stats.buffer_misses.values()),
+    }
+    metadata = {
+        "spec": spec.to_dict(),
+        "accelerator": result.accelerator,
+        "totals": totals,
+    }
+    return tracer, result, metadata
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.runner import job_spec
+
+    spec = job_spec(
+        args.dataset,
+        args.kind,
+        scale=args.scale,
+        n_layers=args.layers,
+        seed=args.seed,
+        sort_mode=args.sort_mode,
+    )
+    tracer, result, metadata = build_trace(spec)
+    out = args.output or f"{args.dataset}-{args.kind}.trace.json"
+    tracer.write(out, metadata)
+    problems = validate_trace(tracer.trace_dict(metadata))
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"{out}: {tracer.n_events} events, {result.stats.cycles} cycles "
+        f"({spec.describe()})"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    doc = load_json(args.file)
+    if is_trace(doc):
+        if args.json:
+            print(json.dumps(trace_summary(doc), indent=2, sort_keys=True))
+        else:
+            print(trace_report(doc))
+        return 0
+    if is_manifest(doc):
+        if args.json:
+            print(json.dumps(manifest_summary(doc), indent=2, sort_keys=True))
+        else:
+            print(manifest_report(doc))
+        return 0
+    print(f"{args.file}: neither a trace nor a run manifest", file=sys.stderr)
+    return 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = load_json(args.a)
+    b = load_json(args.b)
+    try:
+        print(diff_report(a, b, args.a, args.b))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.files:
+        problems = validate_trace(load_json(path))
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability CLI: simulated-time traces and run telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="run one traced simulation")
+    trace.add_argument("dataset", help="registry dataset name (e.g. cora)")
+    trace.add_argument("--kind", default="hymm", help="accelerator kind")
+    trace.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale (default: the bench scale)",
+    )
+    trace.add_argument("--layers", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--sort-mode", default=None)
+    trace.add_argument("-o", "--output", default=None, help="trace JSON path")
+    trace.set_defaults(func=_cmd_trace)
+
+    report = sub.add_parser("report", help="summarise a trace or manifest")
+    report.add_argument("file")
+    report.add_argument("--json", action="store_true", help="JSON summary")
+    report.set_defaults(func=_cmd_report)
+
+    diff = sub.add_parser("diff", help="compare two traces or manifests")
+    diff.add_argument("a")
+    diff.add_argument("b")
+    diff.set_defaults(func=_cmd_diff)
+
+    validate = sub.add_parser("validate", help="schema-check trace files")
+    validate.add_argument("files", nargs="+")
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    result: int = args.func(args)
+    return result
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,288 @@
+"""Summaries and comparisons of traces and run manifests.
+
+Loaders plus three renderers used by the ``python -m repro.obs`` CLI:
+
+* :func:`trace_report` -- per-phase cycle / DRAM-byte breakdown of one
+  trace, cross-checked against the whole-run totals the obs CLI stores
+  in ``otherData`` (the sums must match exactly -- the phase spans carry
+  SimStats deltas built with the conservation invariant);
+* :func:`manifest_report` -- per-job host telemetry of one run manifest
+  (status, attempts, wall time, peak RSS, timeouts);
+* :func:`diff_report` -- side-by-side comparison of two traces (e.g.
+  scalar vs batched engine, two accelerators) or two manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.report import format_table
+
+#: Phase-span args summed by the trace report, in table order.
+PHASE_FIELDS = (
+    "cycles",
+    "busy_cycles",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "buffer_hits",
+    "buffer_misses",
+)
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return doc
+
+
+def is_trace(doc: Mapping[str, Any]) -> bool:
+    return isinstance(doc.get("traceEvents"), list)
+
+
+def is_manifest(doc: Mapping[str, Any]) -> bool:
+    return isinstance(doc.get("jobs"), list)
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def phase_rows(doc: Mapping[str, Any]) -> List[Tuple[str, Dict[str, int]]]:
+    """(phase, summed fields) per ``cat="phase"`` event, in trace order.
+
+    Both phase spans and phase instants count: the ``drain`` tail is an
+    instant carrying only cycles, and it must participate for the sums
+    to reach the run totals.
+    """
+    rows: List[Tuple[str, Dict[str, int]]] = []
+    for event in doc.get("traceEvents", []):
+        if not isinstance(event, dict) or event.get("cat") != "phase":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict) or "cycles" not in args:
+            continue  # e.g. the "prepare" marker, which carries no counters
+        rows.append(
+            (
+                str(event.get("name")),
+                {f: int(args.get(f, 0)) for f in PHASE_FIELDS},
+            )
+        )
+    return rows
+
+
+def phase_sums(doc: Mapping[str, Any]) -> Dict[str, int]:
+    """Per-field totals over every phase row."""
+    sums = {f: 0 for f in PHASE_FIELDS}
+    for _, fields in phase_rows(doc):
+        for f in PHASE_FIELDS:
+            sums[f] += fields[f]
+    return sums
+
+
+def trace_totals(doc: Mapping[str, Any]) -> Optional[Dict[str, int]]:
+    """The whole-run SimStats totals the obs CLI stored, if present."""
+    other = doc.get("otherData")
+    if isinstance(other, dict) and isinstance(other.get("totals"), dict):
+        return {k: int(v) for k, v in other["totals"].items()}
+    return None
+
+
+def trace_summary(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Structured summary of one trace (the ``report --json`` payload)."""
+    rows = phase_rows(doc)
+    sums = phase_sums(doc)
+    totals = trace_totals(doc)
+    summary: Dict[str, Any] = {
+        "n_events": len(doc.get("traceEvents", [])),
+        "phases": {name: fields for name, fields in rows},
+        "phase_sums": sums,
+    }
+    other = doc.get("otherData")
+    if isinstance(other, dict) and isinstance(other.get("spec"), dict):
+        summary["spec"] = other["spec"]
+    if totals is not None:
+        summary["totals"] = totals
+        summary["sums_match_totals"] = all(
+            sums[f] == totals.get(f, 0) for f in PHASE_FIELDS if f in totals
+        )
+    return summary
+
+
+def trace_report(doc: Mapping[str, Any]) -> str:
+    """Per-phase breakdown table of one trace."""
+    rows = phase_rows(doc)
+    sums = phase_sums(doc)
+    headers = ["phase"] + list(PHASE_FIELDS)
+    table_rows: List[Sequence[object]] = [
+        [name] + [fields[f] for f in PHASE_FIELDS] for name, fields in rows
+    ]
+    table_rows.append(["TOTAL"] + [sums[f] for f in PHASE_FIELDS])
+    lines = [format_table(headers, table_rows)]
+    totals = trace_totals(doc)
+    if totals is not None:
+        checked = [f for f in PHASE_FIELDS if f in totals]
+        ok = all(sums[f] == totals[f] for f in checked)
+        lines.append(
+            "phase sums match run totals"
+            if ok
+            else "MISMATCH: phase sums != run totals: "
+            + ", ".join(
+                f"{f} {sums[f]} != {totals[f]}"
+                for f in checked
+                if sums[f] != totals[f]
+            )
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def manifest_report(doc: Mapping[str, Any]) -> str:
+    """Per-job telemetry table of one run manifest."""
+    jobs = doc.get("jobs", [])
+    headers = [
+        "label", "status", "attempts", "wall s", "rss MB", "timed out",
+    ]
+    rows: List[Sequence[object]] = []
+    for job in jobs:
+        if not isinstance(job, dict):
+            continue
+        rss_kb = job.get("max_rss_kb")
+        rows.append(
+            [
+                str(job.get("label", job.get("fingerprint", "?"))),
+                str(job.get("status", "?")),
+                int(job.get("attempts", 0)),
+                float(job.get("wall_seconds", 0.0)),
+                round(rss_kb / 1024.0, 1) if rss_kb else "-",
+                "yes" if job.get("timed_out") else "-",
+            ]
+        )
+    lines = [format_table(headers, rows)]
+    summary = doc.get("summary")
+    if isinstance(summary, str):
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def manifest_summary(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Structured summary of one manifest (the ``report --json`` payload)."""
+    jobs = [j for j in doc.get("jobs", []) if isinstance(j, dict)]
+    by_status: Dict[str, int] = {}
+    for job in jobs:
+        status = str(job.get("status", "?"))
+        by_status[status] = by_status.get(status, 0) + 1
+    rss = [int(j["max_rss_kb"]) for j in jobs if j.get("max_rss_kb")]
+    return {
+        "n_jobs": len(jobs),
+        "by_status": by_status,
+        "total_wall_seconds": sum(
+            float(j.get("wall_seconds", 0.0)) for j in jobs
+        ),
+        "timeouts": sum(1 for j in jobs if j.get("timed_out")),
+        "retries": sum(
+            max(0, int(j.get("attempts", 1)) - 1) for j in jobs
+        ),
+        "peak_rss_kb": max(rss) if rss else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Diffs
+# ----------------------------------------------------------------------
+def diff_report(
+    a: Mapping[str, Any], b: Mapping[str, Any], name_a: str, name_b: str
+) -> str:
+    """Compare two traces (per-phase cycles/bytes) or two manifests
+    (per-label wall time and status)."""
+    if is_trace(a) and is_trace(b):
+        return _diff_traces(a, b, name_a, name_b)
+    if is_manifest(a) and is_manifest(b):
+        return _diff_manifests(a, b, name_a, name_b)
+    raise ValueError(
+        "diff needs two traces or two manifests "
+        f"({name_a} is {'trace' if is_trace(a) else 'manifest?'}, "
+        f"{name_b} is {'trace' if is_trace(b) else 'manifest?'})"
+    )
+
+
+def _ratio(x: int, y: int) -> str:
+    if y == 0:
+        return "-" if x == 0 else "inf"
+    return f"{x / y:.3f}x"
+
+
+def _diff_traces(
+    a: Mapping[str, Any], b: Mapping[str, Any], name_a: str, name_b: str
+) -> str:
+    rows_a = dict(phase_rows(a))
+    rows_b = dict(phase_rows(b))
+    order = list(rows_a)
+    order.extend(p for p in rows_b if p not in rows_a)
+    headers = [
+        "phase",
+        f"cycles {name_a}",
+        f"cycles {name_b}",
+        "ratio",
+        f"dram B {name_a}",
+        f"dram B {name_b}",
+    ]
+    table: List[Sequence[object]] = []
+    for phase in order:
+        fa = rows_a.get(phase)
+        fb = rows_b.get(phase)
+        ca = fa["cycles"] if fa else 0
+        cb = fb["cycles"] if fb else 0
+        da = (fa["dram_read_bytes"] + fa["dram_write_bytes"]) if fa else 0
+        db = (fb["dram_read_bytes"] + fb["dram_write_bytes"]) if fb else 0
+        table.append([phase, ca, cb, _ratio(ca, cb), da, db])
+    sums_a = phase_sums(a)
+    sums_b = phase_sums(b)
+    table.append(
+        [
+            "TOTAL",
+            sums_a["cycles"],
+            sums_b["cycles"],
+            _ratio(sums_a["cycles"], sums_b["cycles"]),
+            sums_a["dram_read_bytes"] + sums_a["dram_write_bytes"],
+            sums_b["dram_read_bytes"] + sums_b["dram_write_bytes"],
+        ]
+    )
+    return format_table(headers, table)
+
+
+def _diff_manifests(
+    a: Mapping[str, Any], b: Mapping[str, Any], name_a: str, name_b: str
+) -> str:
+    jobs_a = {
+        str(j.get("label")): j for j in a.get("jobs", []) if isinstance(j, dict)
+    }
+    jobs_b = {
+        str(j.get("label")): j for j in b.get("jobs", []) if isinstance(j, dict)
+    }
+    order = list(jobs_a)
+    order.extend(label for label in jobs_b if label not in jobs_a)
+    headers = [
+        "label",
+        f"status {name_a}",
+        f"status {name_b}",
+        f"wall s {name_a}",
+        f"wall s {name_b}",
+    ]
+    table: List[Sequence[object]] = []
+    for label in order:
+        ja = jobs_a.get(label)
+        jb = jobs_b.get(label)
+        table.append(
+            [
+                label,
+                str(ja.get("status")) if ja else "-",
+                str(jb.get("status")) if jb else "-",
+                float(ja.get("wall_seconds", 0.0)) if ja else "-",
+                float(jb.get("wall_seconds", 0.0)) if jb else "-",
+            ]
+        )
+    return format_table(headers, table)

@@ -1,0 +1,211 @@
+"""Simulated-time tracers: the event sink the simulator reports into.
+
+The clock of every event is the *simulated* cycle count (the decoupled
+engine's timelines), not wall time, so a trace of a run is a picture of
+the modelled hardware: where the pipeline's cycles went, phase by
+phase, tile by tile, batch by batch.
+
+Three implementations share one interface:
+
+:class:`Tracer`
+    The protocol-style base.  ``enabled`` is a class attribute the hot
+    paths check *before* building event arguments -- the contract that
+    makes the default tracer free:  every emission site reads
+    ``tracer.enabled`` (one attribute load) and only constructs the
+    span/args when it is true.
+:class:`NullTracer` / :data:`NULL_TRACER`
+    The default.  ``enabled`` is ``False`` and every method is a no-op,
+    so a guarded call site performs no allocation and no call at all.
+:class:`ChromeTracer`
+    Collects events in memory and exports Chrome trace-event JSON
+    (the ``traceEvents`` array format), loadable in Perfetto or
+    ``chrome://tracing``.  Export is deterministic: given the same
+    simulated run, :meth:`ChromeTracer.to_json` returns byte-identical
+    output (no wall-clock timestamps, sorted keys).
+
+Event vocabulary (Chrome trace-event phases):
+
+* ``span(name, start, end)`` -> one complete event (``"ph": "X"``) --
+  an engine batch, a region tile, an accelerator phase;
+* ``instant(name, cycle)`` -> an instant event (``"ph": "i"``) -- a
+  buffer invalidation, a spilled-partial refetch;
+* ``counter(name, cycle, values)`` -> a counter event (``"ph": "C"``)
+  -- e.g. buffer occupancy per line class at a phase boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+#: Categories the simulator emits (the ``cat`` field of every event).
+TRACE_CATEGORIES = ("engine", "buffer", "region", "phase", "run")
+
+#: Numeric type of the simulated clock.
+Cycle = Union[int, float]
+
+
+class Tracer:
+    """Event sink for simulated-time traces.
+
+    Implementations override the three emission methods; callers MUST
+    guard each call with ``if tracer.enabled:`` so the disabled path
+    costs one attribute check and nothing else (the ``obs-hygiene``
+    analyzer rule enforces this for kernel and accelerator code).
+    """
+
+    #: Whether emission sites should build and send events.
+    enabled: bool = False
+
+    def span(
+        self,
+        name: str,
+        start: Cycle,
+        end: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """A complete interval ``[start, end]`` in simulated cycles."""
+
+    def instant(
+        self,
+        name: str,
+        cycle: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """A point event at ``cycle``."""
+
+    def counter(
+        self, name: str, cycle: Cycle, values: Mapping[str, Cycle]
+    ) -> None:
+        """A sampled counter series (one track per key of ``values``)."""
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: disabled, and every method a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+
+#: Shared disabled tracer -- the default of every tracing entry point,
+#: so "no tracer" never allocates anything.
+NULL_TRACER: Tracer = NullTracer()
+
+
+class ChromeTracer(Tracer):
+    """In-memory collector exporting Chrome trace-event JSON.
+
+    ``ts``/``dur`` carry simulated cycles directly (the JSON format
+    nominally uses microseconds; Perfetto renders any unit, and
+    ``displayTimeUnit`` is advisory).  ``pid``/``tid`` are fixed -- one
+    simulated pipeline -- which keeps traces of the same run
+    byte-identical.
+    """
+
+    enabled = True
+
+    def __init__(self, pid: int = 0, tid: int = 0) -> None:
+        self.pid = pid
+        self.tid = tid
+        self._events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        start: Cycle,
+        end: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": float(start),
+            "dur": float(end) - float(start),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        cycle: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": float(cycle),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def counter(
+        self, name: str, cycle: Cycle, values: Mapping[str, Cycle]
+    ) -> None:
+        self._events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": float(cycle),
+                "pid": self.pid,
+                "tid": self.tid,
+                "args": {str(k): float(v) for k, v in values.items()},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def trace_dict(
+        self, metadata: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The full trace document (Chrome trace-event JSON object form).
+
+        ``metadata`` lands under ``otherData`` -- the obs CLI records the
+        job spec and the run's ``SimStats`` totals there, which is what
+        lets ``repro.obs report`` cross-check per-phase sums against the
+        whole-run aggregate.  Callers must keep metadata free of wall
+        times so exports stay deterministic.
+        """
+        doc: Dict[str, Any] = {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ns",
+        }
+        if metadata:
+            doc["otherData"] = dict(metadata)
+        return doc
+
+    def to_json(self, metadata: Optional[Mapping[str, Any]] = None) -> str:
+        """Deterministic JSON export (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.trace_dict(metadata), sort_keys=True, separators=(",", ":")
+        )
+
+    def write(
+        self, path: str, metadata: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(metadata))
+            fh.write("\n")

@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 from repro.hymm import HyMMAccelerator, HyMMConfig
 from repro.hymm.base import AcceleratorBase, RunResult
+from repro.obs.tracer import Tracer
 from repro.runtime.job import JobSpec
 
 
@@ -61,10 +62,15 @@ def make_accelerator(
     raise ValueError(f"unknown accelerator kind {kind!r}")
 
 
-def execute_spec(spec: JobSpec) -> RunResult:
+def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
     """Run one job in this process, returning the live result
     (including non-serialisable ``extra`` entries such as the HyMM
-    region plan)."""
+    region plan).
+
+    ``tracer`` (optional) receives the run's simulated-time events --
+    the ``python -m repro.obs trace`` entry point.  Tracing never
+    changes the result: stats are identical with or without it.
+    """
     from repro.bench.workloads import make_model
 
     model = make_model(
@@ -77,7 +83,7 @@ def execute_spec(spec: JobSpec) -> RunResult:
     accelerator = make_accelerator(
         spec.kind, spec.config, spec.sort_mode, seed=spec.seed
     )
-    return accelerator.run_inference(model)
+    return accelerator.run_inference(model, tracer=tracer)
 
 
 def execute_job(spec: JobSpec) -> Dict[str, object]:

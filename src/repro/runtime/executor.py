@@ -41,6 +41,7 @@ from repro.runtime.manifest import (
     STATUS_FAILED,
     JobRecord,
     RunManifest,
+    peak_rss_kb,
 )
 
 #: ``progress(record, n_finished, n_total)`` callback type.
@@ -49,11 +50,14 @@ ProgressFn = Callable[[JobRecord, int, int], None]
 
 def run_job_group(runner, specs: Sequence[JobSpec]) -> List[tuple]:
     """Worker-side batch entry: run ``specs`` back to back in this
-    process, returning ``(status, payload, elapsed_seconds)`` per spec.
+    process, returning ``(status, payload, elapsed_seconds, rss_kb)``
+    per spec.
 
     Batching jobs that share a workload into one worker lets the
     process-local ``make_model`` memo build each dataset model once per
     worker instead of once per job; errors are confined to their spec.
+    The RSS figure is this worker's peak when the job finished -- a
+    high-water mark, so later jobs in a batch report >= earlier ones.
     """
     out = []
     for spec in specs:
@@ -62,9 +66,9 @@ def run_job_group(runner, specs: Sequence[JobSpec]) -> List[tuple]:
             raw = runner(spec)
         except Exception as exc:
             out.append(("error", f"{type(exc).__name__}: {exc}",
-                        time.perf_counter() - t0))
+                        time.perf_counter() - t0, peak_rss_kb()))
         else:
-            out.append(("ok", raw, time.perf_counter() - t0))
+            out.append(("ok", raw, time.perf_counter() - t0, peak_rss_kb()))
     return out
 
 
@@ -165,6 +169,8 @@ class SweepExecutor:
         wall: float = 0.0,
         worker: str = "serial",
         error: Optional[str] = None,
+        rss_kb: Optional[int] = None,
+        timed_out: bool = False,
     ) -> None:
         record = JobRecord(
             fingerprint=spec.fingerprint(),
@@ -174,6 +180,8 @@ class SweepExecutor:
             wall_seconds=wall,
             worker=worker,
             error=error,
+            max_rss_kb=rss_kb,
+            timed_out=timed_out,
         )
         sweep.manifest.add(record)
         if self.progress is not None:
@@ -187,6 +195,7 @@ class SweepExecutor:
         attempts: int,
         wall: float,
         worker: str,
+        rss_kb: Optional[int] = None,
     ) -> None:
         if isinstance(raw, Mapping):
             result: object = RunResult.from_dict(raw)
@@ -195,7 +204,8 @@ class SweepExecutor:
         sweep.results[spec.fingerprint()] = result
         if self.cache is not None and isinstance(result, RunResult):
             self.cache.store(spec, result)
-        self._record(sweep, spec, STATUS_DONE, attempts, wall, worker)
+        self._record(sweep, spec, STATUS_DONE, attempts, wall, worker,
+                     rss_kb=rss_kb)
 
     # ------------------------------------------------------------------
     # Serial path (n_jobs == 1 or pool unavailable/broken)
@@ -211,13 +221,15 @@ class SweepExecutor:
                     error = f"{type(exc).__name__}: {exc}"
                     continue
                 self._accept(
-                    sweep, spec, raw, attempt, time.perf_counter() - t0, "serial"
+                    sweep, spec, raw, attempt, time.perf_counter() - t0,
+                    "serial", rss_kb=peak_rss_kb(),
                 )
                 break
             else:
                 self._record(
                     sweep, spec, STATUS_FAILED, self.retries + 1,
                     time.perf_counter() - t0, "serial", error,
+                    rss_kb=peak_rss_kb(),
                 )
 
     # ------------------------------------------------------------------
@@ -278,13 +290,16 @@ class SweepExecutor:
                         )
                     else:
                         failed = []
-                        for spec, (status, payload, elapsed) in zip(unit, outcomes):
+                        for spec, (status, payload, elapsed, rss_kb) in zip(
+                            unit, outcomes
+                        ):
                             if status == "ok":
                                 self._accept(
-                                    sweep, spec, payload, attempt, elapsed, "pool"
+                                    sweep, spec, payload, attempt, elapsed,
+                                    "pool", rss_kb=rss_kb,
                                 )
                             else:
-                                failed.append((spec, payload, elapsed))
+                                failed.append((spec, payload, elapsed, rss_kb))
                         if failed:
                             self._retry_or_fail_each(
                                 submit, sweep, failed, attempt
@@ -298,6 +313,7 @@ class SweepExecutor:
                             self._retry_or_fail(
                                 submit, sweep, unit, attempt, now - t0,
                                 f"timed out after {self.timeout:g}s",
+                                timed_out=True,
                             )
         except BrokenProcessPool:
             for unit, _, _ in pending.values():
@@ -322,13 +338,15 @@ class SweepExecutor:
         attempt: int,
         wall: float,
         error: str,
+        timed_out: bool = False,
     ) -> None:
         if attempt <= self.retries:
             submit(unit, attempt + 1)
         else:
             for spec in unit:
                 self._record(
-                    sweep, spec, STATUS_FAILED, attempt, wall, "pool", error
+                    sweep, spec, STATUS_FAILED, attempt, wall, "pool", error,
+                    timed_out=timed_out,
                 )
 
     def _retry_or_fail_each(
@@ -341,9 +359,10 @@ class SweepExecutor:
         """Per-spec failures inside a batch: resubmit the failures as
         one new unit, or record them once retries are exhausted."""
         if attempt <= self.retries:
-            submit([spec for spec, _, _ in failed], attempt + 1)
+            submit([spec for spec, _, _, _ in failed], attempt + 1)
         else:
-            for spec, error, elapsed in failed:
+            for spec, error, elapsed, rss_kb in failed:
                 self._record(
-                    sweep, spec, STATUS_FAILED, attempt, elapsed, "pool", error
+                    sweep, spec, STATUS_FAILED, attempt, elapsed, "pool",
+                    error, rss_kb=rss_kb,
                 )

@@ -26,7 +26,10 @@ from repro.hymm.config import HyMMConfig
 #: v2: HyMM's "random" sort permutation is now drawn from the job's
 #: ``seed`` instead of a constant, so cached random-sort points from
 #: v1 no longer describe what the simulator would compute.
-SCHEMA_VERSION = 2
+#: v3: ``RunResult`` gained per-phase SimStats snapshots
+#: (``phase_snapshots``), so v2 cache records lack fields the current
+#: deserialiser requires.
+SCHEMA_VERSION = 3
 
 
 def _package_version() -> str:

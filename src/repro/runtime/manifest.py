@@ -10,16 +10,36 @@ manifest as JSON next to the cache.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.runtime.job import JobSpec
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
 #: Job states a record can end in.
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 STATUS_CACHE_HIT = "cache-hit"
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of the calling process, in KiB.
+
+    ``None`` where :mod:`resource` is unavailable.  ``ru_maxrss`` is
+    kilobytes on Linux but bytes on macOS.
+    """
+    if resource is None:
+        return None
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss
 
 
 @dataclass
@@ -33,6 +53,11 @@ class JobRecord:
     wall_seconds: float = 0.0
     worker: str = "serial"  # "pool", "serial", or "cache"
     error: Optional[str] = None
+    #: Peak RSS of the process that ran the job, at the time the job
+    #: finished.  A high-water mark, not a per-job delta: jobs sharing a
+    #: worker share the worker's peak.  ``None`` for cache hits.
+    max_rss_kb: Optional[int] = None
+    timed_out: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -43,6 +68,8 @@ class JobRecord:
             "wall_seconds": self.wall_seconds,
             "worker": self.worker,
             "error": self.error,
+            "max_rss_kb": self.max_rss_kb,
+            "timed_out": self.timed_out,
         }
 
 
@@ -80,6 +107,21 @@ class RunManifest:
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
 
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for r in self.records if r.timed_out)
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts beyond the first, summed over all jobs."""
+        return sum(max(0, r.attempts - 1) for r in self.records)
+
+    @property
+    def peak_rss_kb(self) -> Optional[int]:
+        """Highest per-process peak RSS seen by any job, in KiB."""
+        values = [r.max_rss_kb for r in self.records if r.max_rss_kb]
+        return max(values) if values else None
+
     def failures(self) -> List[JobRecord]:
         return [r for r in self.records if r.status == STATUS_FAILED]
 
@@ -95,10 +137,16 @@ class RunManifest:
             f"{self.n_jobs} worker{'s' if self.n_jobs != 1 else ''},",
             f"{self.wall_seconds:.1f}s wall",
         ]
+        if self.timeouts:
+            parts.append(f"({self.timeouts} timed out)")
+        rss = self.peak_rss_kb
+        if rss is not None:
+            parts.append(f"[peak RSS {rss / 1024:.0f} MB]")
         return " ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "summary": self.summary(),
             "n_jobs": self.n_jobs,
             "started_unix": self.started_unix,
             "wall_seconds": self.wall_seconds,
@@ -107,6 +155,9 @@ class RunManifest:
             "cache_hits": self.cache_hits,
             "failed": self.failed,
             "hit_rate": self.hit_rate,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "peak_rss_kb": self.peak_rss_kb,
             "cache_stats": dict(self.cache_stats),
             "jobs": [r.to_dict() for r in self.records],
         }

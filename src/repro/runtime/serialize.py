@@ -113,4 +113,10 @@ def to_jsonable(value: Any) -> Any:
         return {str(k): to_jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set)):
         return [to_jsonable(v) for v in value]
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        try:
+            return to_jsonable(to_dict())
+        except Exception:
+            return repr(value)
     return repr(value)

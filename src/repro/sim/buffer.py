@@ -40,6 +40,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
 
@@ -111,6 +112,11 @@ class CacheBuffer:
         self.hit_latency = hit_latency
         self.mshr_entries = mshr_entries
         self.lru = lru
+        #: Simulated-time event sink (disabled NULL_TRACER by default).
+        #: Only *cold* paths emit -- flush/invalidate/reclassify and the
+        #: spilled-partial refetch; the per-access hit/miss machinery is
+        #: covered by the engine's batch spans and stays untouched.
+        self.tracer: Tracer = NULL_TRACER
         cap = capacity_lines
         self._slot_cls: List[int] = [0] * cap
         self._slot_dirty: List[bool] = [False] * cap
@@ -212,6 +218,10 @@ class CacheBuffer:
         return np.fromiter(
             map(slot_of.__contains__, addrs.tolist()), dtype=bool, count=len(addrs)
         )
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this buffer's cold-path events."""
+        self.tracer = tracer
 
     def resident_lines(self, cls: str) -> int:
         """Resident line count of one class."""
@@ -341,6 +351,10 @@ class CacheBuffer:
             self._spilled_partials.discard(addr)
             self._insert(issue, addr, CLASS_PARTIAL, dirty=True, ready=ready)
             self._update_partial_peak()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "partial.refetch", issue, "buffer", {"addr": addr}
+                )
             return ready
         self._insert(cycle, addr, CLASS_PARTIAL, dirty=True, ready=cycle + self.hit_latency)
         self._update_partial_peak()
@@ -355,6 +369,7 @@ class CacheBuffer:
         order the legacy per-class map iterated).
         """
         end = float(cycle)
+        size_before = self._size
         classes = [cls] if cls is not None else list(self.evict_priority)
         slot_of = self._slot_of
         slot_addr = self._slot_addr
@@ -378,6 +393,11 @@ class CacheBuffer:
             od.clear()
             self._size -= self._class_count[ci]
             self._class_count[ci] = 0
+        if self.tracer.enabled:
+            self.tracer.span(
+                "buffer.flush", cycle, end, "buffer",
+                {"cls": cls or "all", "lines": size_before - self._size},
+            )
         return end
 
     def invalidate(self, cls: str) -> int:
@@ -400,6 +420,13 @@ class CacheBuffer:
         od.clear()
         self._class_count[ci] = 0
         self._size -= n
+        if self.tracer.enabled:
+            # invalidate() takes no cycle; DRAM's next-free slot is the
+            # closest monotone proxy for "now" the buffer can see.
+            self.tracer.instant(
+                "buffer.invalidate", self.dram.next_free, "buffer",
+                {"cls": cls, "lines": n},
+            )
         return n
 
     def reclassify(self, from_cls: str, to_cls: str, cycle: float = 0.0) -> int:
@@ -428,6 +455,11 @@ class CacheBuffer:
         src_od.clear()
         self._class_count[dst_ci] += n
         self._class_count[src_ci] = 0
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "buffer.reclassify", cycle, "buffer",
+                {"from": from_cls, "to": to_cls, "lines": n},
+            )
         return n
 
     def drop_spilled_partials(self) -> int:

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.buffer import CLASS_INDEX, CLASS_PARTIAL, CacheBuffer
 from repro.sim.memory import DRAM
 from repro.sim.stats import SimStats
@@ -74,12 +75,18 @@ class AccessExecuteEngine:
         forwarding: bool = True,
         smq_buffer_bytes: int = 16 * 1024,
         start_cycle: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ):
         if lsq_depth <= 0:
             raise ValueError("lsq_depth must be positive")
         self.buffer = buffer
         self.dram = dram
         self.stats = stats
+        #: Simulated-time event sink; NULL_TRACER (disabled) by default,
+        #: so the per-batch cost is one ``enabled`` check.  Tracing never
+        #: touches ``stats`` -- cycle counts and counters are identical
+        #: whether or not a tracer is attached.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.lsq_depth = lsq_depth
         self.forwarding = forwarding
         # Frontend slack granted by the SMQ's on-chip stream buffers.
@@ -272,35 +279,70 @@ class AccessExecuteEngine:
     # ------------------------------------------------------------------
     def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
         """One :meth:`mac_load` per address, in array order."""
+        t0 = self.drain()
         mac_load = self.mac_load
         for addr in addrs.tolist():
             mac_load(addr, cls, tag)
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "mac_load_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "cls": cls, "tag": tag},
+            )
 
     def load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
         """One :meth:`load` per address, in array order."""
+        t0 = self.drain()
         load = self.load
         for addr in addrs.tolist():
             load(addr, cls, tag)
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "load_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "cls": cls, "tag": tag},
+            )
 
     def mac_stream_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
         """One :meth:`mac_stream_load` per address, in array order."""
+        t0 = self.drain()
         mac_stream_load = self.mac_stream_load
         for addr in addrs.tolist():
             mac_stream_load(addr, cls, tag)
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "mac_stream_load_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "cls": cls, "tag": tag},
+            )
 
     def store_batch(
         self, addrs: np.ndarray, cls: str, tag: str, allocate: bool = True
     ) -> None:
         """One :meth:`store` per address, in array order."""
+        t0 = self.drain()
         store = self.store
         for addr in addrs.tolist():
             store(addr, cls, tag, allocate=allocate)
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "store_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "cls": cls, "tag": tag},
+            )
 
     def accumulate_store_batch(self, addrs: np.ndarray, tag: str = "partial") -> None:
         """One :meth:`accumulate_store` per address, in array order."""
+        t0 = self.drain()
         accumulate_store = self.accumulate_store
         for addr in addrs.tolist():
             accumulate_store(addr, tag)
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "accumulate_store_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "tag": tag},
+            )
 
     def merge_rmw_batch(
         self,
@@ -318,6 +360,7 @@ class AccessExecuteEngine:
         of first-touched addresses; ``track_peak`` additionally mirrors
         the accumulator's partial-footprint peak tracking (kernels track
         it, the CWP baseline's PE-local pool does not)."""
+        t0 = self.drain()
         stats = self.stats
         for addr in addrs.tolist():
             stats.partials_produced += 1
@@ -328,6 +371,12 @@ class AccessExecuteEngine:
                 self.store(addr, cls, tag)
             if track_peak:
                 self._track_partial_peak()
+        tracer = self.tracer
+        if tracer.enabled and len(addrs):
+            tracer.span(
+                "merge_rmw_batch", t0, self.drain(), "engine",
+                {"n": int(len(addrs)), "cls": cls, "tag": tag},
+            )
 
 
 class BatchedAccessExecuteEngine(AccessExecuteEngine):
@@ -613,6 +662,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         stats = self.stats
         buf = self.buffer.route(cls)
         addr_list = addrs.tolist()
@@ -625,6 +676,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                 stats.busy_cycles += start
                 stats.buffer_hits[tag] += start
                 if start == n:
+                    if tracer.enabled:
+                        tracer.span(
+                            "mac_load_batch", t0, self.drain(), "engine",
+                            {"n": n, "cls": cls, "tag": tag},
+                        )
                     return
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
@@ -698,11 +754,18 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.dram_read_bytes[tag] += fetches * buf.line_bytes
         if forwards:
             stats.lsq_forwards += forwards
+        if tracer.enabled:
+            tracer.span(
+                "mac_load_batch", t0, self.drain(), "engine",
+                {"n": n, "cls": cls, "tag": tag},
+            )
 
     def load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         stats = self.stats
         buf = self.buffer.route(cls)
         addr_list = addrs.tolist()
@@ -714,6 +777,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                 stats.requests_issued += start
                 stats.buffer_hits[tag] += start
                 if start == n:
+                    if tracer.enabled:
+                        tracer.span(
+                            "load_batch", t0, self.drain(), "engine",
+                            {"n": n, "cls": cls, "tag": tag},
+                        )
                     return
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
@@ -784,11 +852,18 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.dram_read_bytes[tag] += fetches * buf.line_bytes
         if forwards:
             stats.lsq_forwards += forwards
+        if tracer.enabled:
+            tracer.span(
+                "load_batch", t0, self.drain(), "engine",
+                {"n": n, "cls": cls, "tag": tag},
+            )
 
     def mac_stream_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         top = self.buffer
         buf = top.route(cls)
         # One residency pass against the routed half only; the scalar
@@ -893,6 +968,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.dram_read_bytes[tag] += misses * line_bytes
         if forwards:
             stats.lsq_forwards += forwards
+        if tracer.enabled:
+            tracer.span(
+                "mac_stream_load_batch", t0, self.drain(), "engine",
+                {"n": n, "cls": cls, "tag": tag},
+            )
 
     def store_batch(
         self, addrs: np.ndarray, cls: str, tag: str, allocate: bool = True
@@ -900,6 +980,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         stats = self.stats
         buf = self.buffer.route(cls)
         slot_of = buf._slot_of
@@ -993,11 +1075,18 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.buffer_misses[tag] += misses
         if posted:
             stats.dram_write_bytes[tag] += posted * buf.line_bytes
+        if tracer.enabled:
+            tracer.span(
+                "store_batch", t0, self.drain(), "engine",
+                {"n": n, "cls": cls, "tag": tag},
+            )
 
     def accumulate_store_batch(self, addrs: np.ndarray, tag: str = "partial") -> None:
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         stats = self.stats
         buf = getattr(self.buffer, "output_buffer", self.buffer)
         slot_of = buf._slot_of
@@ -1104,6 +1193,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.buffer_hits[tag] += hits
         if misses:
             stats.buffer_misses[tag] += misses
+        if tracer.enabled:
+            tracer.span(
+                "accumulate_store_batch", t0, self.drain(), "engine",
+                {"n": n, "tag": tag},
+            )
 
     def merge_rmw_batch(
         self,
@@ -1116,6 +1210,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         n = len(addrs)
         if n == 0:
             return
+        tracer = self.tracer
+        t0 = self.drain()
         stats = self.stats
         buf = self.buffer.route(cls)
         slot_of = buf._slot_of
@@ -1291,6 +1387,11 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             stats.lsq_forwards += forwards
         if track_peak and peak > stats.partial_peak_bytes:
             stats.partial_peak_bytes = peak
+        if tracer.enabled:
+            tracer.span(
+                "merge_rmw_batch", t0, self.drain(), "engine",
+                {"n": n, "cls": cls, "tag": tag},
+            )
 
 
 def make_engine(

@@ -15,17 +15,38 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, List, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Tuple
 
 #: The declared traffic-tag vocabulary.  Every DRAM/buffer counter is
 #: keyed by one of these components, which is what makes the Fig. 11
 #: breakdown stack to the total: ``A`` (adjacency stream), ``X`` (input
 #: features), ``W`` (weights), ``XW`` (combination results), ``AXW``
-#: (final outputs), ``partial`` (partial-output spill/merge traffic).
+#: (final outputs), ``partial`` (partial-output spill/merge traffic),
+#: ``H`` (hidden activations re-read as the next layer's input -- the
+#: combination kernel loads layer-``l`` outputs under this tag for
+#: ``l > 0``, which is the "H" column of the Fig. 11 tables).
 #: The static analyzer's ``stats-conservation`` rule rejects literal
-#: tags outside this set; extend it here -- deliberately -- before
-#: introducing a new component.
-TRAFFIC_TAGS = ("A", "X", "W", "XW", "AXW", "partial")
+#: tags outside this set, and :meth:`SimStats.merge` /
+#: :meth:`SimStats.hit_rate_for` raise ``ValueError`` on unknowns;
+#: extend it here -- deliberately -- before introducing a new component.
+TRAFFIC_TAGS = ("A", "X", "W", "XW", "AXW", "partial", "H")
+
+_TRAFFIC_TAG_SET = frozenset(TRAFFIC_TAGS)
+
+
+def validate_tags(tags: "Iterable[str]", where: str) -> None:
+    """Raise ``ValueError`` if any tag is outside :data:`TRAFFIC_TAGS`.
+
+    Counters index-by-default on any key, so a typo'd tag would
+    otherwise split traffic into a phantom component that no figure
+    stacks -- fail loudly at the aggregation boundary instead.
+    """
+    unknown = sorted(set(tags) - _TRAFFIC_TAG_SET)
+    if unknown:
+        raise ValueError(
+            f"unknown traffic tag(s) {unknown} in {where}; "
+            f"declared vocabulary is {list(TRAFFIC_TAGS)}"
+        )
 
 
 @dataclass
@@ -83,7 +104,13 @@ class SimStats:
         return hits / total if total else 0.0
 
     def hit_rate_for(self, tag: str) -> float:
-        """Buffer hit fraction for a single traffic tag."""
+        """Buffer hit fraction for a single traffic tag.
+
+        Raises ``ValueError`` for tags outside :data:`TRAFFIC_TAGS`
+        (an unknown tag would silently report 0.0 via Counter default
+        indexing, which reads like "all misses" rather than "typo").
+        """
+        validate_tags((tag,), "hit_rate_for")
         hits = self.buffer_hits[tag]
         total = hits + self.buffer_misses[tag]
         return hits / total if total else 0.0
@@ -100,19 +127,37 @@ class SimStats:
             for tag in sorted(tags)
         }
 
-    def partial_reduction(self) -> float:
+    def partial_reduction(self, line_bytes: int = 64) -> float:
         """Fractional reduction of partial-output footprint vs the naive
-        one-entry-per-partial baseline (Fig. 10 ratio)."""
+        one-entry-per-partial baseline (Fig. 10 ratio).
+
+        ``line_bytes`` is the buffer line size the footprint is
+        normalised by -- pass the run's configured line size
+        (``HyMMConfig.line_bytes``) rather than relying on the default.
+        """
         naive = self.partials_produced
         if naive == 0:
             return 0.0
         # Footprint is tracked in bytes; normalise by the naive count in
         # lines of the same size.  partial_peak_bytes / line is <= naive.
-        return 1.0 - (self.partial_peak_bytes / max(1, naive * 64))
+        return 1.0 - (self.partial_peak_bytes / max(1, naive * line_bytes))
 
     def merge(self, other: "SimStats") -> None:
         """Fold another phase's counters into this one (cycles add;
-        peaks take the max)."""
+        peaks take the max; timelines concatenate).
+
+        Tags of ``other``'s per-tag counters are validated against
+        :data:`TRAFFIC_TAGS` -- merging is the aggregation boundary, so
+        an undeclared tag raises ``ValueError`` here instead of leaking
+        a phantom traffic component into figure stacks.
+        """
+        validate_tags(
+            set(other.dram_read_bytes)
+            | set(other.dram_write_bytes)
+            | set(other.buffer_hits)
+            | set(other.buffer_misses),
+            "merge",
+        )
         self.cycles += other.cycles
         self.busy_cycles += other.busy_cycles
         self.dram_read_bytes.update(other.dram_read_bytes)
@@ -125,6 +170,73 @@ class SimStats:
         self.partials_produced += other.partials_produced
         self.requests_issued += other.requests_issued
         self.partial_timeline.extend(other.partial_timeline)
+
+    # ------------------------------------------------------------------
+    # Phase attribution (repro.obs)
+    # ------------------------------------------------------------------
+    def copy(self) -> "SimStats":
+        """Deep snapshot of every counter (timeline entries are
+        immutable tuples, so a list copy suffices)."""
+        return SimStats(
+            cycles=self.cycles,
+            busy_cycles=self.busy_cycles,
+            dram_read_bytes=Counter(self.dram_read_bytes),
+            dram_write_bytes=Counter(self.dram_write_bytes),
+            buffer_hits=Counter(self.buffer_hits),
+            buffer_misses=Counter(self.buffer_misses),
+            lsq_forwards=self.lsq_forwards,
+            partial_peak_bytes=self.partial_peak_bytes,
+            partial_spill_bytes=self.partial_spill_bytes,
+            partials_produced=self.partials_produced,
+            requests_issued=self.requests_issued,
+            partial_timeline=list(self.partial_timeline),
+        )
+
+    def delta_since(self, baseline: "SimStats") -> "SimStats":
+        """The merge-inverse: a snapshot such that folding every phase's
+        delta back together with :meth:`merge` reproduces the whole-run
+        aggregate exactly.
+
+        * additive fields subtract (``baseline`` must be an earlier
+          snapshot of the same run, so deltas are non-negative);
+        * per-tag counters keep only the keys that changed, which keeps
+          ``merge`` from resurrecting zero-valued entries;
+        * ``partial_peak_bytes`` carries the *running* peak at the end
+          of the phase -- ``merge`` takes the max, and the running peak
+          is monotone, so the fold lands on the final peak;
+        * ``partial_timeline`` is the suffix of new samples --
+          ``merge`` concatenates, so the fold rebuilds the full curve.
+        """
+
+        def counter_delta(cur: Counter[str], base: Counter[str]) -> Counter[str]:
+            return Counter(
+                {tag: cur[tag] - base[tag] for tag in cur if cur[tag] != base[tag]}
+            )
+
+        return SimStats(
+            cycles=self.cycles - baseline.cycles,
+            busy_cycles=self.busy_cycles - baseline.busy_cycles,
+            dram_read_bytes=counter_delta(
+                self.dram_read_bytes, baseline.dram_read_bytes
+            ),
+            dram_write_bytes=counter_delta(
+                self.dram_write_bytes, baseline.dram_write_bytes
+            ),
+            buffer_hits=counter_delta(self.buffer_hits, baseline.buffer_hits),
+            buffer_misses=counter_delta(
+                self.buffer_misses, baseline.buffer_misses
+            ),
+            lsq_forwards=self.lsq_forwards - baseline.lsq_forwards,
+            partial_peak_bytes=self.partial_peak_bytes,
+            partial_spill_bytes=self.partial_spill_bytes
+            - baseline.partial_spill_bytes,
+            partials_produced=self.partials_produced
+            - baseline.partials_produced,
+            requests_issued=self.requests_issued - baseline.requests_issued,
+            partial_timeline=self.partial_timeline[
+                len(baseline.partial_timeline):
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Lossless serialisation (runtime result cache / cross-process)
@@ -166,7 +278,12 @@ class SimStats:
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        """Flat dictionary for report tables."""
+        """Flat dictionary for report tables.
+
+        Carries the same counter set as :meth:`to_dict` (plus derived
+        metrics); the raw timeline is compressed to a summary since
+        reports never replay individual samples.
+        """
         return {
             "cycles": self.cycles,
             "busy_cycles": self.busy_cycles,
@@ -178,4 +295,11 @@ class SimStats:
             "partial_peak_bytes": self.partial_peak_bytes,
             "partial_spill_bytes": self.partial_spill_bytes,
             "partials_produced": self.partials_produced,
+            "requests_issued": self.requests_issued,
+            "partial_timeline": {
+                "samples": len(self.partial_timeline),
+                "peak_footprint_bytes": max(
+                    (fp for _, fp in self.partial_timeline), default=0
+                ),
+            },
         }

@@ -1,0 +1,42 @@
+"""Fixture for the ``obs-hygiene`` rule: known violations plus
+legitimate guarded emissions that must not be flagged."""
+
+
+def violating_kernel(ctx, tracer):
+    # Unguarded emissions: the args dict is built even under a
+    # NullTracer, so these allocate on the hot path when tracing is off.
+    tracer.span("tile", 0.0, 1.0, "region", {"rows": 4})
+    ctx.engine.tracer.instant("plan", 0.0, "region")
+    tracer.counter("occupancy", 0.0, {"adj": 1})
+    # Direct event-list access bypasses the exporter's schema.
+    tracer._events.append({"ph": "X"})
+    return len(tracer.events)
+
+
+def boundary_kernel(tracer):
+    # A guard around the *call* does not guard the helper's own
+    # emission -- function boundaries stop the guard walk.
+    if tracer.enabled:
+        def emit():
+            tracer.span("late", 0.0, 1.0, "engine")
+        emit()
+
+
+def fine_kernel(ctx, tracer, rows):
+    # Guarded emissions: one class-attribute load when disabled.
+    t0 = ctx.engine.drain()
+    if tracer.enabled:
+        tracer.span("tile", t0, ctx.engine.drain(), "region", {"rows": rows})
+    if ctx.engine.tracer.enabled:
+        ctx.engine.tracer.instant("plan", t0, "region")
+    marker = tracer.counter("occ", t0, {"adj": 1}) if tracer.enabled else None
+    # Same method names on a non-tracer receiver: not the Tracer API.
+    metrics = ctx.registry
+    metrics.counter("jobs")
+    metrics.span("outer", 0, 1)
+    return marker
+
+
+def suppressed_kernel(tracer):
+    # Justified by design, silenced inline.
+    tracer.instant("boot", 0.0, "run")  # analyzer: allow[obs-hygiene]

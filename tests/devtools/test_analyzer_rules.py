@@ -18,6 +18,7 @@ from repro.devtools.analyzer.rules.buffer_internals import (
 from repro.devtools.analyzer.rules.config_hygiene import ConfigHygieneRule
 from repro.devtools.analyzer.rules.determinism import DeterminismRule
 from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
+from repro.devtools.analyzer.rules.obs_hygiene import ObsHygieneRule
 from repro.devtools.analyzer.rules.stats_conservation import StatsConservationRule
 from repro.devtools.analyzer.rules.wire_schema import (
     WireSchemaRule,
@@ -333,3 +334,60 @@ class TestBufferInternalsRule:
         )
         for name in ARENA_FIELDS | ARENA_METHODS:
             assert hasattr(buf, name), name
+
+
+# ----------------------------------------------------------------------
+# obs-hygiene
+# ----------------------------------------------------------------------
+class TestObsHygieneRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("obs_violations.py", "repro.hymm.obs_fixture")
+        return run_rules(project, [ObsHygieneRule()])
+
+    def test_every_finding_location(self, findings):
+        expected = {
+            line_of("obs_violations.py", 'tracer.span("tile", 0.0'),
+            line_of("obs_violations.py", 'ctx.engine.tracer.instant("plan", 0.0'),
+            line_of("obs_violations.py", 'tracer.counter("occupancy", 0.0'),
+            line_of("obs_violations.py", "tracer._events.append"),
+            line_of("obs_violations.py", "len(tracer.events)"),
+            line_of("obs_violations.py", 'tracer.span("late"'),
+        }
+        assert by_line(findings) == expected
+
+    def test_guarded_sites_not_flagged(self, findings):
+        fine = {
+            line_of("obs_violations.py", 'tracer.span("tile", t0'),
+            line_of("obs_violations.py", 'ctx.engine.tracer.instant("plan", t0'),
+            line_of("obs_violations.py", 'tracer.counter("occ", t0'),
+        }
+        assert fine.isdisjoint(by_line(findings))
+
+    def test_non_tracer_receivers_not_flagged(self, findings):
+        unrelated = {
+            line_of("obs_violations.py", 'metrics.counter("jobs")'),
+            line_of("obs_violations.py", 'metrics.span("outer"'),
+        }
+        assert unrelated.isdisjoint(by_line(findings))
+
+    def test_guard_does_not_cross_function_boundary(self, findings):
+        assert line_of("obs_violations.py", 'tracer.span("late"') in by_line(
+            findings
+        )
+
+    def test_inline_suppression_honoured(self, findings):
+        suppressed = line_of("obs_violations.py", "analyzer: allow[obs-hygiene]")
+        assert suppressed not in by_line(findings)
+
+    def test_out_of_scope_module_is_clean(self):
+        project = load_fixture("obs_violations.py", "repro.sim.obs_fixture")
+        assert run_rules(project, [ObsHygieneRule()]) == []
+
+    def test_messages_name_the_fix(self, findings):
+        messages = " | ".join(f.message for f in findings)
+        assert "enabled" in messages
+        assert "Tracer API" in messages
+
+    def test_severity_is_error(self, findings):
+        assert {f.severity for f in findings} == {"error"}

@@ -1,0 +1,176 @@
+"""Traced simulation runs: determinism, conservation, zero overhead.
+
+The three acceptance properties of the observability layer:
+
+* **Determinism** -- tracing the same :class:`JobSpec` twice exports
+  byte-identical Chrome trace JSON (no wall times anywhere);
+* **Conservation** -- folding a run's per-phase ``phase_snapshots``
+  back together with ``SimStats.merge`` reproduces the whole-run
+  aggregate exactly, for every accelerator;
+* **Zero overhead** -- a traced run's SimStats equal an untraced run's
+  byte for byte (tracing observes, never perturbs).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import (
+    ALL_ACCELERATORS,
+    merged_phase_snapshot,
+    phase_snapshot_rows,
+)
+from repro.obs.cli import build_trace, main
+from repro.obs.report import phase_sums, trace_summary
+from repro.obs.schema import validate_trace
+from repro.obs.tracer import ChromeTracer
+from repro.runtime.execute import execute_spec
+from repro.runtime.job import JobSpec
+from repro.sim import SimStats
+
+
+def _spec(kind: str = "hymm", **kw) -> JobSpec:
+    base = dict(dataset="cora", kind=kind, scale=0.1, n_layers=2, seed=1)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer, result, metadata = build_trace(_spec())
+    return tracer, result, metadata
+
+
+class TestDeterminism:
+    def test_same_spec_byte_identical_trace(self, traced):
+        tracer, _, metadata = traced
+        tracer2, _, metadata2 = build_trace(_spec())
+        assert tracer.to_json(metadata) == tracer2.to_json(metadata2)
+
+    def test_no_wall_times_in_metadata(self, traced):
+        _, _, metadata = traced
+        blob = json.dumps(metadata, default=str)
+        assert "wall" not in blob
+        assert "sort_ms" not in blob
+
+
+class TestSchemaAndReport:
+    def test_trace_validates(self, traced):
+        tracer, _, metadata = traced
+        assert validate_trace(tracer.trace_dict(metadata)) == []
+
+    def test_phase_sums_equal_run_totals(self, traced):
+        tracer, result, metadata = traced
+        doc = tracer.trace_dict(metadata)
+        sums = phase_sums(doc)
+        assert sums["cycles"] == result.stats.cycles
+        assert sums["busy_cycles"] == result.stats.busy_cycles
+        assert sums["dram_read_bytes"] == sum(
+            result.stats.dram_read_bytes.values()
+        )
+        assert sums["dram_write_bytes"] == sum(
+            result.stats.dram_write_bytes.values()
+        )
+        summary = trace_summary(doc)
+        assert summary["sums_match_totals"] is True
+
+    def test_trace_has_all_layers_of_events(self, traced):
+        tracer, _, _ = traced
+        cats = {e["cat"] for e in tracer.trace_dict()["traceEvents"]}
+        assert {"engine", "region", "phase", "counter"} <= cats
+
+
+class TestConservation:
+    @pytest.mark.parametrize("kind", ALL_ACCELERATORS)
+    def test_phase_snapshots_fold_to_whole_run(self, kind):
+        result = execute_spec(_spec(kind))
+        assert result.phase_snapshots, f"{kind} produced no phase snapshots"
+        folded = merged_phase_snapshot(result)
+        assert folded.to_dict() == result.stats.to_dict()
+
+    def test_rows_match_snapshots(self):
+        result = execute_spec(_spec())
+        rows = dict(phase_snapshot_rows(result))
+        assert set(rows) == set(result.phase_snapshots)
+        total_cycles = sum(fields["cycles"] for fields in rows.values())
+        assert total_cycles == result.stats.cycles
+
+    def test_aggregation_suffix_folds_aggregation_only(self):
+        result = execute_spec(_spec())
+        agg = merged_phase_snapshot(result, "aggregation")
+        whole = merged_phase_snapshot(result)
+        assert 0 < agg.cycles < whole.cycles
+
+
+class TestZeroOverhead:
+    def test_traced_stats_equal_untraced(self):
+        untraced = execute_spec(_spec())
+        traced = execute_spec(_spec(), tracer=ChromeTracer())
+        assert traced.stats.to_dict() == untraced.stats.to_dict()
+        assert traced.phase_snapshots.keys() == untraced.phase_snapshots.keys()
+        for phase in traced.phase_snapshots:
+            assert (
+                traced.phase_snapshots[phase].to_dict()
+                == untraced.phase_snapshots[phase].to_dict()
+            )
+
+    def test_null_tracer_leaves_no_events_possible(self):
+        # The default path cannot accumulate state: there is no storage.
+        result = execute_spec(_spec())
+        assert result.phase_snapshots  # snapshots exist without tracing
+        merged = merged_phase_snapshot(result)
+        assert isinstance(merged, SimStats)
+
+
+class TestCli:
+    def test_trace_report_diff_validate(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        spec_args = ["cora", "--scale", "0.1", "--layers", "2", "--seed", "1"]
+        assert main(["trace", *spec_args, "--kind", "hymm", "-o", str(a)]) == 0
+        assert main(["trace", *spec_args, "--kind", "op", "-o", str(b)]) == 0
+        assert main(["validate", str(a), str(b)]) == 0
+        assert main(["report", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "phase sums match run totals" in out
+        assert main(["report", str(a), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["sums_match_totals"] is True
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_validate_rejects_malformed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["validate", str(bad)]) == 1
+
+    def test_report_rejects_unknown_document(self, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"neither": True}))
+        assert main(["report", str(other)]) == 1
+
+    def test_report_manifest(self, tmp_path, capsys):
+        manifest = {
+            "jobs": [
+                {
+                    "label": "hymm/cora@0.1",
+                    "status": "done",
+                    "attempts": 1,
+                    "wall_seconds": 1.25,
+                    "max_rss_kb": 2048,
+                    "timed_out": False,
+                }
+            ],
+            "summary": "1 job: 1 simulated",
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hymm/cora@0.1" in out
+        assert main(["report", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_jobs"] == 1
+        assert summary["peak_rss_kb"] == 2048

@@ -181,3 +181,44 @@ class TestManifestStatuses:
         )
         statuses = {r.status for r in sweep.manifest.records}
         assert statuses == {STATUS_CACHE_HIT, STATUS_DONE}
+
+
+class TestTelemetry:
+    def test_serial_records_rss(self):
+        sweep = SweepExecutor(n_jobs=1, runner=ok_runner).run([_spec()])
+        record = sweep.manifest.records[0]
+        assert record.max_rss_kb is not None
+        assert record.max_rss_kb > 0
+        assert record.timed_out is False
+
+    def test_pool_records_worker_rss(self):
+        sweep = SweepExecutor(n_jobs=2, runner=ok_runner).run(
+            [_spec(seed=i) for i in range(2)]
+        )
+        for record in sweep.manifest.records:
+            assert record.max_rss_kb is not None
+            assert record.max_rss_kb > 0
+
+    def test_timeout_sets_timed_out_flag(self):
+        sweep = SweepExecutor(
+            n_jobs=2, runner=slow_runner, timeout=0.3, retries=0
+        ).run([_spec()])
+        record = sweep.manifest.records[0]
+        assert record.timed_out is True
+        assert sweep.manifest.timeouts == 1
+
+    def test_manifest_dict_carries_telemetry(self):
+        sweep = SweepExecutor(n_jobs=1, runner=ok_runner).run([_spec()])
+        payload = sweep.manifest.to_dict()
+        assert payload["timeouts"] == 0
+        assert payload["retries"] == 0
+        assert payload["peak_rss_kb"] == sweep.manifest.peak_rss_kb
+        assert "summary" in payload
+        job = payload["jobs"][0]
+        assert job["max_rss_kb"] == sweep.manifest.records[0].max_rss_kb
+        assert job["timed_out"] is False
+
+    def test_retries_counted(self, tmp_path):
+        runner = functools.partial(flaky_runner, str(tmp_path))
+        sweep = SweepExecutor(n_jobs=1, runner=runner, retries=1).run([_spec()])
+        assert sweep.manifest.retries == 1

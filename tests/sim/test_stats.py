@@ -36,8 +36,13 @@ class TestDerived:
     def test_hit_rate_for_tag(self, populated):
         assert populated.hit_rate_for("XW") == pytest.approx(0.8)
 
-    def test_hit_rate_for_unknown_tag(self, populated):
-        assert populated.hit_rate_for("nope") == 0.0
+    def test_hit_rate_for_unknown_tag_raises(self, populated):
+        with pytest.raises(ValueError, match="nope"):
+            populated.hit_rate_for("nope")
+
+    def test_hit_rate_for_declared_but_unused_tag(self, populated):
+        # Declared in TRAFFIC_TAGS but absent from this run: legal, 0.0.
+        assert populated.hit_rate_for("H") == 0.0
 
     def test_dram_total(self, populated):
         assert populated.dram_total_bytes() == 600
@@ -92,7 +97,58 @@ class TestMerge:
         populated.merge(other)
         assert populated.partial_peak_bytes == 10_000
 
+    def test_merge_rejects_unknown_tag(self, populated):
+        other = SimStats()
+        other.dram_read_bytes.update({"bogus": 1})
+        with pytest.raises(ValueError, match="bogus"):
+            populated.merge(other)
+
     def test_as_dict_keys(self, populated):
         d = populated.as_dict()
-        for key in ("cycles", "alu_utilization", "hit_rate", "dram_total_bytes"):
+        for key in (
+            "cycles",
+            "alu_utilization",
+            "hit_rate",
+            "dram_total_bytes",
+            "requests_issued",
+            "partial_timeline",
+        ):
             assert key in d
+
+    def test_as_dict_timeline_summary(self, populated):
+        populated.partial_timeline = [(64, 100), (128, 640), (192, 320)]
+        summary = populated.as_dict()["partial_timeline"]
+        assert summary == {"samples": 3, "peak_footprint_bytes": 640}
+
+
+class TestPhaseAttribution:
+    def test_copy_is_independent(self, populated):
+        snap = populated.copy()
+        populated.cycles += 1
+        populated.dram_read_bytes.update({"A": 1})
+        populated.partial_timeline.append((999, 999))
+        assert snap.cycles == 1000
+        assert snap.dram_read_bytes["A"] == 100
+        assert (999, 999) not in snap.partial_timeline
+
+    def test_delta_since_counts_only_growth(self, populated):
+        base = populated.copy()
+        populated.cycles += 250
+        populated.busy_cycles += 40
+        populated.dram_read_bytes.update({"A": 64})
+        populated.buffer_hits.update({"XW": 5})
+        delta = populated.delta_since(base)
+        assert delta.cycles == 250
+        assert delta.busy_cycles == 40
+        assert delta.dram_read_bytes == {"A": 64}
+        assert delta.buffer_hits == {"XW": 5}
+        # Untouched counters stay empty -- no resurrected zero keys.
+        assert delta.dram_write_bytes == {}
+
+    def test_delta_fold_reconstructs_whole(self, populated):
+        base = populated.copy()
+        populated.cycles += 100
+        populated.dram_write_bytes.update({"AXW": 32})
+        delta = populated.delta_since(base)
+        base.merge(delta)
+        assert base.to_dict() == populated.to_dict()
