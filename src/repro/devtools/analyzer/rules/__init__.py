@@ -11,6 +11,7 @@ from repro.devtools.analyzer.rules import (  # noqa: F401
     determinism,
     mutable_state,
     obs_hygiene,
+    serve_hygiene,
     stats_conservation,
     wire_schema,
 )

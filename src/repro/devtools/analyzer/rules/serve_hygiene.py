@@ -1,0 +1,134 @@
+"""Rule ``serve-hygiene``: no blocking calls in serve's async handlers.
+
+The sweep server promises that its event loop never blocks: every
+cache probe and simulation batch crosses into a worker thread via
+``asyncio.to_thread``, so a slow disk or a long-running job cannot
+stall the connection handlers, the single-flight table, or the
+``/status`` follower streams.  One stray ``time.sleep`` or synchronous
+file read inside an ``async def`` silently freezes every connected
+client for its duration -- the kind of bug that only shows up under
+load.
+
+This rule enforces the contract statically: inside any ``async def``
+in scope (``repro.serve`` by default), calls to a blocklist of known
+blocking operations are findings:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* anything rooted at ``subprocess`` (use a worker thread);
+* synchronous file I/O: builtin ``open``, ``json.load`` / ``json.dump``
+  (the file-object forms; ``loads`` / ``dumps`` are pure CPU and fine),
+  blocking ``os`` filesystem calls (``replace`` / ``rename`` /
+  ``remove`` / ``unlink``), and ``Path`` convenience I/O
+  (``read_text`` / ``write_text`` / ``read_bytes`` / ``write_bytes``
+  method calls on any receiver);
+* ``socket.create_connection`` and bare ``Connection``-style waits are
+  out of scope -- the asyncio streams API replaces them wholesale, and
+  serve's client module is synchronous by design.
+
+Only the *nearest* enclosing function matters: a synchronous ``def``
+nested inside an ``async def`` (or a sync method of the same class) is
+exempt, because that is exactly the shape of an ``asyncio.to_thread``
+target.  Names are resolved through the module's import aliases, so
+``from time import sleep as nap`` does not evade the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.devtools.analyzer.astutil import import_aliases, resolve_call_target
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+
+#: Fully qualified callables that block the calling thread.
+BLOCKING_CALLS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "open": "move file I/O into a worker via `asyncio.to_thread`",
+    "json.load": "read the file in a worker thread, or use json.loads",
+    "json.dump": "write the file in a worker thread, or use json.dumps",
+    "os.replace": "move file I/O into a worker via `asyncio.to_thread`",
+    "os.rename": "move file I/O into a worker via `asyncio.to_thread`",
+    "os.remove": "move file I/O into a worker via `asyncio.to_thread`",
+    "os.unlink": "move file I/O into a worker via `asyncio.to_thread`",
+}
+
+#: Module prefixes whose every call is considered blocking.
+BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Blocking convenience-I/O method names (flagged on any receiver --
+#: in serve code these are Path methods).
+BLOCKING_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+}
+
+
+@register
+class ServeHygieneRule(Rule):
+    name = "serve-hygiene"
+    description = (
+        "repro.serve async handlers must not call blocking operations "
+        "(time.sleep, sync file I/O, subprocess); hand off to a worker "
+        "thread via asyncio.to_thread"
+    )
+    default_severity = "error"
+    default_options = {
+        "scope": ["repro.serve"],
+    }
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        scope = tuple(self.options["scope"])
+        for mod in project.in_package(*scope):
+            aliases = import_aliases(mod.tree)
+            for async_fn in _async_functions(mod.tree):
+                for call in _calls_owned_by(async_fn):
+                    problem = _blocking_problem(call, aliases)
+                    if problem is None:
+                        continue
+                    target, advice = problem
+                    yield self.finding(
+                        project, mod, call,
+                        f"blocking call {target}(...) inside async "
+                        f"handler `{async_fn.name}`: {advice}",
+                        symbol=target,
+                    )
+
+
+def _async_functions(tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _calls_owned_by(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes whose nearest enclosing function is ``fn`` itself.
+
+    Descends the async function's body but stops at nested function
+    definitions (sync or async): a nested sync ``def`` is a
+    worker-thread target and is exempt here, and a nested ``async def``
+    is visited on its own by :func:`_async_functions`.
+    """
+    stack: list = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _blocking_problem(
+    call: ast.Call, aliases: Dict[str, str]
+) -> Optional[tuple]:
+    """(resolved target, advice) when ``call`` is on the blocklist."""
+    target = resolve_call_target(call.func, aliases)
+    if target is not None:
+        if target in BLOCKING_CALLS:
+            return target, BLOCKING_CALLS[target]
+        for prefix in BLOCKING_PREFIXES:
+            if target.startswith(prefix) or target == prefix.rstrip("."):
+                return target, "run subprocesses in a worker thread"
+    if isinstance(call.func, ast.Attribute) and call.func.attr in BLOCKING_METHODS:
+        name = target if target is not None else f"<expr>.{call.func.attr}"
+        return name, "move file I/O into a worker via `asyncio.to_thread`"
+    return None

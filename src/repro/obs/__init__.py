@@ -25,7 +25,8 @@ from repro.obs.tracer import (
     NULL_TRACER,
     ChromeTracer,
     NullTracer,
+    PhaseFeed,
     Tracer,
 )
 
-__all__ = ["Tracer", "NullTracer", "ChromeTracer", "NULL_TRACER"]
+__all__ = ["Tracer", "NullTracer", "ChromeTracer", "PhaseFeed", "NULL_TRACER"]

@@ -140,6 +140,29 @@ def trace_report(doc: Mapping[str, Any]) -> str:
 # ----------------------------------------------------------------------
 # Manifests
 # ----------------------------------------------------------------------
+def manifest_cache_effectiveness(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Cache hits/misses/hit-rate of one manifest.
+
+    Prefers the manifest's own aggregates (``cache_hits`` /
+    ``cache_misses``, recorded since manifests learned them); older
+    manifests fall back to counting job records by status, so a report
+    over an old file still shows cache effectiveness.
+    """
+    jobs = [j for j in doc.get("jobs", []) if isinstance(j, dict)]
+    hits = doc.get("cache_hits")
+    if not isinstance(hits, int):
+        hits = sum(1 for j in jobs if j.get("status") == "cache-hit")
+    misses = doc.get("cache_misses")
+    if not isinstance(misses, int):
+        misses = len(jobs) - hits
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+    }
+
+
 def manifest_report(doc: Mapping[str, Any]) -> str:
     """Per-job telemetry table of one run manifest."""
     jobs = doc.get("jobs", [])
@@ -162,6 +185,12 @@ def manifest_report(doc: Mapping[str, Any]) -> str:
             ]
         )
     lines = [format_table(headers, rows)]
+    cache = manifest_cache_effectiveness(doc)
+    lines.append(
+        f"cache: {cache['hits']} hit{'s' if cache['hits'] != 1 else ''}, "
+        f"{cache['misses']} miss{'es' if cache['misses'] != 1 else ''} "
+        f"({cache['hit_rate']:.0%} hit rate)"
+    )
     summary = doc.get("summary")
     if isinstance(summary, str):
         lines.append(summary)
@@ -187,6 +216,7 @@ def manifest_summary(doc: Mapping[str, Any]) -> Dict[str, Any]:
             max(0, int(j.get("attempts", 1)) - 1) for j in jobs
         ),
         "peak_rss_kb": max(rss) if rss else None,
+        "cache": manifest_cache_effectiveness(doc),
     }
 
 

@@ -36,7 +36,7 @@ Event vocabulary (Chrome trace-event phases):
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 #: Categories the simulator emits (the ``cat`` field of every event).
 TRACE_CATEGORIES = ("engine", "buffer", "region", "phase", "run")
@@ -93,6 +93,52 @@ class NullTracer(Tracer):
 #: Shared disabled tracer -- the default of every tracing entry point,
 #: so "no tracer" never allocates anything.
 NULL_TRACER: Tracer = NullTracer()
+
+
+class PhaseFeed(Tracer):
+    """Live per-phase progress feed built on the tracer protocol.
+
+    Forwards every ``cat="phase"`` event that carries counters (the
+    spans :meth:`repro.hymm.base.AcceleratorBase.run_inference` emits at
+    each phase boundary, plus the ``drain`` instant) to ``on_phase``
+    as ``(phase_name, end_cycle, counters)`` -- the feed the serve
+    front end streams to ``/status`` followers while a simulation is
+    still running.  Everything else (engine batches, buffer events,
+    region tiles) is dropped at the cheapest possible point, so the
+    overhead over an untraced run is one guarded call per phase.
+
+    The callback runs on the simulating thread; callers bridging into
+    an event loop must hand off (e.g. ``loop.call_soon_threadsafe``)
+    rather than block.
+    """
+
+    __slots__ = ("on_phase",)
+
+    enabled = True
+
+    def __init__(self, on_phase: "Callable[[str, float, Dict[str, Any]], None]") -> None:
+        self.on_phase = on_phase
+
+    def span(
+        self,
+        name: str,
+        start: Cycle,
+        end: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if cat == "phase" and args and "cycles" in args:
+            self.on_phase(name, float(end), dict(args))
+
+    def instant(
+        self,
+        name: str,
+        cycle: Cycle,
+        cat: str = "engine",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if cat == "phase" and args and "cycles" in args:
+            self.on_phase(name, float(cycle), dict(args))
 
 
 class ChromeTracer(Tracer):

@@ -23,7 +23,7 @@ multi-backend) plugs into lives here.
 
 from repro.runtime.job import SCHEMA_VERSION, JobSpec
 from repro.runtime.serialize import to_jsonable
-from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.cache import ResultCache, ShardedResultCache, default_cache_dir
 from repro.runtime.manifest import JobRecord, RunManifest
 from repro.runtime.executor import SweepExecutor, SweepResult
 from repro.runtime.execute import execute_job, execute_spec, make_accelerator
@@ -32,6 +32,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "JobSpec",
     "ResultCache",
+    "ShardedResultCache",
     "default_cache_dir",
     "JobRecord",
     "RunManifest",

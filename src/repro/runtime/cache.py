@@ -1,13 +1,30 @@
 """Persistent on-disk result cache keyed by job fingerprint.
 
-Layout (one JSON record per simulated point, flat under the cache
-directory)::
+Two layouts share one record format (``{"fingerprint", "spec",
+"result", ...}``, one JSON file per simulated point):
+
+:class:`ResultCache` (flat)::
 
     <cache_dir>/
-        <fingerprint>.json      # {"fingerprint", "spec", "result", ...}
+        <fingerprint>.json
         manifests/              # sweep manifests (written by the CLI)
 
-Invalidation rules:
+:class:`ShardedResultCache` (two-level hash-prefix directories, built
+for many concurrent writers -- e.g. several serve workers or several
+hosts sharing one cache over a network filesystem)::
+
+    <cache_dir>/
+        <fp[0:2]>/<fp[2:4]>/<fingerprint>.json
+
+The sharded cache *transparently migrates* a flat layout: a lookup that
+misses the sharded path but finds the flat record moves it into its
+shard (atomic same-filesystem ``os.replace``) and serves it, so
+pointing the serve front end at an existing flat cache directory warms
+it in place -- no offline conversion, and racing migrators are safe
+(the loser of the ``os.replace`` race simply re-reads the sharded
+path).
+
+Invalidation rules (both layouts):
 
 * the fingerprint already encodes the job schema version and the
   ``repro`` package version, so upgrading either simply stops hitting
@@ -19,9 +36,10 @@ Invalidation rules:
   :attr:`ResultCache.corrupt` -- a damaged cache degrades to cold, it
   never fails a run.
 
-Writes go through a same-directory temp file + ``os.replace`` so a
-concurrent reader (or a killed writer) can never observe a partial
-record.
+Writes go through a temp file in the record's *own* directory +
+``os.replace``, so a concurrent reader (or a killed writer) can never
+observe a partial record, and two writers racing the same key resolve
+last-writer-wins with no torn JSON.
 """
 
 from __future__ import annotations
@@ -31,7 +49,7 @@ import os
 import pathlib
 import tempfile
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.hymm.base import RunResult
 from repro.runtime.job import SCHEMA_VERSION, JobSpec
@@ -87,7 +105,14 @@ class ResultCache:
         return result
 
     def store(self, spec: JobSpec, result: RunResult) -> pathlib.Path:
-        """Atomically persist one result; returns the record path."""
+        """Atomically persist one result; returns the record path.
+
+        The temp file lives in the record's own directory, so the final
+        ``os.replace`` is a same-filesystem atomic rename: a reader can
+        never see a partial record, and concurrent writers racing the
+        same key resolve last-writer-wins (each publishes a complete
+        record; whichever rename lands last sticks).
+        """
         fingerprint = spec.fingerprint()
         path = self._path(fingerprint)
         record = {
@@ -97,8 +122,9 @@ class ResultCache:
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+            dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -118,17 +144,21 @@ class ResultCache:
         except OSError:
             pass
 
+    def _record_paths(self) -> Iterator[pathlib.Path]:
+        """Every record file this layout owns (maintenance walks)."""
+        return iter(self.cache_dir.glob("*.json"))
+
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""
         removed = 0
-        for path in self.cache_dir.glob("*.json"):
+        for path in list(self._record_paths()):
             self._evict(path)
             removed += 1
         return removed
 
     def size(self) -> int:
         """Number of records currently on disk."""
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return sum(1 for _ in self._record_paths())
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -137,3 +167,78 @@ class ResultCache:
             "stores": self.stores,
             "corrupt": self.corrupt,
         }
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since construction (0.0 before any)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ShardedResultCache(ResultCache):
+    """Result cache sharded into two-level hash-prefix directories.
+
+    ``<fp[0:2]>/<fp[2:4]>/<fingerprint>.json`` spreads the records of a
+    large cache over 65536 directories, keeping per-directory entry
+    counts (and rename contention between concurrent writers on shared
+    filesystems) bounded.  Reads fall back to -- and migrate -- the flat
+    layout, so an existing :class:`ResultCache` directory can be
+    adopted in place; see the module docstring for the race argument.
+    """
+
+    #: Hex characters consumed per directory level.
+    PREFIX_WIDTH = 2
+    #: Directory levels below the cache root.
+    PREFIX_LEVELS = 2
+
+    def __init__(self, cache_dir: "Optional[os.PathLike[str]]" = None) -> None:
+        super().__init__(cache_dir)
+        #: Flat-layout records adopted into shards by this instance.
+        self.migrated = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        shard = self.cache_dir
+        for level in range(self.PREFIX_LEVELS):
+            lo = level * self.PREFIX_WIDTH
+            shard = shard / fingerprint[lo : lo + self.PREFIX_WIDTH]
+        return shard / f"{fingerprint}.json"
+
+    def _flat_path(self, fingerprint: str) -> pathlib.Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _adopt_flat(self, fingerprint: str) -> None:
+        """Move a flat-layout record into its shard, if one exists.
+
+        Best-effort and race-safe: a concurrent migrator (or a writer
+        publishing a fresh sharded record) may win; every failure mode
+        leaves the caller to read whatever the sharded path now holds.
+        """
+        flat = self._flat_path(fingerprint)
+        sharded = self._path(fingerprint)
+        if sharded.exists() or not flat.exists():
+            return
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, sharded)
+        except OSError:
+            return
+        self.migrated += 1
+
+    # ------------------------------------------------------------------
+    def contains(self, spec: JobSpec) -> bool:
+        fingerprint = spec.fingerprint()
+        return (
+            self._path(fingerprint).exists()
+            or self._flat_path(fingerprint).exists()
+        )
+
+    def load(self, spec: JobSpec) -> Optional[RunResult]:
+        self._adopt_flat(spec.fingerprint())
+        return super().load(spec)
+
+    def _record_paths(self) -> Iterator[pathlib.Path]:
+        """Sharded records plus any not-yet-migrated flat leftovers."""
+        yield from self.cache_dir.glob("*.json")
+        pattern = "/".join(["?" * self.PREFIX_WIDTH] * self.PREFIX_LEVELS)
+        yield from self.cache_dir.glob(f"{pattern}/*.json")

@@ -104,6 +104,11 @@ class RunManifest:
         return sum(1 for r in self.records if r.status == STATUS_CACHE_HIT)
 
     @property
+    def cache_misses(self) -> int:
+        """Jobs the cache could not serve (executed or failed)."""
+        return self.total - self.cache_hits
+
+    @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
 
@@ -153,6 +158,7 @@ class RunManifest:
             "total": self.total,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "failed": self.failed,
             "hit_rate": self.hit_rate,
             "timeouts": self.timeouts,

@@ -1,0 +1,45 @@
+"""repro.serve: a long-lived sweep service over the runtime layer.
+
+The serving story the runtime was built toward: one resident process
+that accepts simulation job submissions over a line-delimited JSON
+protocol, answers repeats from the sharded result cache in
+sub-millisecond time, single-flights concurrent identical submissions
+into one execution, and streams per-phase progress (via
+:class:`repro.obs.tracer.PhaseFeed`) while a miss simulates.
+
+Layout:
+
+* :mod:`repro.serve.protocol` -- wire format, request parsing,
+  endpoint and job-state vocabulary;
+* :mod:`repro.serve.server` -- the asyncio server, single-flight job
+  table, metrics, and the :class:`~repro.serve.server.ServerThread`
+  test/bench harness;
+* :mod:`repro.serve.client` -- the blocking client the CLI, bench and
+  tests use;
+* :mod:`repro.serve.bench` -- the hit-path latency benchmark feeding
+  the ``BENCH_serve.json`` trajectory;
+* :mod:`repro.serve.cli` -- ``python -m repro.serve`` subcommands.
+
+The event-loop side never blocks on disk or simulation (cache probes
+and SweepExecutor batches run in worker threads); the ``serve-hygiene``
+analyzer rule enforces that contract statically.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError, Request
+from repro.serve.server import (
+    ServeSettings,
+    ServerThread,
+    SweepServer,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "ServeClient",
+    "ServeError",
+    "ServeSettings",
+    "ServerThread",
+    "SweepServer",
+]

@@ -1,0 +1,271 @@
+"""``python -m repro.serve`` -- serve, submit, status, metrics, bench.
+
+Subcommands:
+
+``serve [--host H] [--port P] [--cache-dir DIR] [--no-cache]
+[--workers N] [--max-batch N] [--retries N] [--timeout S]
+[--ready-file PATH]``
+    Run the sweep server in the foreground until SIGINT or a
+    ``/shutdown`` request.  ``--ready-file`` writes ``host port`` once
+    the socket is accepting (the CI smoke job's handshake).
+``submit DATASET [--kind hymm] [--scale S] [--layers N] [--seed N]
+[--no-wait] [--include-result] [--json]``
+    Build the bench :class:`~repro.runtime.job.JobSpec` and submit it;
+    prints the terminal status (or the queued ack with ``--no-wait``).
+``status JOB_ID [--follow] [--json]``
+    One status snapshot, or a live event stream until terminal.
+``healthz`` / ``metrics``
+    Scrape the respective endpoint as JSON.
+``shutdown``
+    Ask a running server to exit.
+``bench-hitpath [--requests N] [--dataset D] [--kind K] ...``
+    Measure the warm served-lookup path and append an entry to the
+    ``BENCH_serve.json`` trajectory (see :mod:`repro.serve.bench`).
+
+Runtime/bench imports happen inside the handlers -- the CLI must be
+importable (e.g. for ``--help``) without dragging the workload layer
+in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+DEFAULT_PORT = 7341
+
+
+def _print_payload(payload: Dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    status = payload.get("status")
+    if status is None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    line = f"{payload.get('job_id', '?')[:12]}  {payload.get('label', '')}  {status}"
+    source = payload.get("source")
+    if source:
+        line += f"  [{source}]"
+    print(line)
+    for row in payload.get("phases", []):
+        print(
+            f"  {row.get('phase', '?'):24s} cycles={row.get('cycles', 0)} "
+            f"end={row.get('end_cycle', 0):.0f}"
+        )
+    summary = payload.get("result_summary")
+    if summary:
+        print(
+            f"  result: {summary.get('accelerator')} on "
+            f"{summary.get('dataset')}: {summary.get('cycles')} cycles"
+        )
+    if payload.get("error"):
+        print(f"  error: {payload['error']}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.cache import ShardedResultCache
+    from repro.serve.server import ServeSettings, SweepServer
+
+    cache = None if args.no_cache else ShardedResultCache(args.cache_dir)
+    settings = ServeSettings(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    server = SweepServer(cache=cache, settings=settings)
+
+    async def main() -> None:
+        host, port = await server.start(args.host, args.port)
+        where = "memory-less (no cache)" if cache is None else str(cache.cache_dir)
+        print(f"serving on {host}:{port}  cache: {where}", flush=True)
+        if args.ready_file:
+            await asyncio.to_thread(
+                Path(args.ready_file).write_text, f"{host} {port}\n",
+                encoding="utf-8",
+            )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.bench.runner import job_spec
+    from repro.serve.client import ServeClient
+
+    spec = job_spec(
+        args.dataset, args.kind, scale=args.scale,
+        n_layers=args.layers, seed=args.seed,
+    )
+    with ServeClient(args.host, args.port) as client:
+        response = client.submit(
+            spec.to_dict(),
+            wait=not args.no_wait,
+            include_result=args.include_result,
+        )
+    _print_payload(response, args.json)
+    return 0 if response.get("status") != "failed" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        if not args.follow:
+            response = client.status(args.job_id, args.include_result)
+            _print_payload(response, args.json)
+            return 0 if response.get("status") != "failed" else 1
+        final: Dict[str, Any] = {}
+        for event in client.follow(args.job_id, args.include_result):
+            if event.get("final"):
+                final = event
+                break
+            if args.json:
+                print(json.dumps(event, sort_keys=True))
+            elif event.get("event") == "phase":
+                print(
+                    f"  phase {event.get('phase', '?'):24s} "
+                    f"cycles={event.get('cycles', 0)}"
+                )
+            elif event.get("event") == "status":
+                print(f"  -> {event.get('status')}")
+    _print_payload(final, args.json)
+    return 0 if final.get("status") != "failed" else 1
+
+
+def _scrape(args: argparse.Namespace, op: str) -> int:
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        payload = client.request({"op": op})
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_bench_hitpath(args: argparse.Namespace) -> int:
+    from repro.serve.bench import bench_hitpath_main
+
+    bench_hitpath_main(
+        dataset=args.dataset,
+        kind=args.kind,
+        scale=args.scale,
+        n_layers=args.layers,
+        seed=args.seed,
+        requests=args.requests,
+        host=args.host,
+        port=args.port,
+        output=args.output,
+        dry_run=args.dry_run,
+    )
+    return 0
+
+
+def _add_endpoint_args(
+    parser: argparse.ArgumentParser, default_port: Optional[int] = DEFAULT_PORT
+) -> None:
+    parser.add_argument("--host", default="127.0.0.1" if default_port else None)
+    parser.add_argument("--port", type=int, default=default_port)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run the sweep server in the foreground")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: repo cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result cache (every submit executes)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="SweepExecutor width per batch (1 = serial with "
+                   "live phase progress)")
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--retries", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--ready-file", default=None,
+                   help="write 'host port' here once accepting")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one bench job spec")
+    _add_endpoint_args(p)
+    p.add_argument("dataset")
+    p.add_argument("--kind", default="hymm")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="return the queued ack instead of waiting")
+    p.add_argument("--include-result", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="job status snapshot or event stream")
+    _add_endpoint_args(p)
+    p.add_argument("job_id")
+    p.add_argument("--follow", action="store_true")
+    p.add_argument("--include-result", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("healthz", help="liveness check")
+    _add_endpoint_args(p)
+    p.set_defaults(fn=lambda args: _scrape(args, "healthz"))
+
+    p = sub.add_parser("metrics", help="scrape server metrics")
+    _add_endpoint_args(p)
+    p.set_defaults(fn=lambda args: _scrape(args, "metrics"))
+
+    p = sub.add_parser("shutdown", help="stop a running server")
+    _add_endpoint_args(p)
+    p.set_defaults(fn=lambda args: _scrape(args, "shutdown"))
+
+    p = sub.add_parser(
+        "bench-hitpath",
+        help="measure the warm served-lookup path, append to BENCH_serve.json",
+    )
+    p.add_argument("--host", default=None,
+                   help="target a running server (default: self-host)")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--dataset", default="cora")
+    p.add_argument("--kind", default="hymm")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_serve.json",
+    )
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the measurement, skip the trajectory write")
+    p.set_defaults(fn=cmd_bench_hitpath)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,791 @@
+"""The long-lived asyncio sweep server.
+
+Architecture (one process, stdlib only)::
+
+    client conns ──> asyncio stream handlers ──┐
+                                               │ single-flight table
+                                               │ (fingerprint -> JobEntry)
+    sharded ResultCache <── cache probe ───────┤
+         (worker thread)                       │ miss
+                                               v
+                                        asyncio.Queue
+                                               │ batched drain
+                                               v
+                                     SweepExecutor batch
+                              (worker thread; process pool when
+                               ``workers > 1``, serial + live
+                               PhaseFeed progress otherwise)
+
+Single-flight: every job is keyed by its :class:`JobSpec` content-hash
+fingerprint.  Submissions of a fingerprint that is already queued,
+probing the cache, or executing *attach* to the existing
+:class:`JobEntry` instead of enqueueing again -- N concurrent identical
+submissions cost one cache probe and at most one execution, and all N
+receive the same terminal answer.  Once an entry reaches a terminal
+state it stops absorbing submissions: the next identical submission
+performs a fresh cache lookup (by then the executed result is on disk),
+which is exactly the "million cached lookups a day" hit path
+``bench-hitpath`` measures.
+
+Blocking work (cache reads, simulation batches) runs in worker threads
+via ``asyncio.to_thread``; the event-loop side never touches the disk
+or the simulator, a contract enforced by the ``serve-hygiene`` analyzer
+rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.hymm.base import RunResult
+from repro.obs.tracer import PhaseFeed
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor, SweepResult
+from repro.runtime.job import JobSpec
+from repro.runtime.manifest import STATUS_FAILED
+from repro.serve.protocol import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    MAX_LINE_BYTES,
+    OP_HEALTHZ,
+    OP_METRICS,
+    OP_SHUTDOWN,
+    OP_STATUS,
+    OP_SUBMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    SOURCE_CACHE_DISK,
+    SOURCE_EXECUTED,
+    SOURCE_REGISTRY,
+    TERMINAL_STATES,
+    decode,
+    encode,
+    error_payload,
+    parse_request,
+)
+
+#: Fields of one per-phase progress row (mirrors the counters the
+#: accelerator's phase spans carry -- see ``repro.obs``).
+PHASE_ROW_FIELDS = (
+    "cycles",
+    "busy_cycles",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "buffer_hits",
+    "buffer_misses",
+)
+
+#: A SweepExecutor-compatible factory (test seam).
+ExecutorFactory = Callable[..., SweepExecutor]
+
+
+def percentiles(
+    values: List[float], points: Tuple[float, ...] = (50.0, 90.0, 99.0)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of ``values`` (e.g. ``{"p50": ...}``).
+
+    Empty input yields an empty dict -- metrics simply omit latencies
+    until the first hit has been served.
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    out: Dict[str, float] = {}
+    for point in points:
+        rank = max(0, min(len(ordered) - 1, int(round(point / 100.0 * len(ordered))) - 1))
+        out[f"p{point:g}"] = ordered[rank]
+    out["max"] = ordered[-1]
+    out["mean"] = sum(ordered) / len(ordered)
+    return out
+
+
+def phase_rows_from_record(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-phase progress rows from a serialised ``RunResult`` dict.
+
+    The same rows :class:`PhaseFeed` streams live, rebuilt from the
+    wire form's ``phase_snapshots`` for answers served from the cache
+    (end cycles are the running sum of per-phase cycles -- the
+    conservation invariant makes that exact).
+    """
+    rows: List[Dict[str, Any]] = []
+    end = 0.0
+    snapshots = record.get("phase_snapshots")
+    if not isinstance(snapshots, dict):
+        return rows
+    for name, snap in snapshots.items():
+        if not isinstance(snap, dict):
+            continue
+        row: Dict[str, Any] = {"phase": str(name)}
+        for fld in PHASE_ROW_FIELDS:
+            value = snap.get(fld, 0)
+            row[fld] = sum(value.values()) if isinstance(value, dict) else value
+        end += float(row["cycles"])
+        row["end_cycle"] = end
+        rows.append(row)
+    return rows
+
+
+def phase_row_from_feed(
+    name: str, end_cycle: float, args: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """One progress row from a live :class:`PhaseFeed` callback."""
+    row: Dict[str, Any] = {"phase": name}
+    for fld in PHASE_ROW_FIELDS:
+        row[fld] = args.get(fld, 0)
+    row["end_cycle"] = float(end_cycle)
+    return row
+
+
+@dataclass
+class ServeSettings:
+    """Tunables of one server instance."""
+
+    #: SweepExecutor width for one batch of misses (``1`` = serial
+    #: in-thread execution with live per-phase progress; ``>1`` = the
+    #: runtime's process pool, progress lands per job at completion).
+    workers: int = 1
+    #: Most queued misses drained into one SweepExecutor invocation.
+    max_batch: int = 8
+    #: Bounded retry on worker failure (SweepExecutor semantics).
+    retries: int = 1
+    #: Optional per-job timeout (pool path only; SweepExecutor
+    #: semantics -- best-effort, measured from submission).
+    timeout: Optional[float] = None
+    #: Terminal jobs kept addressable by ``/status`` (LRU-bounded;
+    #: in-flight jobs are never evicted).
+    registry_limit: int = 512
+    #: Hit-path latency samples retained for ``/metrics`` percentiles.
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.registry_limit < 1:
+            raise ValueError("registry_limit must be >= 1")
+
+
+class JobEntry:
+    """One fingerprint's lifecycle inside the single-flight table."""
+
+    __slots__ = (
+        "spec", "fingerprint", "status", "source", "error", "submits",
+        "attempts", "wall_seconds", "phases", "events", "result_record",
+        "done", "_tick",
+    )
+
+    def __init__(self, spec: JobSpec, fingerprint: str) -> None:
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.status = JOB_QUEUED
+        self.source: Optional[str] = None
+        self.error: Optional[str] = None
+        #: Submissions answered by this entry (1 + single-flight joins).
+        self.submits = 1
+        self.attempts = 0
+        self.wall_seconds = 0.0
+        self.phases: List[Dict[str, Any]] = []
+        self.events: List[Dict[str, Any]] = []
+        #: Serialised ``RunResult`` (the wire dict) once terminal.
+        self.result_record: Optional[Dict[str, Any]] = None
+        self.done = asyncio.Event()
+        self._tick = asyncio.Event()
+
+    # All mutation happens on the event-loop thread (worker threads
+    # bridge through ``loop.call_soon_threadsafe``), so plain lists and
+    # a rotating Event are race-free.
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def signal(self) -> asyncio.Event:
+        """The event the *next* change will set (capture, then await)."""
+        return self._tick
+
+    def _rotate(self) -> None:
+        tick, self._tick = self._tick, asyncio.Event()
+        tick.set()
+
+    def add_event(self, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["seq"] = len(self.events)
+        self.events.append(payload)
+        self._rotate()
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+        self.add_event({"event": "status", "status": status})
+        if status in TERMINAL_STATES:
+            self.done.set()
+
+    def add_phase(self, name: str, end_cycle: float, args: Dict[str, Any]) -> None:
+        row = phase_row_from_feed(name, end_cycle, args)
+        self.phases.append(row)
+        self.add_event({"event": "phase", **row})
+
+    def complete(
+        self,
+        record: Dict[str, Any],
+        source: str,
+        attempts: int = 0,
+        wall_seconds: float = 0.0,
+    ) -> None:
+        self.result_record = record
+        self.source = source
+        self.attempts = attempts
+        self.wall_seconds = wall_seconds
+        if not self.phases:
+            for row in phase_rows_from_record(record):
+                self.phases.append(row)
+        self.set_status(JOB_DONE)
+
+    def fail(self, error: str, attempts: int = 0, wall_seconds: float = 0.0) -> None:
+        self.error = error
+        self.attempts = attempts
+        self.wall_seconds = wall_seconds
+        self.set_status(JOB_FAILED)
+
+
+class ServeMetrics:
+    """Counters behind ``/metrics`` (event-loop thread only)."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self.submitted = 0
+        #: Submissions answered by attaching to an in-flight entry.
+        self.deduped = 0
+        #: Submissions answered straight from the result cache.
+        self.cache_served = 0
+        #: Cache misses served from the terminal-job registry (only
+        #: possible on a cache-less server).
+        self.registry_hits = 0
+        self.executed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.batches = 0
+        self.peak_rss_kb: Optional[int] = None
+        self.hitpath_ms: Deque[float] = deque(maxlen=latency_window)
+
+    def record_hitpath(self, ms: float) -> None:
+        self.hitpath_ms.append(ms)
+
+    def merge_manifest(self, manifest: Any) -> None:
+        """Fold one SweepExecutor run manifest into the aggregates."""
+        self.batches += 1
+        self.executed += manifest.executed
+        self.failed += manifest.failed
+        self.timeouts += manifest.timeouts
+        self.retries += manifest.retries
+        rss = manifest.peak_rss_kb
+        if rss is not None:
+            self.peak_rss_kb = max(self.peak_rss_kb or 0, rss)
+
+
+class SweepServer:
+    """The asyncio front end over cache + executor (see module doc)."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        settings: Optional[ServeSettings] = None,
+        runner: Optional[Callable[[JobSpec], object]] = None,
+        executor_factory: Optional[ExecutorFactory] = None,
+    ) -> None:
+        self.cache = cache
+        self.settings = settings if settings is not None else ServeSettings()
+        #: Test seam: forces serial execution through this callable.
+        self._runner = runner
+        self._executor_factory: ExecutorFactory = (
+            executor_factory if executor_factory is not None else SweepExecutor
+        )
+        self.metrics = ServeMetrics(self.settings.latency_window)
+        self._jobs: "OrderedDict[str, JobEntry]" = OrderedDict()
+        self._queue: "asyncio.Queue[JobEntry]" = asyncio.Queue()
+        self._in_flight = 0
+        self._started_monotonic = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        self._stopping = asyncio.Event()
+        self.host = ""
+        self.port = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    def request_stop(self) -> None:
+        """Ask the server to exit (thread-safe only via its own loop)."""
+        self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`request_stop` (or the shutdown op) fires."""
+        await self._stopping.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(encode(payload))
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer, error_payload("request line too long")
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    request = parse_request(decode(line))
+                except ProtocolError as exc:
+                    await self._send(writer, error_payload(str(exc)))
+                    continue
+                await self._route(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        if request.op == OP_SUBMIT:
+            await self._handle_submit(request, writer)
+        elif request.op == OP_STATUS:
+            await self._handle_status(request, writer)
+        elif request.op == OP_HEALTHZ:
+            await self._send(writer, self._healthz_payload())
+        elif request.op == OP_METRICS:
+            await self._send(writer, self._metrics_payload())
+        elif request.op == OP_SHUTDOWN:
+            await self._send(writer, {"ok": True, "stopping": True})
+            self.request_stop()
+
+    # ------------------------------------------------------------------
+    # /submit
+    # ------------------------------------------------------------------
+    def _register(self, entry: JobEntry) -> None:
+        self._jobs[entry.fingerprint] = entry
+        self._jobs.move_to_end(entry.fingerprint)
+        if len(self._jobs) <= self.settings.registry_limit:
+            return
+        for fingerprint in list(self._jobs):
+            if len(self._jobs) <= self.settings.registry_limit:
+                break
+            candidate = self._jobs[fingerprint]
+            if candidate.terminal:
+                del self._jobs[fingerprint]
+
+    def _cache_lookup(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
+        """Worker-thread cache probe -> serialised result dict."""
+        assert self.cache is not None
+        result = self.cache.load(spec)
+        return None if result is None else result.to_dict()
+
+    async def _handle_submit(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        assert request.spec is not None
+        try:
+            spec = JobSpec.from_dict(dict(request.spec))
+            fingerprint = spec.fingerprint()
+        except Exception as exc:  # malformed spec: a client error
+            await self._send(
+                writer,
+                error_payload(f"bad spec: {type(exc).__name__}: {exc}"),
+            )
+            return
+        self.metrics.submitted += 1
+
+        prior = self._jobs.get(fingerprint)
+        if prior is not None and not prior.terminal:
+            # Single-flight: attach to the in-flight entry.
+            entry = prior
+            entry.submits += 1
+            self.metrics.deduped += 1
+        else:
+            entry = JobEntry(spec, fingerprint)
+            self._register(entry)
+            entry.add_event({"event": "status", "status": JOB_QUEUED})
+            record: Optional[Dict[str, Any]] = None
+            source = ""
+            if self.cache is not None:
+                probe_start = time.perf_counter()
+                record = await asyncio.to_thread(self._cache_lookup, spec)
+                if record is not None:
+                    self.metrics.record_hitpath(
+                        (time.perf_counter() - probe_start) * 1000.0
+                    )
+                    source = SOURCE_CACHE_DISK
+            if (
+                record is None
+                and prior is not None
+                and prior.status == JOB_DONE
+                and prior.result_record is not None
+            ):
+                record = prior.result_record
+                source = SOURCE_REGISTRY
+                self.metrics.registry_hits += 1
+            if record is not None:
+                self.metrics.cache_served += 1
+                entry.complete(record, source)
+            else:
+                self._queue.put_nowait(entry)
+
+        if request.wait and not entry.terminal:
+            await entry.done.wait()
+        await self._send(
+            writer, self._status_payload(entry, request.include_result)
+        )
+
+    # ------------------------------------------------------------------
+    # /status
+    # ------------------------------------------------------------------
+    async def _handle_status(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        assert request.job_id is not None
+        entry = self._jobs.get(request.job_id)
+        if entry is None:
+            await self._send(
+                writer,
+                error_payload(
+                    f"unknown job {request.job_id!r}", job_id=request.job_id
+                ),
+            )
+            return
+        if not request.follow:
+            await self._send(
+                writer, self._status_payload(entry, request.include_result)
+            )
+            return
+        seen = 0
+        while True:
+            signal = entry.signal()
+            while seen < len(entry.events):
+                event = dict(entry.events[seen])
+                event.update({"ok": True, "job_id": entry.fingerprint})
+                await self._send(writer, event)
+                seen += 1
+            if entry.terminal:
+                final = self._status_payload(entry, request.include_result)
+                final["final"] = True
+                await self._send(writer, final)
+                return
+            await signal.wait()
+
+    # ------------------------------------------------------------------
+    # Payloads
+    # ------------------------------------------------------------------
+    def _status_payload(
+        self, entry: JobEntry, include_result: bool
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "job_id": entry.fingerprint,
+            "label": entry.spec.describe(),
+            "status": entry.status,
+            "source": entry.source,
+            "submits": entry.submits,
+            "attempts": entry.attempts,
+            "wall_seconds": entry.wall_seconds,
+            "phases": list(entry.phases),
+            "error": entry.error,
+        }
+        if entry.source == SOURCE_EXECUTED:
+            payload["cache"] = "miss"
+        elif entry.source in (SOURCE_CACHE_DISK, SOURCE_REGISTRY):
+            payload["cache"] = "hit"
+        else:
+            payload["cache"] = None
+        record = entry.result_record
+        if record is not None:
+            stats = record.get("stats")
+            payload["result_summary"] = {
+                "accelerator": record.get("accelerator"),
+                "dataset": record.get("dataset"),
+                "cycles": stats.get("cycles") if isinstance(stats, dict) else None,
+            }
+            if include_result:
+                payload["result"] = record
+        return payload
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_depth": self._queue.qsize(),
+            "in_flight": self._in_flight,
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        m = self.metrics
+        cache_stats: Dict[str, Any] = {}
+        if self.cache is not None:
+            cache_stats = dict(self.cache.stats())
+            cache_stats["hit_rate"] = round(self.cache.hit_rate, 4)
+        return {
+            "ok": True,
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_depth": self._queue.qsize(),
+            "in_flight": self._in_flight,
+            "registry_size": len(self._jobs),
+            "jobs": {
+                "submitted": m.submitted,
+                "deduped": m.deduped,
+                "cache_served": m.cache_served,
+                "registry_hits": m.registry_hits,
+                "executed": m.executed,
+                "failed": m.failed,
+                "batches": m.batches,
+            },
+            "cache": cache_stats,
+            "hitpath_ms": {
+                "count": len(m.hitpath_ms),
+                **{
+                    key: round(value, 4)
+                    for key, value in percentiles(list(m.hitpath_ms)).items()
+                },
+            },
+            "workers": {
+                "pool_jobs": self.settings.workers,
+                "max_batch": self.settings.max_batch,
+                "timeouts": m.timeouts,
+                "retries": m.retries,
+                "peak_rss_kb": m.peak_rss_kb,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch: queue -> SweepExecutor batches
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.settings.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._in_flight = len(batch)
+            for entry in batch:
+                entry.set_status(JOB_RUNNING)
+            try:
+                sweep = await asyncio.to_thread(self._run_batch, batch, loop)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # executor blew up: fail the batch
+                for entry in batch:
+                    entry.fail(f"{type(exc).__name__}: {exc}")
+                self.metrics.failed += len(batch)
+            else:
+                self._apply_sweep(batch, sweep)
+            finally:
+                self._in_flight = 0
+
+    def _run_batch(
+        self, batch: List[JobEntry], loop: asyncio.AbstractEventLoop
+    ) -> SweepResult:
+        """Worker thread: one SweepExecutor invocation for the batch."""
+        settings = self.settings
+        n_jobs = min(settings.workers, len(batch))
+        if self._runner is not None:
+            executor = self._executor_factory(
+                n_jobs=1,
+                cache=self.cache,
+                retries=settings.retries,
+                runner=self._runner,
+            )
+        elif n_jobs <= 1:
+            by_fingerprint = {entry.fingerprint: entry for entry in batch}
+
+            def traced_runner(spec: JobSpec) -> Dict[str, object]:
+                from repro.runtime.execute import execute_spec
+
+                entry = by_fingerprint[spec.fingerprint()]
+
+                def on_phase(
+                    name: str, end_cycle: float, args: Dict[str, Any]
+                ) -> None:
+                    try:
+                        loop.call_soon_threadsafe(
+                            entry.add_phase, name, end_cycle, args
+                        )
+                    except RuntimeError:
+                        pass  # loop shutting down: drop progress, keep the run
+
+                feed = PhaseFeed(on_phase)
+                return execute_spec(spec, tracer=feed).to_dict()
+
+            executor = self._executor_factory(
+                n_jobs=1,
+                cache=self.cache,
+                retries=settings.retries,
+                runner=traced_runner,
+            )
+        else:
+            executor = self._executor_factory(
+                n_jobs=n_jobs,
+                cache=self.cache,
+                retries=settings.retries,
+                timeout=settings.timeout,
+            )
+        return executor.run([entry.spec for entry in batch])
+
+    def _apply_sweep(self, batch: List[JobEntry], sweep: SweepResult) -> None:
+        records = {
+            rec.fingerprint: rec for rec in sweep.manifest.records
+        }
+        for entry in batch:
+            result = sweep.results.get(entry.fingerprint)
+            rec = records.get(entry.fingerprint)
+            attempts = rec.attempts if rec is not None else 0
+            wall = rec.wall_seconds if rec is not None else 0.0
+            if isinstance(result, RunResult):
+                source = (
+                    SOURCE_CACHE_DISK
+                    if rec is not None and rec.worker == "cache"
+                    else SOURCE_EXECUTED
+                )
+                entry.complete(result.to_dict(), source, attempts, wall)
+            else:
+                error = rec.error if rec is not None else None
+                if rec is not None and rec.status == STATUS_FAILED:
+                    entry.fail(error or "job failed", attempts, wall)
+                else:
+                    entry.fail(error or "job produced no result", attempts, wall)
+        self.metrics.merge_manifest(sweep.manifest)
+
+
+class ServerThread:
+    """A sweep server on a daemon thread (tests, self-hosted bench).
+
+    Runs the server's event loop off the caller's thread and hands back
+    the bound ``(host, port)`` once accepting::
+
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                client.submit(spec_dict)
+
+    Exit (or :meth:`stop`) requests a clean shutdown through the
+    server's own loop and joins the thread.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        settings: Optional[ServeSettings] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        runner: Optional[Callable[[JobSpec], object]] = None,
+        executor_factory: Optional[ExecutorFactory] = None,
+    ) -> None:
+        import threading
+
+        self.server = SweepServer(
+            cache=cache,
+            settings=settings,
+            runner=runner,
+            executor_factory=executor_factory,
+        )
+        self.host = host
+        self.port = port
+        self._want_host, self._want_port = host, port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                self.host, self.port = await self.server.start(
+                    self._want_host, self._want_port
+                )
+            finally:
+                self._ready.set()
+            await self.server.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surface bind errors to start()
+            self._error = exc
+            self._ready.set()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server thread did not come up")
+        if self._error is not None:
+            raise RuntimeError("server thread failed") from self._error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

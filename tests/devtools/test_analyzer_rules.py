@@ -19,6 +19,7 @@ from repro.devtools.analyzer.rules.config_hygiene import ConfigHygieneRule
 from repro.devtools.analyzer.rules.determinism import DeterminismRule
 from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
 from repro.devtools.analyzer.rules.obs_hygiene import ObsHygieneRule
+from repro.devtools.analyzer.rules.serve_hygiene import ServeHygieneRule
 from repro.devtools.analyzer.rules.stats_conservation import StatsConservationRule
 from repro.devtools.analyzer.rules.wire_schema import (
     WireSchemaRule,
@@ -388,6 +389,58 @@ class TestObsHygieneRule:
         messages = " | ".join(f.message for f in findings)
         assert "enabled" in messages
         assert "Tracer API" in messages
+
+    def test_severity_is_error(self, findings):
+        assert {f.severity for f in findings} == {"error"}
+
+
+# ----------------------------------------------------------------------
+# serve-hygiene
+# ----------------------------------------------------------------------
+class TestServeHygieneRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture("serve_violations.py", "repro.serve.fixture")
+        return run_rules(project, [ServeHygieneRule()])
+
+    def test_every_finding_location(self, findings):
+        expected = {
+            line_of("serve_violations.py", "time.sleep(0.1)  # VIOLATION"),
+            line_of("serve_violations.py", "nap(0.1)"),
+            line_of("serve_violations.py", "with open(path) as fh:  # VIOLATION"),
+            line_of("serve_violations.py", "doc = json.load(fh)"),
+            line_of("serve_violations.py", 'subprocess.run(["true"])'),
+            line_of("serve_violations.py", "os.replace(path, path)"),
+            line_of("serve_violations.py", "Path(path).read_text()"),
+        }
+        assert by_line(findings) == expected
+        assert all(f.rule == "serve-hygiene" for f in findings)
+
+    def test_async_safe_and_nested_sync_allowed(self, findings):
+        allowed = {
+            line_of("serve_violations.py", "await asyncio.sleep(0.1)"),
+            line_of("serve_violations.py", 'json.dumps({"ok": True})'),
+            line_of("serve_violations.py", "time.sleep(0.1)", occurrence=2),
+            line_of("serve_violations.py", "with open(path) as fh:", occurrence=2),
+        }
+        assert not (by_line(findings) & allowed)
+
+    def test_module_level_sync_function_exempt(self, findings):
+        exempt = {
+            line_of("serve_violations.py", "time.sleep(0.0)"),
+            line_of("serve_violations.py", "with open(path) as fh:", occurrence=3),
+        }
+        assert not (by_line(findings) & exempt)
+
+    def test_out_of_scope_module_is_clean(self):
+        project = load_fixture("serve_violations.py", "repro.runtime.fixture")
+        assert run_rules(project, [ServeHygieneRule()]) == []
+
+    def test_messages_name_the_fix(self, findings):
+        messages = " | ".join(f.message for f in findings)
+        assert "asyncio.sleep" in messages
+        assert "asyncio.to_thread" in messages
+        assert "worker thread" in messages
 
     def test_severity_is_error(self, findings):
         assert {f.severity for f in findings} == {"error"}

@@ -1,0 +1,69 @@
+"""Report helpers: PhaseFeed forwarding and manifest cache
+effectiveness."""
+
+from repro.obs import NULL_TRACER, PhaseFeed
+from repro.obs.report import manifest_cache_effectiveness, manifest_report
+from repro.runtime import JobSpec, execute_spec
+
+
+class TestPhaseFeed:
+    def test_forwards_phase_events_only(self):
+        seen = []
+        feed = PhaseFeed(lambda name, end, args: seen.append((name, end, args)))
+        feed.span("layer0", 0, 10, cat="phase", args={"cycles": 10})
+        feed.span("batch", 0, 10, cat="engine", args={"cycles": 10})
+        feed.instant("drain", 12, cat="phase", args={"cycles": 2})
+        feed.instant("prepare", 0, cat="phase")  # no counters: dropped
+        feed.counter("occupancy", 5, {"a": 1})
+        assert [name for name, _, _ in seen] == ["layer0", "drain"]
+        assert seen[0][1] == 10.0
+        assert seen[1][2] == {"cycles": 2}
+
+    def test_is_an_enabled_tracer(self):
+        feed = PhaseFeed(lambda *a: None)
+        assert feed.enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_live_feed_matches_result_snapshots(self):
+        spec = JobSpec(dataset="cora", kind="rwp", scale=0.05)
+        rows = []
+        feed = PhaseFeed(lambda name, end, args: rows.append((name, args)))
+        result = execute_spec(spec, tracer=feed)
+        assert [name for name, _ in rows] == list(result.phase_snapshots)
+        fed_total = sum(args["cycles"] for _, args in rows)
+        assert fed_total == result.stats.cycles
+
+
+class TestManifestCacheEffectiveness:
+    def test_prefers_recorded_aggregates(self):
+        doc = {"jobs": [], "cache_hits": 7, "cache_misses": 3}
+        assert manifest_cache_effectiveness(doc) == {
+            "hits": 7, "misses": 3, "hit_rate": 0.7,
+        }
+
+    def test_falls_back_to_counting_statuses(self):
+        doc = {
+            "jobs": [
+                {"status": "cache-hit"},
+                {"status": "cache-hit"},
+                {"status": "done"},
+                {"status": "failed"},
+            ]
+        }
+        assert manifest_cache_effectiveness(doc) == {
+            "hits": 2, "misses": 2, "hit_rate": 0.5,
+        }
+
+    def test_empty_manifest(self):
+        assert manifest_cache_effectiveness({"jobs": []}) == {
+            "hits": 0, "misses": 0, "hit_rate": 0.0,
+        }
+
+    def test_report_prints_cache_line(self):
+        doc = {
+            "jobs": [{"label": "a", "status": "cache-hit"}],
+            "cache_hits": 1,
+            "cache_misses": 0,
+        }
+        text = manifest_report(doc)
+        assert "cache: 1 hit, 0 misses (100% hit rate)" in text

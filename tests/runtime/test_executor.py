@@ -214,6 +214,8 @@ class TestTelemetry:
         assert payload["retries"] == 0
         assert payload["peak_rss_kb"] == sweep.manifest.peak_rss_kb
         assert "summary" in payload
+        assert payload["cache_hits"] == 0
+        assert payload["cache_misses"] == 1
         job = payload["jobs"][0]
         assert job["max_rss_kb"] == sweep.manifest.records[0].max_rss_kb
         assert job["timed_out"] is False

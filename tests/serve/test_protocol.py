@@ -1,0 +1,107 @@
+"""Wire protocol: encode/decode, request parsing, path routing."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    ProtocolError,
+    Request,
+    decode,
+    encode,
+    error_payload,
+    parse_request,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        payload = {"op": "submit", "spec": {"dataset": "cora"}, "wait": True}
+        assert decode(encode(payload)) == payload
+
+    def test_encode_is_byte_deterministic(self):
+        a = encode({"b": 1, "a": {"y": 2, "x": 3}})
+        b = encode({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+
+class TestParseRequest:
+    def test_submit_requires_spec(self):
+        with pytest.raises(ProtocolError, match="spec"):
+            parse_request({"op": "submit"})
+
+    def test_status_requires_job_id(self):
+        with pytest.raises(ProtocolError, match="job_id"):
+            parse_request({"op": "status"})
+
+    def test_unknown_op_lists_the_vocabulary(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"op": "frobnicate"})
+        for op in OPS:
+            assert op in str(err.value)
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError, match="op"):
+            parse_request({"spec": {}})
+
+    def test_defaults(self):
+        req = parse_request({"op": "submit", "spec": {"dataset": "cora"}})
+        assert req == Request(
+            op="submit", spec={"dataset": "cora"}, wait=True,
+            include_result=False, follow=False,
+        )
+
+    def test_flags(self):
+        req = parse_request(
+            {
+                "op": "submit", "spec": {}, "wait": False,
+                "include_result": True,
+            }
+        )
+        assert not req.wait
+        assert req.include_result
+
+
+class TestPathForm:
+    def test_status_path_carries_job_id(self):
+        req = parse_request({"path": "/status/abc123"})
+        assert req.op == "status"
+        assert req.job_id == "abc123"
+
+    def test_healthz_path(self):
+        assert parse_request({"path": "/healthz"}).op == "healthz"
+
+    def test_metrics_path(self):
+        assert parse_request({"path": "/metrics"}).op == "metrics"
+
+    def test_slash_prefixed_op_accepted(self):
+        assert parse_request({"op": "/healthz"}).op == "healthz"
+
+    def test_unroutable_path(self):
+        with pytest.raises(ProtocolError, match="unroutable"):
+            parse_request({"path": "/submit/extra"})
+
+    def test_empty_path(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            parse_request({"path": "///"})
+
+    def test_non_string_path(self):
+        with pytest.raises(ProtocolError, match="string"):
+            parse_request({"path": 7})
+
+
+class TestErrorPayload:
+    def test_shape(self):
+        payload = error_payload("boom", job_id="j1")
+        assert payload == {"ok": False, "error": "boom", "job_id": "j1"}
+        assert json.loads(encode(payload))["ok"] is False

@@ -1,0 +1,362 @@
+"""The sweep server end to end: cold/warm submits, single-flight
+dedup, live status streams, metrics, failure paths.
+
+Real-simulation coverage uses the smallest registry workload
+(``cora`` at scale 0.05); concurrency mechanics use a blockable stub
+runner injected through the server's ``runner`` seam so the tests
+control exactly when an "execution" finishes.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench.runner import job_spec
+from repro.runtime import JobSpec, ShardedResultCache, execute_spec
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import encode
+from repro.serve.server import (
+    ServeSettings,
+    ServerThread,
+    SweepServer,
+    percentiles,
+    phase_rows_from_record,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return JobSpec(dataset="cora", kind="rwp", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return execute_spec(spec)
+
+
+def wait_until(predicate, timeout=20.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Cold / warm, byte identity
+# ----------------------------------------------------------------------
+class TestColdWarm:
+    def test_cold_executes_then_warm_hits_cache(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                cold = client.submit(spec.to_dict(), include_result=True)
+                assert cold["status"] == "done"
+                assert cold["source"] == "executed"
+                assert cold["cache"] == "miss"
+                assert cold["phases"], "live phase progress missing"
+                warm = client.submit(spec.to_dict(), include_result=True)
+                assert warm["status"] == "done"
+                assert warm["source"] == "cache-disk"
+                assert warm["cache"] == "hit"
+                # The served result is byte-identical either way.
+                assert encode({"r": cold["result"]}) == encode(
+                    {"r": warm["result"]}
+                )
+                metrics = client.metrics()
+                assert metrics["jobs"]["executed"] == 1
+                assert metrics["jobs"]["cache_served"] == 1
+                assert metrics["hitpath_ms"]["count"] == 1
+        # The record landed in the sharded layout on disk.
+        fp = spec.fingerprint()
+        assert (tmp_path / fp[:2] / fp[2:4] / f"{fp}.json").exists()
+
+    def test_warm_phases_rebuilt_from_snapshots(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                cold = client.submit(spec.to_dict())
+                warm = client.submit(spec.to_dict())
+        cold_names = [row["phase"] for row in cold["phases"]]
+        warm_names = [row["phase"] for row in warm["phases"]]
+        assert warm_names == cold_names
+        for c, w in zip(cold["phases"], warm["phases"]):
+            assert c["cycles"] == w["cycles"]
+
+    def test_no_wait_returns_queued_ack(self, tmp_path, spec, result):
+        release = threading.Event()
+
+        def runner(s):
+            release.wait(timeout=30)
+            return result.to_dict()
+
+        with ServerThread(runner=runner) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                ack = client.submit(spec.to_dict(), wait=False)
+                assert ack["status"] in ("queued", "running")
+                job_id = ack["job_id"]
+                release.set()
+                assert wait_until(
+                    lambda: client.status(job_id)["status"] == "done"
+                )
+
+
+# ----------------------------------------------------------------------
+# Single-flight dedup
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    N = 5
+
+    def _submit_many(self, srv, specs):
+        """Submit each spec from its own connection thread; returns the
+        responses in submission order."""
+        responses = [None] * len(specs)
+        errors = []
+
+        def worker(i, spec_dict):
+            try:
+                with ServeClient(srv.host, srv.port) as client:
+                    responses[i] = client.submit(spec_dict, include_result=True)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, s))
+            for i, s in enumerate(specs)
+        ]
+        for t in threads:
+            t.start()
+        return threads, responses, errors
+
+    def test_concurrent_identical_submits_execute_once(self, spec, result):
+        calls = []
+        release = threading.Event()
+
+        def runner(s):
+            calls.append(s.fingerprint())
+            release.wait(timeout=30)
+            return result.to_dict()
+
+        with ServerThread(runner=runner) as srv:
+            threads, responses, errors = self._submit_many(
+                srv, [spec.to_dict()] * self.N
+            )
+            with ServeClient(srv.host, srv.port) as probe:
+                # All N submissions in flight before the one execution
+                # finishes.
+                assert wait_until(
+                    lambda: probe.metrics()["jobs"]["submitted"] == self.N
+                )
+                release.set()
+                for t in threads:
+                    t.join(timeout=30)
+                assert not errors
+                metrics = probe.metrics()
+        assert len(calls) == 1, "single-flight must collapse to one execution"
+        assert metrics["jobs"]["deduped"] == self.N - 1
+        assert all(r is not None for r in responses)
+        assert {r["status"] for r in responses} == {"done"}
+        assert {r["source"] for r in responses} == {"executed"}
+        assert {r["submits"] for r in responses} == {self.N}
+        # Every caller got the identical answer, byte for byte.
+        payloads = {encode({"r": r["result"]}) for r in responses}
+        assert len(payloads) == 1
+
+    def test_distinct_specs_are_not_collapsed(self, spec, result):
+        calls = []
+        release = threading.Event()
+
+        def runner(s):
+            calls.append(s.fingerprint())
+            release.wait(timeout=30)
+            return result.to_dict()
+
+        other = JobSpec(dataset="cora", kind="rwp", scale=0.05, seed=1)
+        with ServerThread(runner=runner) as srv:
+            threads, responses, errors = self._submit_many(
+                srv, [spec.to_dict(), other.to_dict()]
+            )
+            with ServeClient(srv.host, srv.port) as probe:
+                assert wait_until(
+                    lambda: probe.metrics()["jobs"]["submitted"] == 2
+                )
+                release.set()
+                for t in threads:
+                    t.join(timeout=30)
+        assert not errors
+        assert sorted(calls) == sorted(
+            [spec.fingerprint(), other.fingerprint()]
+        )
+        assert {r["job_id"] for r in responses} == {
+            spec.fingerprint(), other.fingerprint(),
+        }
+
+    def test_terminal_entry_stops_absorbing(self, spec, result):
+        """After a job completes, a re-submit is a fresh lookup (served
+        from the registry on a cache-less server), not a dedup join."""
+        def runner(s):
+            return result.to_dict()
+
+        with ServerThread(runner=runner) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                first = client.submit(spec.to_dict())
+                assert first["source"] == "executed"
+                again = client.submit(spec.to_dict())
+                assert again["source"] == "registry"
+                assert again["cache"] == "hit"
+                metrics = client.metrics()
+        assert metrics["jobs"]["deduped"] == 0
+        assert metrics["jobs"]["registry_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Status and follow streams
+# ----------------------------------------------------------------------
+class TestStatus:
+    def test_unknown_job_is_an_error(self):
+        with ServerThread() as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                with pytest.raises(ServeError, match="unknown job"):
+                    client.status("no-such-fingerprint")
+
+    def test_follow_streams_lifecycle_then_final(self, spec, result):
+        release = threading.Event()
+
+        def runner(s):
+            release.wait(timeout=30)
+            return result.to_dict()
+
+        with ServerThread(runner=runner) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                ack = client.submit(spec.to_dict(), wait=False)
+                events = []
+                done = threading.Event()
+
+                def follow():
+                    with ServeClient(srv.host, srv.port) as follower:
+                        for event in follower.follow(ack["job_id"]):
+                            events.append(event)
+                    done.set()
+
+                t = threading.Thread(target=follow)
+                t.start()
+                release.set()
+                assert done.wait(timeout=30)
+                t.join(timeout=10)
+        statuses = [
+            e["status"] for e in events if e.get("event") == "status"
+        ]
+        assert statuses[0] == "queued"
+        assert "done" in statuses
+        assert events[-1]["final"] is True
+        assert events[-1]["status"] == "done"
+
+    def test_follow_terminal_job_replays_and_ends(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                submitted = client.submit(spec.to_dict())
+                events = list(client.follow(submitted["job_id"]))
+        assert events[-1]["final"] is True
+        phase_events = [e for e in events if e.get("event") == "phase"]
+        assert phase_events, "replay must include the phase progress"
+
+
+# ----------------------------------------------------------------------
+# Failures, health, metrics
+# ----------------------------------------------------------------------
+class TestFailureAndOps:
+    def test_failing_job_reports_error(self, spec):
+        def runner(s):
+            raise RuntimeError("synthetic worker failure")
+
+        with ServerThread(
+            runner=runner, settings=ServeSettings(retries=0)
+        ) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                response = client.submit(spec.to_dict())
+                assert response["status"] == "failed"
+                assert "synthetic worker failure" in response["error"]
+                metrics = client.metrics()
+        assert metrics["jobs"]["failed"] == 1
+
+    def test_healthz(self):
+        with ServerThread() as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["protocol"] == 1
+        assert health["queue_depth"] == 0
+
+    def test_metrics_shape(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                client.submit(spec.to_dict())
+                client.submit(spec.to_dict())
+                metrics = client.metrics()
+        assert metrics["jobs"]["submitted"] == 2
+        assert metrics["cache"]["hit_rate"] > 0
+        assert metrics["workers"]["pool_jobs"] == 1
+        assert "p50" in metrics["hitpath_ms"]
+        assert metrics["workers"]["peak_rss_kb"] is not None
+
+    def test_bad_request_line_answered_not_fatal(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                client._sock.sendall(b"this is not json\n")
+                error = json.loads(client._rfile.readline())
+                assert error["ok"] is False
+                # The connection survives and still serves.
+                assert client.healthz()["status"] == "ok"
+
+    def test_malformed_spec_is_client_error(self):
+        with ServerThread() as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                with pytest.raises(ServeError, match="bad spec"):
+                    client.submit({"dataset": "cora", "kind": "no-such-kind"})
+
+    def test_shutdown_op_stops_server(self):
+        srv = ServerThread().start()
+        with ServeClient(srv.host, srv.port) as client:
+            assert client.shutdown()["stopping"] is True
+        srv._thread.join(timeout=10)
+        assert not srv._thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+class TestHelpers:
+    def test_percentiles_empty(self):
+        assert percentiles([]) == {}
+
+    def test_percentiles_ranked(self):
+        stats = percentiles([float(i) for i in range(1, 101)])
+        assert stats["p50"] == 50.0
+        assert stats["p90"] == 90.0
+        assert stats["p99"] == 99.0
+        assert stats["max"] == 100.0
+
+    def test_phase_rows_from_record_sums_dict_counters(self, result):
+        rows = phase_rows_from_record(result.to_dict())
+        assert rows
+        total = sum(row["cycles"] for row in rows)
+        assert total == result.stats.cycles
+        assert rows[-1]["end_cycle"] == float(total)
+        for row in rows:
+            assert isinstance(row["dram_read_bytes"], int)
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ServeSettings(workers=0)
+        with pytest.raises(ValueError):
+            ServeSettings(max_batch=0)
+
+    def test_server_rejects_unroutable_gracefully(self):
+        server = SweepServer()
+        assert server.metrics.submitted == 0
