@@ -17,7 +17,13 @@ run() {
     "$@" || failed=1
 }
 
-run python -m repro.devtools.analyzer src/ --strict
+# One analyzer invocation covers every rule: the CLI parses src/ into
+# a single Project, and the interprocedural layer (call graph + effect
+# table) is memoised on it, so intraprocedural and call-graph rules
+# share one parse pass.  The time budget keeps that property honest --
+# if analysis regresses past 3s the dev loop gate fails loudly instead
+# of quietly slowing every commit.
+run python -m repro.devtools.analyzer src/ --strict --time-budget 3
 
 if [ "${1:-}" = "fast" ]; then
     exit "$failed"

@@ -18,6 +18,12 @@ def dotted_name(node: ast.AST) -> Optional[str]:
     return None
 
 
+#: import_aliases memo: id(tree) -> (tree, aliases).  The tree is kept
+#: in the value so a garbage-collected tree's id can never alias a new
+#: one; trees live as long as their Project, which is the analyzer run.
+_ALIAS_CACHE: Dict[int, Tuple[ast.Module, Dict[str, str]]] = {}
+
+
 def import_aliases(tree: ast.Module) -> Dict[str, str]:
     """local name -> fully qualified name, from top-level imports.
 
@@ -25,7 +31,14 @@ def import_aliases(tree: ast.Module) -> Dict[str, str]:
     import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
     Only module-level imports are scanned -- function-local imports are
     resolved by a per-function pass in the rules that care.
+
+    Memoised per tree: the interprocedural layer resolves names for
+    every function in a module, and rewalking the whole module each
+    time turned the analyzer quadratic.
     """
+    cached = _ALIAS_CACHE.get(id(tree))
+    if cached is not None and cached[0] is tree:
+        return cached[1]
     aliases: Dict[str, str] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
@@ -40,6 +53,7 @@ def import_aliases(tree: ast.Module) -> Dict[str, str]:
                 continue
             for alias in node.names:
                 aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    _ALIAS_CACHE[id(tree)] = (tree, aliases)
     return aliases
 
 

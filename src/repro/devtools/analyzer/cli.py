@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -41,8 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyse (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text); `github` emits workflow "
+             "command annotations (::error file=...) that land on the "
+             "PR diff",
     )
     parser.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -64,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict", action="store_true",
         help="treat warnings as failures too",
+    )
+    parser.add_argument(
+        "--time-budget", metavar="SECONDS", type=float, default=None,
+        help="fail (exit 1) if parsing + analysis exceeds this wall "
+             "time -- keeps the interprocedural pass honest in the "
+             "dev loop",
     )
     return parser
 
@@ -117,6 +126,50 @@ def _render_json(
     out.write("\n")
 
 
+def _escape_github(value: str) -> str:
+    """Workflow-command data escaping (the `::error ...::` protocol)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def _render_github(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    out,
+) -> None:
+    """GitHub Actions annotations: one workflow command per finding.
+
+    Runners cap annotations (10 per step shown inline), but every one
+    is still recorded in the check run; the trailing plain-text summary
+    keeps the log readable either way.
+    """
+    for f in findings:
+        level = "error" if f.severity == "error" else "warning"
+        print(
+            f"::{level} file={_escape_github(f.path)},line={f.line},"
+            f"col={f.col},title=analyzer {f.rule}::"
+            f"{_escape_github(f.message)}",
+            file=out,
+        )
+    for key in stale:
+        print(
+            "::warning title=analyzer baseline::stale baseline entry "
+            f"(no longer fires, delete it): {_escape_github(key)}",
+            file=out,
+        )
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(
+        f"{len(findings)} finding(s): {errors} error(s), {warnings} "
+        f"warning(s); {len(baselined)} baselined",
+        file=out,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -146,13 +199,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    started = time.perf_counter()
     project = Project.load(paths, root=Path.cwd())
     for path, message in project.parse_errors:
         print(f"error: cannot parse {path}: {message}", file=sys.stderr)
     if project.parse_errors:
         return 2
 
-    findings = run_rules(project, rules)
+    # Stale-suppression reporting only makes sense for a full run: with
+    # a --rules subset, unexecuted rules' suppressions would all look
+    # unused.  --write-baseline snapshots real findings only.
+    findings = run_rules(
+        project,
+        rules,
+        report_stale_suppressions=only is None and not args.write_baseline,
+    )
+    elapsed = time.perf_counter() - started
 
     baseline_path = Path(
         args.baseline if args.baseline is not None else ".analyzer-baseline.json"
@@ -178,8 +240,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     out = sys.stdout
     if args.format == "json":
         _render_json(new, baselined, stale, out)
+    elif args.format == "github":
+        _render_github(new, baselined, stale, out)
     else:
         _render_text(new, baselined, stale, out)
+
+    if args.time_budget is not None and elapsed > args.time_budget:
+        print(
+            f"error: analysis took {elapsed:.2f}s, over the "
+            f"--time-budget of {args.time_budget:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
 
     failing = [
         f for f in new if f.severity == "error" or args.strict

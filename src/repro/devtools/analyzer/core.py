@@ -22,8 +22,10 @@ Suppression has two layers:
 from __future__ import annotations
 
 import ast
+import io
 import re
 import sys
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
@@ -82,10 +84,22 @@ class SourceModule:
         source = path.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
         allowed: Dict[int, frozenset] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            match = _ALLOW_RE.search(text)
+        # Only genuine COMMENT tokens count: a docstring that *mentions*
+        # the `# analyzer: allow[...]` syntax must neither suppress nor
+        # be reported as a stale suppression.
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
             if match is None:
                 continue
+            lineno = tok.start[0]
             names = match.group(1)
             if names is None:
                 allowed[lineno] = frozenset({"*"})
@@ -301,15 +315,60 @@ def make_rules(
     return rules
 
 
-def run_rules(project: Project, rules: Sequence[Rule]) -> List[Finding]:
-    """Run every rule; inline-suppressed findings are dropped here."""
+#: Pseudo-rule name for stale-inline-suppression warnings.
+STALE_SUPPRESSION = "stale-suppression"
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    report_stale_suppressions: bool = False,
+) -> List[Finding]:
+    """Run every rule; inline-suppressed findings are dropped here.
+
+    With ``report_stale_suppressions``, an ``# analyzer: allow[...]``
+    comment that suppressed nothing in this run becomes a warning
+    finding (rule :data:`STALE_SUPPRESSION`) -- baseline entries
+    already report their staleness, and inline comments rot the same
+    way.  Off by default: a partial run (``--rules determinism``, a
+    narrowed scope) makes every other suppression look unused.
+    """
     findings: List[Finding] = []
     path_to_mod = {project.display_path(m.path): m for m in project.modules}
+    used: Dict[Tuple[str, int], bool] = {}
     for rule in rules:
         for finding in rule.run(project):
             mod = path_to_mod.get(finding.path)
             if mod is not None and mod.is_allowed(finding.rule, finding.line):
+                used[(finding.path, finding.line)] = True
                 continue
             findings.append(finding)
+    if report_stale_suppressions:
+        rule_names = {rule.name for rule in rules}
+        for mod in project.modules:
+            path = project.display_path(mod.path)
+            for line, allowed in sorted(mod.allowed.items()):
+                if used.get((path, line)):
+                    continue
+                names = sorted(allowed)
+                # A suppression naming only rules outside this run may
+                # be live for a rule that didn't execute: not stale.
+                if "*" not in allowed and not (allowed & rule_names):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=STALE_SUPPRESSION,
+                        severity="warning",
+                        path=path,
+                        line=line,
+                        col=1,
+                        message=(
+                            "stale suppression `# analyzer: "
+                            f"allow[{', '.join(names)}]`: no finding on "
+                            "this line needed it; delete the comment"
+                        ),
+                        symbol=f"line:{line}",
+                    )
+                )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

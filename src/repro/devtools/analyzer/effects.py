@@ -1,0 +1,444 @@
+"""Per-function effect inference over the call graph.
+
+Each function gets a set drawn from a small effect lattice (the
+powerset of :data:`EFFECTS`, ordered by inclusion):
+
+=====================  =============================================
+Effect                 Meaning
+=====================  =============================================
+``blocks-io``          synchronous file/socket I/O on the calling
+                       thread (``open``, ``json.load``, ``os.replace``,
+                       ``Path.read_text``, ...)
+``sleeps``             ``time.sleep``
+``spawns-subprocess``  anything rooted at ``subprocess``, ``os.system``
+``reads-wall-clock``   absolute time reads (``time.time``,
+                       ``datetime.now``, ...)
+``ambient-entropy``    OS entropy / process-global RNG state
+                       (``os.urandom``, ``uuid.uuid4``, unseeded
+                       ``default_rng()``, legacy ``numpy.random.*``)
+``mutates-nonlocal``   stores reaching outside the local frame:
+                       ``global``/``nonlocal`` writes, attribute or
+                       subscript stores rooted at a parameter
+                       (``self`` included)
+``emits-trace``        an *unguarded* Tracer-API emission
+                       (``tracer.span(...)`` outside an
+                       ``if tracer.enabled:`` guard) -- internally
+                       guarded helpers are effect-free by design
+=====================  =============================================
+
+Direct effects come from a single AST pass per function; transitive
+effects propagate caller-ward over resolved ``call`` edges with a
+worklist fixpoint, so cycles (mutual recursion) converge instead of
+recursing.  ``thread``/``loopsafe``/``ref`` reference edges do *not*
+propagate: handing a blocking function to ``asyncio.to_thread`` is
+precisely how serve code is supposed to discharge the effect.
+
+Every transitive effect keeps a witness edge, so a rule can render the
+full call chain down to the line that actually performs the effect:
+``_handle_submit -> _probe -> ResultCache.load (open)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.analyzer.astutil import dotted_name, import_aliases
+from repro.devtools.analyzer.callgraph import (
+    KIND_CALL,
+    CallGraph,
+    FunctionInfo,
+    _analysis_cache,
+    get_callgraph,
+)
+from repro.devtools.analyzer.core import Project
+
+BLOCKS_IO = "blocks-io"
+SLEEPS = "sleeps"
+SPAWNS_SUBPROCESS = "spawns-subprocess"
+READS_WALL_CLOCK = "reads-wall-clock"
+AMBIENT_ENTROPY = "ambient-entropy"
+MUTATES_NONLOCAL = "mutates-nonlocal"
+EMITS_TRACE = "emits-trace"
+
+#: The lattice's atoms, in display order.
+EFFECTS = (
+    BLOCKS_IO,
+    SLEEPS,
+    SPAWNS_SUBPROCESS,
+    READS_WALL_CLOCK,
+    AMBIENT_ENTROPY,
+    MUTATES_NONLOCAL,
+    EMITS_TRACE,
+)
+
+#: Effects that stall an event loop when performed on its thread.
+BLOCKING_EFFECTS = frozenset({BLOCKS_IO, SLEEPS, SPAWNS_SUBPROCESS})
+#: Effects that break the determinism contract.
+NONDETERMINISM_EFFECTS = frozenset({READS_WALL_CLOCK, AMBIENT_ENTROPY})
+
+# ---------------------------------------------------------------------------
+# Stdlib blocklists (shared with the intraprocedural rules).
+# ---------------------------------------------------------------------------
+SLEEP_CALLS = {"time.sleep"}
+
+BLOCKING_IO_CALLS = {
+    "open", "io.open",
+    "json.load", "json.dump",
+    "os.replace", "os.rename", "os.remove", "os.unlink",
+    "os.makedirs", "os.mkdir",
+    "shutil.copy", "shutil.copyfile", "shutil.move", "shutil.rmtree",
+    "socket.create_connection",
+    "tempfile.mkstemp", "tempfile.NamedTemporaryFile",
+}
+
+#: Blocking convenience-I/O method names on any receiver (Path I/O).
+BLOCKING_IO_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "mkdir", "unlink", "rglob", "glob", "exists", "is_file", "is_dir",
+}
+
+SUBPROCESS_PREFIXES = ("subprocess.",)
+SUBPROCESS_CALLS = {"os.system", "os.popen"}
+
+WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+AMBIENT = {
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+    "secrets.choice",
+}
+
+#: numpy.random attributes that are *not* the legacy global-state API.
+NUMPY_RANDOM_OK = {
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+}
+
+#: Seedable generator constructors (ambient only when unseeded).
+GENERATORS = {"numpy.random.default_rng", "random.Random"}
+
+TRACER_METHODS = {"span", "instant", "counter"}
+
+
+@dataclass
+class Evidence:
+    """Where a direct effect is performed."""
+
+    target: str
+    node: ast.AST
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class FunctionEffects:
+    """Effect summary of one function."""
+
+    qname: str
+    #: effect -> first direct evidence in this function's own body.
+    direct: Dict[str, Evidence] = field(default_factory=dict)
+    #: Direct plus transitive effects.
+    all: Set[str] = field(default_factory=set)
+    #: effect -> callee qname the effect was inherited from (absent for
+    #: direct effects).
+    via: Dict[str, str] = field(default_factory=dict)
+
+    def has(self, *effects: str) -> bool:
+        return any(e in self.all for e in effects)
+
+
+class EffectTable:
+    """Effect summaries for every function in a call graph."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.by_function: Dict[str, FunctionEffects] = {}
+
+    def of(self, qname: str) -> FunctionEffects:
+        found = self.by_function.get(qname)
+        if found is None:
+            found = FunctionEffects(qname=qname)
+        return found
+
+    def chain(self, qname: str, effect: str) -> List[str]:
+        """Call chain from ``qname`` down to the direct evidence, ending
+        with the stdlib target in parentheses-free form.
+
+        ``["a", "b", "c", "time.sleep"]`` reads a -> b -> c which calls
+        ``time.sleep``.
+        """
+        links: List[str] = []
+        current: Optional[str] = qname
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            links.append(current)
+            fx = self.by_function.get(current)
+            if fx is None:
+                break
+            if effect in fx.direct:
+                links.append(fx.direct[effect].target)
+                break
+            current = fx.via.get(effect)
+        return links
+
+    def render_chain(self, qname: str, effect: str) -> str:
+        graph = self.graph
+        parts: List[str] = []
+        for link in self.chain(qname, effect):
+            info = graph.functions.get(link)
+            if info is not None:
+                cls = f"{info.class_name}." if info.class_name else ""
+                parts.append(f"{cls}{info.name}")
+            else:
+                parts.append(link)
+        return " -> ".join(parts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: CallGraph) -> "EffectTable":
+        table = cls(graph)
+        for qname, info in graph.functions.items():
+            fx = FunctionEffects(qname=qname)
+            for effect, evidence in _direct_effects(info):
+                fx.direct.setdefault(effect, evidence)
+            fx.all = set(fx.direct)
+            table.by_function[qname] = fx
+
+        # Caller-ward fixpoint over resolved call edges.
+        worklist = [q for q, fx in table.by_function.items() if fx.all]
+        while worklist:
+            callee = worklist.pop()
+            callee_fx = table.by_function[callee]
+            for caller in graph.callers.get(callee, ()):
+                caller_fx = table.by_function.get(caller)
+                if caller_fx is None:
+                    continue
+                if not _has_call_edge(graph, caller, callee):
+                    continue
+                added = False
+                for effect in callee_fx.all:
+                    if effect not in caller_fx.all:
+                        caller_fx.all.add(effect)
+                        caller_fx.via[effect] = callee
+                        added = True
+                if added:
+                    worklist.append(caller)
+        return table
+
+
+def _has_call_edge(graph: CallGraph, caller: str, callee: str) -> bool:
+    return any(
+        site.callee == callee and site.kind == KIND_CALL
+        for site in graph.sites(caller)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Direct-effect extraction
+# ---------------------------------------------------------------------------
+def _direct_effects(info: FunctionInfo) -> Iterator[Tuple[str, Evidence]]:
+    aliases = import_aliases(info.module.tree)
+    parents = _parent_map(info.node)
+    declared_nonlocal: Set[str] = set()
+    params = _param_names(info.node)
+    for node in _own_nodes(info.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_nonlocal.update(node.names)
+        elif isinstance(node, ast.Call):
+            yield from _call_effects(node, aliases)
+            if _is_unguarded_trace(node, parents):
+                yield EMITS_TRACE, Evidence(
+                    dotted_name(node.func) or "tracer", node
+                )
+        elif isinstance(node, (ast.Attribute, ast.Name)) and isinstance(
+            node.ctx, ast.Load
+        ):
+            target = _resolve_imported(node, aliases)
+            if target in WALL_CLOCK:
+                yield READS_WALL_CLOCK, Evidence(target, node)
+            elif target in AMBIENT:
+                yield AMBIENT_ENTROPY, Evidence(target, node)
+            elif target is not None:
+                head, _, attr = target.rpartition(".")
+                if head == "random" and attr not in ("Random", "SystemRandom"):
+                    yield AMBIENT_ENTROPY, Evidence(target, node)
+                elif head == "numpy.random" and attr not in NUMPY_RANDOM_OK:
+                    yield AMBIENT_ENTROPY, Evidence(target, node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target_node in targets:
+                root = _store_root(target_node)
+                if root is None:
+                    continue
+                if root in params or root in declared_nonlocal:
+                    name = dotted_name(target_node) or root
+                    yield MUTATES_NONLOCAL, Evidence(name, node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in declared_nonlocal:
+                yield MUTATES_NONLOCAL, Evidence(node.id, node)
+
+
+def _call_effects(
+    call: ast.Call, aliases: Dict[str, str]
+) -> Iterator[Tuple[str, Evidence]]:
+    target = _resolve_imported(call.func, aliases)
+    bare = dotted_name(call.func)
+    # `open(...)` needs no import; treat bare builtins directly.
+    name = target if target is not None else bare
+    if name is not None:
+        if name in SLEEP_CALLS:
+            yield SLEEPS, Evidence(name, call)
+            return
+        if name in BLOCKING_IO_CALLS:
+            yield BLOCKS_IO, Evidence(name, call)
+            return
+        if name in SUBPROCESS_CALLS or any(
+            name.startswith(p) or name == p.rstrip(".")
+            for p in SUBPROCESS_PREFIXES
+        ):
+            yield SPAWNS_SUBPROCESS, Evidence(name, call)
+            return
+        if name in WALL_CLOCK:
+            yield READS_WALL_CLOCK, Evidence(name, call)
+            return
+        if name in AMBIENT:
+            yield AMBIENT_ENTROPY, Evidence(name, call)
+            return
+        if name in GENERATORS and not call.args and not call.keywords:
+            yield AMBIENT_ENTROPY, Evidence(f"{name}()", call)
+            return
+        head, _, attr = name.rpartition(".")
+        if head == "random" and attr not in ("Random", "SystemRandom"):
+            yield AMBIENT_ENTROPY, Evidence(name, call)
+            return
+        if head == "numpy.random" and attr not in NUMPY_RANDOM_OK:
+            yield AMBIENT_ENTROPY, Evidence(name, call)
+            return
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in BLOCKING_IO_METHODS
+        and _is_pathlike_receiver(call.func.value)
+    ):
+        label = bare or f"<expr>.{call.func.attr}"
+        yield BLOCKS_IO, Evidence(label, call)
+
+
+def _is_pathlike_receiver(node: ast.AST) -> bool:
+    """Heuristic: convenience-I/O methods count as blocking when the
+    receiver looks like a filesystem path (``Path(...)``, ``*path*``,
+    ``*dir*``, ``*file*`` names) -- matching the serve-hygiene rule's
+    intent without flagging e.g. ``frame.read_text`` on unrelated
+    objects."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        return name.split(".")[-1] in ("Path", "PurePath", "PosixPath")
+    dotted = dotted_name(node)
+    if dotted is None:
+        return True  # computed receiver: stay conservative
+    tail = dotted.split(".")[-1].lower()
+    return any(hint in tail for hint in ("path", "dir", "file"))
+
+
+def _parent_map(fn: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fn):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _is_unguarded_trace(
+    call: ast.Call, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in TRACER_METHODS:
+        return False
+    receiver = dotted_name(func.value)
+    if receiver is None or "tracer" not in receiver.lower():
+        return False
+    current: Optional[ast.AST] = parents.get(call)
+    while current is not None:
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return True
+        if isinstance(current, (ast.If, ast.IfExp)) and any(
+            isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+            for sub in ast.walk(current.test)
+        ):
+            return False
+        current = parents.get(current)
+    return True
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``fn``'s own body, not nested definitions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _param_names(fn: ast.AST) -> Set[str]:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    args = fn.args
+    names = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _store_root(node: ast.AST) -> Optional[str]:
+    """Root Name of an Attribute/Subscript store target."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _resolve_imported(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Fully qualified name whose head was actually imported (mirrors
+    the determinism rule: local variables named ``time`` never
+    false-positive)."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head)
+    if resolved is None:
+        return None
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def get_effects(project: Project) -> EffectTable:
+    """The memoised effect table for ``project``."""
+    cache = _analysis_cache(project)
+    table = cache.get("effects")
+    if table is None:
+        table = EffectTable.build(get_callgraph(project))
+        cache["effects"] = table
+    return table

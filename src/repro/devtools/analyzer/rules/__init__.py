@@ -5,13 +5,16 @@ Importing this package registers every rule with
 """
 
 from repro.devtools.analyzer.rules import (  # noqa: F401
+    await_atomicity,
     batch_api,
     buffer_internals,
     config_hygiene,
     determinism,
+    loop_affinity,
     mutable_state,
     obs_hygiene,
     serve_hygiene,
     stats_conservation,
+    transitive_blocking,
     wire_schema,
 )

@@ -27,6 +27,14 @@ excluded from result comparisons.
 Scope: the simulator/model packages (``options["scope"]``).  The
 execution layer (``repro.runtime``), which legitimately timestamps
 manifests and cache records, is outside the scope list.
+
+Since the interprocedural layer landed, the rule also checks *escapes*:
+a call from scope into an out-of-scope helper whose inferred effects
+(:mod:`repro.devtools.analyzer.effects`) include ``reads-wall-clock``
+or ``ambient-entropy`` is flagged at the call site with the witness
+chain -- moving ``time.time()`` into a utility module no longer hides
+it.  Direct uses inside scope keep their precise intraprocedural
+findings (literal-seed detection needs the call expression itself).
 """
 
 from __future__ import annotations
@@ -35,7 +43,13 @@ import ast
 from typing import Iterator
 
 from repro.devtools.analyzer import astutil
+from repro.devtools.analyzer.callgraph import KIND_CALL, get_callgraph
 from repro.devtools.analyzer.core import Finding, Project, Rule, register
+from repro.devtools.analyzer.effects import (
+    AMBIENT_ENTROPY,
+    READS_WALL_CLOCK,
+    get_effects,
+)
 
 #: Fully qualified callables that read absolute wall-clock time.
 WALL_CLOCK = {
@@ -113,6 +127,41 @@ class DeterminismRule(Rule):
                     yield from self._check_call(project, mod, node, aliases)
                 elif isinstance(node, (ast.Attribute, ast.Name)):
                     yield from self._check_reference(project, mod, node, aliases)
+        yield from self._check_escapes(project, scope)
+
+    def _check_escapes(
+        self, project: Project, scope: "tuple[str, ...]"
+    ) -> Iterator[Finding]:
+        """Calls out of scope into helpers that carry entropy/clock."""
+        graph = get_callgraph(project)
+        effects = get_effects(project)
+        in_scope = lambda m: any(  # noqa: E731
+            m == p or m.startswith(p + ".") for p in scope
+        )
+        for info in graph.in_package(*scope):
+            for site in graph.sites(info.qname):
+                if site.kind != KIND_CALL or site.callee is None:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None or in_scope(callee.module.module):
+                    continue  # in-scope callees get their own findings
+                fx = effects.of(site.callee)
+                for effect in (READS_WALL_CLOCK, AMBIENT_ENTROPY):
+                    if effect not in fx.all:
+                        continue
+                    what = (
+                        "wall-clock time"
+                        if effect == READS_WALL_CLOCK
+                        else "ambient entropy"
+                    )
+                    chain = effects.render_chain(site.callee, effect)
+                    yield self.finding(
+                        project, info.module, site.node,
+                        f"`{callee.name}` (outside the determinism scope) "
+                        f"reads {what} [{effect}]: {info.name} -> {chain}; "
+                        "simulated results must not depend on it",
+                        symbol=f"{info.name}->{callee.name}:{effect}",
+                    )
 
     # ------------------------------------------------------------------
     def _check_call(self, project, mod, node: ast.Call, aliases) -> Iterator[Finding]:

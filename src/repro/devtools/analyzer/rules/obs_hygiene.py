@@ -20,6 +20,15 @@ the simulator core are exempt -- the tracer's own methods obviously
 touch ``_events``, and the engine's guarded sites are covered by this
 rule's pattern anyway (``repro.sim`` can be added to the scope once it
 has no audited exceptions).
+
+The interprocedural pass closes the helper loophole: a scope function
+calling a helper whose inferred effects include ``emits-trace`` (an
+*unguarded* emission somewhere below, see
+:mod:`repro.devtools.analyzer.effects`) is flagged at the call site
+with the witness chain.  Callees living in the ``audited`` packages
+(default: ``repro.obs`` and ``repro.sim``, whose emission sites are
+internally guarded or are the Tracer implementation itself) are
+exempt.
 """
 
 from __future__ import annotations
@@ -27,7 +36,9 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional
 
+from repro.devtools.analyzer.callgraph import KIND_CALL, get_callgraph
 from repro.devtools.analyzer.core import Finding, Project, Rule, register
+from repro.devtools.analyzer.effects import EMITS_TRACE, get_effects
 
 #: The Tracer API's emitting methods.
 TRACER_METHODS = {"span", "instant", "counter"}
@@ -48,6 +59,13 @@ class ObsHygieneRule(Rule):
         "scope": [
             "repro.hymm",
             "repro.baselines",
+        ],
+        #: Packages whose emission sites are audited (internally
+        #: guarded or the tracer implementation itself): calls into
+        #: them never count as transitive unguarded emissions.
+        "audited": [
+            "repro.obs",
+            "repro.sim",
         ],
     }
 
@@ -86,6 +104,39 @@ class ObsHygieneRule(Rule):
                     f"wrap in `if {receiver}.enabled:` so the NullTracer "
                     f"path stays allocation-free",
                     symbol=f"{receiver}.{func.attr}",
+                )
+        yield from self._check_transitive(project, scope)
+
+    def _check_transitive(
+        self, project: Project, scope: "tuple[str, ...]"
+    ) -> Iterator[Finding]:
+        """Unguarded emissions reached through a helper call."""
+        audited = tuple(self.options["audited"])
+        graph = get_callgraph(project)
+        effects = get_effects(project)
+        in_pkgs = lambda m, pkgs: any(  # noqa: E731
+            m == p or m.startswith(p + ".") for p in pkgs
+        )
+        for info in graph.in_package(*scope):
+            for site in graph.sites(info.qname):
+                if site.kind != KIND_CALL or site.callee is None:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                callee_mod = callee.module.module
+                if in_pkgs(callee_mod, audited) or in_pkgs(callee_mod, scope):
+                    continue  # audited, or gets its own direct finding
+                fx = effects.of(site.callee)
+                if EMITS_TRACE not in fx.all:
+                    continue
+                chain = effects.render_chain(site.callee, EMITS_TRACE)
+                yield self.finding(
+                    project, info.module, site.node,
+                    f"`{callee.name}` emits trace events without an "
+                    f"`enabled` guard [emits-trace]: {info.name} -> "
+                    f"{chain}; guard the emission site itself",
+                    symbol=f"{info.name}->{callee.name}:emits-trace",
                 )
 
 

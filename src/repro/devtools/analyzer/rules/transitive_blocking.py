@@ -1,0 +1,78 @@
+"""Rule ``transitive-blocking``: serve-hygiene through the call graph.
+
+``serve-hygiene`` flags a blocking call written *directly* inside an
+``async def``, and deliberately stops at the nearest ``def`` boundary
+(a nested sync function is the shape of an ``asyncio.to_thread``
+target).  That leaves one easy way to freeze the event loop without a
+finding: move the ``time.sleep`` / ``open`` / ``subprocess.run`` into a
+sync *helper* and call the helper from the handler.  The helper itself
+is legal -- sync code may block -- so the bug only exists at the async
+call site, and only an interprocedural view can see it.
+
+This rule walks every resolved ``call`` edge out of an ``async def`` in
+scope.  When the callee is a sync project function whose inferred
+effect set (:mod:`repro.devtools.analyzer.effects`) contains a blocking
+effect (``blocks-io``, ``sleeps``, ``spawns-subprocess``), the call
+site is a finding, and the message carries the full witness chain down
+to the operation that actually blocks::
+
+    sync call to `_probe` blocks the event loop [blocks-io]:
+    _handle_submit -> _probe -> ResultCache.load -> open
+
+What does *not* fire, by construction:
+
+* handing the same helper to ``asyncio.to_thread(helper, ...)`` -- a
+  ``thread`` reference edge, not a ``call`` edge, and exactly the
+  sanctioned discharge of the effect;
+* a ``loop.call_soon_threadsafe(cb)`` hand-off (``loopsafe`` edge);
+* calls to *async* callees: if the awaited coroutine blocks somewhere,
+  the finding belongs at the frame that owns the blocking call, and
+  this rule (or ``serve-hygiene``) reports it there -- flagging every
+  ``await`` up the stack would bury the signal;
+* direct blocking calls in the async body itself -- that is
+  ``serve-hygiene``'s finding, not duplicated here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.analyzer.callgraph import KIND_CALL, get_callgraph
+from repro.devtools.analyzer.core import Finding, Project, Rule, register
+from repro.devtools.analyzer.effects import BLOCKING_EFFECTS, get_effects
+
+
+@register
+class TransitiveBlockingRule(Rule):
+    name = "transitive-blocking"
+    description = (
+        "async serve handlers must not call sync helpers that "
+        "(transitively) block; the finding message shows the call "
+        "chain down to the blocking operation"
+    )
+    default_severity = "error"
+    default_options = {
+        "scope": ["repro.serve"],
+    }
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        scope = tuple(self.options["scope"])
+        graph = get_callgraph(project)
+        effects = get_effects(project)
+        for info in graph.async_functions(*scope):
+            for site in graph.sites(info.qname):
+                if site.kind != KIND_CALL or site.callee is None:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None or callee.is_async:
+                    continue
+                fx = effects.of(site.callee)
+                for effect in sorted(fx.all & BLOCKING_EFFECTS):
+                    chain = effects.render_chain(site.callee, effect)
+                    yield self.finding(
+                        project, info.module, site.node,
+                        f"sync call to `{callee.name}` blocks the event "
+                        f"loop [{effect}]: {info.name} -> {chain}; run it "
+                        "in a worker via `asyncio.to_thread`",
+                        symbol=f"{info.name}->{callee.name}:{effect}",
+                    )

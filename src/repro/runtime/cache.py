@@ -48,6 +48,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 import time
 from typing import Dict, Iterator, Optional
 
@@ -69,7 +70,12 @@ class ResultCache:
     def __init__(self, cache_dir: "Optional[os.PathLike[str]]" = None) -> None:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else default_cache_dir()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        #: Counters since construction (surfaced in manifests).
+        #: Counters since construction (surfaced in manifests).  The
+        #: serve front end probes the cache from worker threads
+        #: (``asyncio.to_thread``) while its event loop renders
+        #: ``stats()``, so every counter update takes the lock --
+        #: ``+=`` alone is a non-atomic read-modify-write.
+        self._counter_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -94,14 +100,17 @@ class ResultCache:
                 record = json.load(fh)
             result = RunResult.from_dict(record["result"])
         except FileNotFoundError:
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
-            self.corrupt += 1
-            self.misses += 1
+            with self._counter_lock:
+                self.corrupt += 1
+                self.misses += 1
             self._evict(path)
             return None
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return result
 
     def store(self, spec: JobSpec, result: RunResult) -> pathlib.Path:
@@ -133,7 +142,8 @@ class ResultCache:
         except BaseException:
             self._evict(pathlib.Path(tmp_name))
             raise
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
         return path
 
     # ------------------------------------------------------------------
@@ -161,18 +171,20 @@ class ResultCache:
         return sum(1 for _ in self._record_paths())
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt": self.corrupt,
-        }
+        with self._counter_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corrupt": self.corrupt,
+            }
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups since construction (0.0 before any)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._counter_lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
 
 class ShardedResultCache(ResultCache):
@@ -223,7 +235,8 @@ class ShardedResultCache(ResultCache):
             os.replace(flat, sharded)
         except OSError:
             return
-        self.migrated += 1
+        with self._counter_lock:
+            self.migrated += 1
 
     # ------------------------------------------------------------------
     def contains(self, spec: JobSpec) -> bool:
@@ -236,6 +249,12 @@ class ShardedResultCache(ResultCache):
     def load(self, spec: JobSpec) -> Optional[RunResult]:
         self._adopt_flat(spec.fingerprint())
         return super().load(spec)
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        with self._counter_lock:
+            out["migrated"] = self.migrated
+        return out
 
     def _record_paths(self) -> Iterator[pathlib.Path]:
         """Sharded records plus any not-yet-migrated flat leftovers."""

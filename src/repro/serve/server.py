@@ -340,17 +340,21 @@ class SweepServer:
         await self.aclose()
 
     async def aclose(self) -> None:
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
+        # Claim each handle *before* the first await: a concurrent
+        # aclose (request_stop racing an explicit close) then sees None
+        # instead of double-cancelling / double-closing a handle whose
+        # teardown is already in flight.
+        dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.cancel()
             try:
-                await self._dispatcher
+                await dispatcher
             except asyncio.CancelledError:
                 pass
-            self._dispatcher = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     @property
     def uptime_s(self) -> float:

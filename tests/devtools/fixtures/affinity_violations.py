@@ -1,0 +1,62 @@
+"""Fixture for the ``loop-affinity`` rule.
+
+Loaded as ``repro.serve.affinity_fixture``.  ``StatsTracker.probe``
+runs on a worker thread (handed to ``asyncio.to_thread`` by the
+server) and mutates counters that the event loop reads through
+``snapshot()`` -- the unlocked one is the violation.  The lock-guarded
+update and the ``call_soon_threadsafe`` hop are the sanctioned
+patterns, and a thread-side attribute nothing loop-side touches is
+private by construction.
+"""
+
+import asyncio
+import threading
+
+
+class StatsTracker:
+    def __init__(self):
+        self.lookups = 0
+        self.safe_updates = 0
+        self.finished = 0
+        self.scratch = None
+        self._lock = threading.Lock()
+
+    def probe(self, key):
+        self.lookups += 1  # VIOLATION: loop reads this via snapshot()
+        self.scratch = key  # clean: no loop-side reader
+        return key
+
+    def probe_locked(self, key):
+        with self._lock:
+            self.safe_updates += 1  # clean: both sides take the lock
+        return key
+
+    def worker(self, loop):
+        loop.call_soon_threadsafe(self._finish)  # clean: loopsafe hop
+
+    def _finish(self):
+        self.finished += 1  # runs on the loop, not a thread
+
+    def snapshot(self):
+        with self._lock:
+            safe = self.safe_updates
+        return {
+            "lookups": self.lookups,
+            "safe_updates": safe,
+            "finished": self.finished,
+        }
+
+
+class AffinityServer:
+    def __init__(self, tracker: StatsTracker):
+        self.tracker = tracker
+
+    async def handle(self, key):
+        loop = asyncio.get_running_loop()
+        value = await asyncio.to_thread(self.tracker.probe, key)
+        await asyncio.to_thread(self.tracker.probe_locked, key)
+        await asyncio.to_thread(self.tracker.worker, loop)
+        return value
+
+    async def metrics(self):
+        return self.tracker.snapshot()

@@ -1,0 +1,63 @@
+"""Fixture for the ``await-atomicity`` rule.
+
+Loaded by the tests under the pretend module name
+``repro.serve.atomicity_fixture`` so it falls inside the rule's scope.
+Violations are single-flight races: shared ``self`` state checked
+before an ``await`` and written after it.  The clean variants register
+before the first await, re-validate after it, or use a plain atomic
+``+=`` with no preceding check.
+"""
+
+import asyncio
+
+
+class RacyRegistry:
+    def __init__(self):
+        self._jobs = {}
+        self._tickets = {}
+        self.count = 0
+
+    async def submit_racy(self, key, spec):
+        entry = self._jobs.get(key)
+        if entry is None:
+            record = await self._probe(spec)
+            self._jobs[key] = record  # VIOLATION: check is stale here
+        return self._jobs.get(key)
+
+    async def submit_direct_check(self, key):
+        if key not in self._tickets:
+            await asyncio.sleep(0)
+            self._tickets[key] = object()  # VIOLATION: split check-then-act
+
+    async def increment_split(self):
+        if self.count == 0:
+            await asyncio.sleep(0)
+            self._bump()  # VIOLATION: helper stores self.count
+
+    def _bump(self):
+        self.count += 1
+
+    async def submit_registered_first(self, key, spec):
+        entry = self._jobs.get(key)
+        if entry is None:
+            entry = {}
+            self._jobs[key] = entry  # act before the await: clean
+            entry["record"] = await self._probe(spec)
+        return entry
+
+    async def submit_revalidated(self, key, spec):
+        entry = self._jobs.get(key)
+        if entry is None:
+            record = await self._probe(spec)
+            if key not in self._jobs:  # re-validated after the await
+                self._jobs[key] = record
+        return self._jobs.get(key)
+
+    async def counters_only(self):
+        self.count += 1  # atomic between suspension points: clean
+        await asyncio.sleep(0)
+        self.count += 1
+
+    async def _probe(self, spec):
+        await asyncio.sleep(0)
+        return {"spec": spec}

@@ -1,0 +1,20 @@
+"""Out-of-scope helper module for the determinism escape tests.
+
+Loaded as ``repro.util.det_helper`` -- *outside* the determinism
+scope, so its own wall-clock read produces no direct finding; it only
+matters when scope code calls into it.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_indirect():
+    return stamp()
+
+
+def pure(value):
+    return value + 1

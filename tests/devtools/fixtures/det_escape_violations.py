@@ -1,0 +1,23 @@
+"""Fixture for the determinism rule's interprocedural escape pass.
+
+Loaded as ``repro.sim.det_escape_fixture`` together with
+``det_escape_helper.py`` (as ``repro.util.det_helper``).  Calling an
+out-of-scope helper that reads wall-clock time is a finding at the
+call site; the pure helper is clean, and the helper's own body -- out
+of scope -- is never flagged directly.
+"""
+
+from repro.util.det_helper import pure, stamp, stamp_indirect
+
+
+def simulate_with_timestamp(config):
+    started = stamp()  # VIOLATION: escape to wall-clock helper
+    return config, started
+
+
+def simulate_deep_timestamp(config):
+    return config, stamp_indirect()  # VIOLATION: two hops down
+
+
+def simulate_pure(config):
+    return pure(config)  # clean

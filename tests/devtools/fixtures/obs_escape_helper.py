@@ -1,0 +1,16 @@
+"""Helper module for the obs-hygiene transitive tests.
+
+Loaded as ``repro.util.trace_helper`` -- outside the obs-hygiene scope
+*and* outside the audited packages.  ``emit_unguarded`` carries the
+``emits-trace`` effect; ``emit_guarded`` guards its own emission and
+is effect-free.
+"""
+
+
+def emit_unguarded(tracer, name, cycle):
+    tracer.instant(name, cycle)
+
+
+def emit_guarded(tracer, name, cycle):
+    if tracer.enabled:
+        tracer.instant(name, cycle)

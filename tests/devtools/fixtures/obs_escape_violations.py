@@ -1,0 +1,26 @@
+"""Fixture for the obs-hygiene rule's transitive pass.
+
+Loaded as ``repro.hymm.obs_escape_fixture`` together with
+``obs_escape_helper.py`` (``repro.util.trace_helper``) and
+``obs_escape_audited.py`` (``repro.sim.audited_emitter``).  Guarding a
+*call* to a helper does not guard the helper's own emission -- only
+the emission site's guard counts -- so the first kernel is a finding
+even with its lexical guard, while the self-guarded helper and the
+audited engine path are clean.
+"""
+
+from repro.sim.audited_emitter import engine_emit
+from repro.util.trace_helper import emit_guarded, emit_unguarded
+
+
+def kernel_hidden_emission(tracer, cycle):
+    if tracer.enabled:  # guards the call, NOT the helper's emission
+        emit_unguarded(tracer, "spmm", cycle)  # VIOLATION
+
+
+def kernel_guarded_helper(tracer, cycle):
+    emit_guarded(tracer, "spmm", cycle)  # clean: helper guards itself
+
+
+def kernel_audited_path(tracer, cycle):
+    engine_emit(tracer, "spmm", cycle)  # clean: audited package

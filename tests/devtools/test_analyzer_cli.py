@@ -69,6 +69,21 @@ class TestExitCodes:
         code, _, err = run_cli([src], capsys)
         assert code == 2
         assert "cannot parse" in err
+        # The offending path must be named, or a tree-wide run gives
+        # the user nothing to fix.
+        assert "clock.py" in err
+
+    def test_empty_scope_is_clean_success(self, tmp_path, capsys):
+        empty = tmp_path / "src"
+        empty.mkdir()
+        code, out, _ = run_cli([empty], capsys)
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        code, _, err = run_cli([tmp_path / "no-such-dir"], capsys)
+        assert code == 2
+        assert "no such path" in err
 
 
 class TestJsonFormat:
@@ -164,15 +179,125 @@ class TestInlineSuppression:
         assert "0 finding(s)" in out
 
 
+class TestInlineSuppressionStaleness:
+    def test_unused_allow_comment_is_warned(self, tmp_path, capsys):
+        src = make_tree(
+            tmp_path,
+            "def stamp(now: float) -> float:\n"
+            "    return now  # analyzer: allow[determinism] -- obsolete\n",
+        )
+        code, out, _ = run_cli([src], capsys)
+        assert code == 0  # warning severity: reported, not failing
+        assert "stale-suppression" in out
+        assert "allow[determinism]" in out
+
+    def test_stale_warning_fails_strict(self, tmp_path, capsys):
+        src = make_tree(
+            tmp_path,
+            "def stamp(now: float) -> float:\n"
+            "    return now  # analyzer: allow\n",
+        )
+        code, out, _ = run_cli([src, "--strict"], capsys)
+        assert code == 1
+        assert "stale-suppression" in out
+
+    def test_partial_rule_run_does_not_report_stale(self, tmp_path, capsys):
+        # With --rules, unexecuted rules' suppressions would all look
+        # unused; staleness reporting must stay off.
+        src = make_tree(
+            tmp_path,
+            "def stamp(now: float) -> float:\n"
+            "    return now  # analyzer: allow[wire-schema]\n",
+        )
+        code, out, _ = run_cli([src, "--rules", "determinism"], capsys)
+        assert code == 0
+        assert "stale-suppression" not in out
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path, capsys):
+        # Only COMMENT tokens count: prose describing the syntax must
+        # neither suppress nor be reported stale.
+        src = make_tree(
+            tmp_path,
+            '"""Docs: write `# analyzer: allow[determinism]` inline."""\n'
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+        )
+        code, out, _ = run_cli([src], capsys)
+        assert code == 1  # the finding on time.time() is NOT suppressed
+        assert "determinism" in out
+        assert "stale-suppression" not in out
+
+    def test_used_allow_comment_is_not_stale(self, tmp_path, capsys):
+        src = make_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # analyzer: allow[determinism]\n",
+        )
+        code, out, _ = run_cli([src], capsys)
+        assert code == 0
+        assert "stale-suppression" not in out
+
+
+class TestGithubFormat:
+    def test_error_annotation_shape(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_MODULE)
+        code, out, _ = run_cli([src, "--format", "github"], capsys)
+        assert code == 1
+        [annotation] = [l for l in out.splitlines() if l.startswith("::")]
+        assert annotation.startswith("::error file=")
+        assert "clock.py" in annotation
+        assert ",line=5," in annotation
+        assert "title=analyzer determinism" in annotation
+
+    def test_message_newlines_are_escaped(self):
+        assert cli._escape_github("a\nb%c") == "a%0Ab%25c"
+
+    def test_clean_tree_emits_no_annotations(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_MODULE)
+        code, out, _ = run_cli([src, "--format", "github"], capsys)
+        assert code == 0
+        assert "::error" not in out
+        assert "::warning" not in out
+
+
+class TestTimeBudget:
+    def test_generous_budget_passes(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_MODULE)
+        code, _, err = run_cli([src, "--time-budget", "60"], capsys)
+        assert code == 0
+        assert "time-budget" not in err
+
+    def test_exceeded_budget_fails(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_MODULE)
+        code, _, err = run_cli([src, "--time-budget", "0"], capsys)
+        assert code == 1
+        assert "over the --time-budget" in err
+
+
 class TestListRules:
-    def test_all_five_rules_registered(self, capsys):
+    def test_output_locked_to_registry(self, capsys):
+        from repro.devtools.analyzer.core import REGISTRY
+
+        code, out, _ = run_cli(["--list-rules"], capsys)
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == len(REGISTRY)
+        for name, rule_cls in REGISTRY.items():
+            [line] = [l for l in lines if l.startswith(name)]
+            assert rule_cls.default_severity in line
+
+    def test_interprocedural_rules_registered(self, capsys):
         code, out, _ = run_cli(["--list-rules"], capsys)
         assert code == 0
         for name in (
+            "await-atomicity",
+            "loop-affinity",
+            "transitive-blocking",
             "determinism",
             "wire-schema",
             "stats-conservation",
             "config-hygiene",
             "mutable-state",
+            "serve-hygiene",
+            "obs-hygiene",
         ):
             assert name in out

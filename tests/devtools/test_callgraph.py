@@ -1,0 +1,176 @@
+"""Call graph and effect engine: golden edges on fixtures, plus
+spot-checks against the real ``src/`` tree so resolution keeps working
+on the code the interprocedural rules actually audit."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analyzer.callgraph import (
+    KIND_CALL,
+    KIND_LOOPSAFE,
+    KIND_THREAD,
+    get_callgraph,
+)
+from repro.devtools.analyzer.core import Project
+from repro.devtools.analyzer.effects import (
+    BLOCKS_IO,
+    EMITS_TRACE,
+    MUTATES_NONLOCAL,
+    READS_WALL_CLOCK,
+    SLEEPS,
+    get_effects,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parent.parent.parent / "src"
+
+
+def load(*name_pairs):
+    paths = {FIXTURES / f: m for f, m in name_pairs}
+    return Project.load(sorted(paths), root=FIXTURES, module_names=paths)
+
+
+def edges(graph, caller, kind=None):
+    return {
+        s.callee
+        for s in graph.sites(caller)
+        if s.callee is not None and (kind is None or s.kind == kind)
+    }
+
+
+class TestFixtureGraph:
+    """Golden edge set over the transitive/affinity fixtures."""
+
+    @pytest.fixture()
+    def graph(self):
+        project = load(
+            ("transitive_violations.py", "repro.serve.transitive_fixture"),
+            ("affinity_violations.py", "repro.serve.affinity_fixture"),
+        )
+        return get_callgraph(project)
+
+    def test_module_function_calls_resolve(self, graph):
+        t = "repro.serve.transitive_fixture"
+        assert edges(graph, f"{t}.deep_helper", KIND_CALL) == {
+            f"{t}.nap_helper"
+        }
+        assert (
+            f"{t}.deep_helper"
+            in edges(graph, f"{t}.TransitiveServer.handle_sleep", KIND_CALL)
+        )
+
+    def test_to_thread_makes_thread_edges_not_call_edges(self, graph):
+        t = "repro.serve.transitive_fixture"
+        offloaded = f"{t}.TransitiveServer.handle_offloaded"
+        assert edges(graph, offloaded, KIND_THREAD) == {f"{t}.read_config"}
+        assert edges(graph, offloaded, KIND_CALL) == set()
+
+    def test_typed_attribute_receiver_resolves_methods(self, graph):
+        a = "repro.serve.affinity_fixture"
+        # self.tracker is typed via the __init__ parameter annotation.
+        assert edges(graph, f"{a}.AffinityServer.metrics", KIND_CALL) == {
+            f"{a}.StatsTracker.snapshot"
+        }
+        assert edges(graph, f"{a}.AffinityServer.handle", KIND_THREAD) == {
+            f"{a}.StatsTracker.probe",
+            f"{a}.StatsTracker.probe_locked",
+            f"{a}.StatsTracker.worker",
+        }
+
+    def test_call_soon_threadsafe_is_loopsafe(self, graph):
+        a = "repro.serve.affinity_fixture"
+        assert edges(graph, f"{a}.StatsTracker.worker", KIND_LOOPSAFE) == {
+            f"{a}.StatsTracker._finish"
+        }
+
+    def test_thread_reachability_stops_at_loopsafe(self, graph):
+        a = "repro.serve.affinity_fixture"
+        reachable = graph.thread_reachable("repro.serve")
+        assert f"{a}.StatsTracker.probe" in reachable
+        assert f"{a}.StatsTracker.worker" in reachable
+        assert f"{a}.StatsTracker._finish" not in reachable
+        assert f"{a}.StatsTracker.snapshot" not in reachable
+
+    def test_async_flag_and_reverse_edges(self, graph):
+        t = "repro.serve.transitive_fixture"
+        assert graph.functions[f"{t}.TransitiveServer.handle_pure"].is_async
+        assert not graph.functions[f"{t}.pure_helper"].is_async
+        assert f"{t}.deep_helper" in graph.callers[f"{t}.nap_helper"]
+
+
+class TestFixtureEffects:
+    @pytest.fixture()
+    def project(self):
+        return load(
+            ("transitive_violations.py", "repro.serve.transitive_fixture"),
+            (
+                "obs_escape_helper.py",
+                "repro.util.trace_helper",
+            ),
+        )
+
+    def test_direct_and_transitive_blocking(self, project):
+        effects = get_effects(project)
+        t = "repro.serve.transitive_fixture"
+        assert SLEEPS in effects.of(f"{t}.nap_helper").direct
+        deep = effects.of(f"{t}.deep_helper")
+        assert SLEEPS in deep.all
+        assert SLEEPS not in deep.direct  # inherited, not performed
+        assert BLOCKS_IO in effects.of(f"{t}.read_config").direct
+        assert not effects.of(f"{t}.pure_helper").all
+
+    def test_thread_references_do_not_propagate_effects(self, project):
+        effects = get_effects(project)
+        t = "repro.serve.transitive_fixture"
+        offloaded = effects.of(f"{t}.TransitiveServer.handle_offloaded")
+        assert BLOCKS_IO not in offloaded.all
+
+    def test_witness_chain_reaches_the_operation(self, project):
+        effects = get_effects(project)
+        t = "repro.serve.transitive_fixture"
+        chain = effects.render_chain(f"{t}.deep_helper", SLEEPS)
+        assert chain == "deep_helper -> nap_helper -> time.sleep"
+
+    def test_guarded_emission_is_effect_free(self, project):
+        effects = get_effects(project)
+        h = "repro.util.trace_helper"
+        assert EMITS_TRACE in effects.of(f"{h}.emit_unguarded").direct
+        assert EMITS_TRACE not in effects.of(f"{h}.emit_guarded").all
+
+
+class TestSrcSpotChecks:
+    """The graph must keep resolving the real serve/runtime stack."""
+
+    @pytest.fixture(scope="class")
+    def project(self):
+        return Project.load([SRC], root=SRC.parent)
+
+    def test_cache_probe_is_a_thread_entry(self, project):
+        graph = get_callgraph(project)
+        entries = graph.thread_entries("repro.serve")
+        assert "repro.serve.server.SweepServer._cache_lookup" in entries
+        assert "repro.serve.server.SweepServer._run_batch" in entries
+
+    def test_sharded_cache_load_is_thread_reachable(self, project):
+        graph = get_callgraph(project)
+        reachable = graph.thread_reachable("repro.serve")
+        # self.cache: Optional[ResultCache] fans out to the subclass
+        # override, two annotation-driven hops from the to_thread site.
+        assert "repro.runtime.cache.ResultCache.load" in reachable
+        assert "repro.runtime.cache.ShardedResultCache.load" in reachable
+        assert "repro.runtime.cache.ShardedResultCache._adopt_flat" in reachable
+
+    def test_cache_load_effects(self, project):
+        effects = get_effects(project)
+        fx = effects.of("repro.runtime.cache.ResultCache.load")
+        assert BLOCKS_IO in fx.direct  # open()
+        assert MUTATES_NONLOCAL in fx.direct  # self.hits += 1
+
+    def test_async_handlers_carry_no_wall_clock_into_sim(self, project):
+        effects = get_effects(project)
+        # The simulator entry point must not inherit wall-clock reads.
+        fx = effects.of("repro.hymm.runner.run_job")
+        assert READS_WALL_CLOCK not in fx.all

@@ -17,7 +17,9 @@ SRC = REPO_ROOT / "src"
 def test_src_tree_has_no_findings():
     project = Project.load([SRC], root=REPO_ROOT)
     assert not project.parse_errors
-    findings = run_rules(project, make_rules())
+    findings = run_rules(
+        project, make_rules(), report_stale_suppressions=True
+    )
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
