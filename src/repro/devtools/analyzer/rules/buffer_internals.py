@@ -21,6 +21,13 @@ Scope mirrors the ``batch-api`` rule: compute kernels and baseline
 accelerators.  ``repro.sim.engine`` is deliberately outside the scope
 -- the batched engine's flat loops are the audited fast path and hoist
 these fields by design.
+
+A second, stricter scope covers replay-mode code
+(:mod:`repro.sim.replay` and the run loop in :mod:`repro.hymm.base`):
+there *any* arena access -- reads included -- is flagged, because
+applying a recorded trace must be read-only over the arena by
+construction, with state flowing only through the public
+``snapshot_state``/``restore_state`` pair.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ ARENA_FIELDS = {
     "_line_cost",
     "_read_latency",
     "_size",
+    "_mask_scratch",
 }
 
 #: Private methods that are likewise representation, not interface.
@@ -60,6 +68,8 @@ ARENA_METHODS = {
     "_acquire_mshr",
     "_touch_slot",
     "_update_partial_peak",
+    "_plan_victims",
+    "_commit_epoch",
 }
 
 
@@ -76,20 +86,22 @@ class BufferInternalsRule(Rule):
             "repro.hymm.kernels",
             "repro.baselines",
         ],
+        # Replay-mode code: applying a recorded trace must be read-only
+        # over the arena *by construction* -- state flows exclusively
+        # through the public snapshot_state/restore_state pair, never
+        # through arena fields, so a replayed phase cannot corrupt the
+        # invariants the live paths maintain.  Any arena touch here is
+        # flagged, reads included.
+        "replay_scope": [
+            "repro.sim.replay",
+            "repro.hymm.base",
+        ],
     }
 
     def run(self, project: Project) -> Iterator[Finding]:
-        scope = tuple(self.options["scope"])
         private = ARENA_FIELDS | ARENA_METHODS
-        for mod in project.in_package(*scope):
-            for node in ast.walk(mod.tree):
-                if not isinstance(node, ast.Attribute):
-                    continue
-                if node.attr not in private:
-                    continue
-                receiver = _receiver_chain(node.value)
-                if receiver is None or not _looks_like_buffer(receiver):
-                    continue
+        for mod in project.in_package(*tuple(self.options["scope"])):
+            for receiver, node in _arena_accesses(mod.tree, private):
                 kind = "method" if node.attr in ARENA_METHODS else "field"
                 yield self.finding(
                     project, mod, node,
@@ -99,6 +111,30 @@ class BufferInternalsRule(Rule):
                     f"public buffer API",
                     symbol=f"{receiver}.{node.attr}",
                 )
+        for mod in project.in_package(*tuple(self.options["replay_scope"])):
+            for receiver, node in _arena_accesses(mod.tree, private):
+                yield self.finding(
+                    project, mod, node,
+                    f"arena access {receiver}.{node.attr} in replay-mode "
+                    f"code: trace replay must stay read-only over the "
+                    f"buffer arena -- restore state only through the "
+                    f"public snapshot_state/restore_state pair",
+                    symbol=f"{receiver}.{node.attr}",
+                )
+
+
+def _arena_accesses(tree: ast.AST, private: set):
+    """Yield ``(receiver, node)`` for every attribute access to a
+    private arena name on a buffer-looking receiver."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in private:
+            continue
+        receiver = _receiver_chain(node.value)
+        if receiver is None or not _looks_like_buffer(receiver):
+            continue
+        yield receiver, node
 
 
 def _looks_like_buffer(receiver: str) -> bool:

@@ -188,6 +188,19 @@ class AcceleratorBase:
         """Aggregation dataflow; must be provided by the subclass."""
         raise NotImplementedError
 
+    def phase_config_exempt(self) -> frozenset:
+        """Config fields this dataflow's simulated timing never reads.
+
+        Trace replay (:mod:`repro.sim.replay`) drops these from the
+        phase-signature chain, so sweeps that vary only exempt knobs
+        share recorded phases.  Subclasses may widen the set for knobs
+        their dataflow provably ignores; never list a field any code
+        path between ``prepare`` and the last phase can read.
+        """
+        from repro.sim.replay import BASE_TIMING_EXEMPT
+
+        return BASE_TIMING_EXEMPT
+
     @staticmethod
     def _snapshot(stats: SimStats) -> Tuple[int, int, int, int]:
         return (
@@ -201,7 +214,10 @@ class AcceleratorBase:
     # The run loop
     # ------------------------------------------------------------------
     def run_inference(
-        self, model: GCNModel, tracer: Optional[Tracer] = None
+        self,
+        model: GCNModel,
+        tracer: Optional[Tracer] = None,
+        replay_session: Optional[object] = None,
     ) -> RunResult:
         """Simulate full inference of ``model`` on this accelerator.
 
@@ -211,6 +227,16 @@ class AcceleratorBase:
         span per phase boundary.  Tracing never touches ``stats`` --
         cycle counts and every counter are identical whether or not a
         tracer is attached.
+
+        ``replay_session`` (optional, a
+        :class:`repro.sim.replay.TraceSession`) turns on the trace
+        record/replay lane: phases whose chained signature hits the
+        trace store are *replayed* -- restore the recorded post-phase
+        state, merge the recorded stats delta -- instead of simulated,
+        bit-identically (see the exactness argument in
+        :mod:`repro.sim.replay`); misses simulate live and record.
+        Replay is disabled while a tracer is attached (the trace events
+        only exist during live simulation), but recording still runs.
         """
         wall_start = time.perf_counter()
         tracer = tracer if tracer is not None else NULL_TRACER
@@ -250,7 +276,9 @@ class AcceleratorBase:
         base_snapshot = stats.copy()
         cum_mark = 0
 
-        def close_phase(name: str) -> None:
+        def close_phase(
+            name: str, occupancy: Optional[Dict[str, int]] = None
+        ) -> None:
             nonlocal mark, snap, base_snapshot, cum_mark
             now = engine.drain()
             new_snap = self._snapshot(stats)
@@ -261,8 +289,16 @@ class AcceleratorBase:
                 "hits": new_snap[1] - snap[1],
                 "misses": new_snap[2] - snap[2],
                 "forwards": new_snap[3] - snap[3],
-                # End-of-phase buffer composition (Section III dynamics).
-                "occupancy": buffer.occupancy_by_class(),
+                # End-of-phase buffer composition (Section III
+                # dynamics).  Replayed aggregation phases pass the
+                # recorded composition: their restored state is already
+                # past the W/XW invalidates, so reading the live buffer
+                # here would under-count what the live phase saw.
+                "occupancy": (
+                    {k: int(v) for k, v in occupancy.items()}
+                    if occupancy is not None
+                    else buffer.occupancy_by_class()
+                ),
             }
             # Full SimStats delta for this phase.  Phase cycles use the
             # cumulative-ceil scheme (ceil of the running drain, minus
@@ -296,17 +332,70 @@ class AcceleratorBase:
             mark = now
             snap = new_snap
 
+        replay = replay_session
+        if replay is not None:
+            replay.open(self.name, cfg, model, self.phase_config_exempt())
+        # Replay would skip the live simulation the tracer narrates, so
+        # a traced run records but never replays.
+        use_replay = replay is not None and not tracer.enabled
+
+        def apply_trace(name: str, rec: Dict[str, object]) -> np.ndarray:
+            """Apply one recorded phase: restore the post-phase
+            simulator state, merge the stats delta (cycles zeroed --
+            run totals are assigned once, at the end, from the restored
+            state), and close the phase exactly as the live path would
+            from that state."""
+            from repro.runtime.serialize import array_from_dict
+
+            buffer.restore_state(rec["buffer"])
+            engine.restore_state(rec["engine"])
+            dram.next_free = float(rec["dram_next_free"])
+            delta = SimStats.from_dict(rec["stats"])
+            delta.cycles = 0
+            stats.merge(delta)
+            close_phase(name, occupancy=rec["occupancy"])
+            return array_from_dict(rec["output"])
+
+        def trace_record(out: np.ndarray, name: str) -> Dict[str, object]:
+            """The phase record `apply_trace` consumes, captured from
+            the live simulator right after the phase closed."""
+            from repro.runtime.serialize import array_to_dict
+
+            return {
+                "stats": phase_snapshots[name].to_dict(),
+                "occupancy": phase_stats[name]["occupancy"],
+                "output": array_to_dict(out),
+                "buffer": buffer.snapshot_state(),
+                "engine": engine.snapshot_state(),
+                "dram_next_free": dram.next_free,
+            }
+
         for layer_idx, layer in enumerate(model.layers):
             ctx = KernelContext(cfg, engine, buffer, amap, pe, smq, layer=layer_idx)
-            if layer_idx == 0:
-                xw = self.run_combination(ctx, prep, features, layer.weights)
+            comb_name = f"layer{layer_idx}.combination"
+            comb_sig = replay.next_signature(comb_name) if replay is not None else ""
+            rec = replay.lookup(comb_sig, comb_name) if use_replay else None
+            if rec is not None:
+                xw = apply_trace(comb_name, rec)
             else:
-                xw = combination_dense(ctx, dense_h, layer.weights)
-            close_phase(f"layer{layer_idx}.combination")
+                if layer_idx == 0:
+                    xw = self.run_combination(ctx, prep, features, layer.weights)
+                else:
+                    xw = combination_dense(ctx, dense_h, layer.weights)
+                close_phase(comb_name)
+                if replay is not None:
+                    replay.record(comb_sig, comb_name, trace_record(xw, comb_name))
 
-            axw = self.run_aggregation(ctx, prep, xw)
-            close_phase(f"layer{layer_idx}.aggregation")
+            agg_name = f"layer{layer_idx}.aggregation"
+            agg_sig = replay.next_signature(agg_name) if replay is not None else ""
+            rec = replay.lookup(agg_sig, agg_name) if use_replay else None
+            if rec is not None:
+                axw = apply_trace(agg_name, rec)
+            else:
+                axw = self.run_aggregation(ctx, prep, xw)
+                close_phase(agg_name)
 
+            raw_axw = axw
             if layer.activation is not None:
                 axw = relu(axw)
             dense_h = axw
@@ -314,6 +403,14 @@ class AcceleratorBase:
             # W and XW are dead after the aggregation consumed them.
             buffer.invalidate(CLASS_W)
             buffer.invalidate(CLASS_XW)
+            if replay is not None and rec is None:
+                # Aggregation records capture state *after* the W/XW
+                # invalidates: a replayed phase restores straight to the
+                # post-invalidate point (the invalidates above then
+                # no-op on restored state), and the output is recorded
+                # pre-activation -- relu/unpermute are host arithmetic
+                # the replay path re-runs itself.
+                replay.record(agg_sig, agg_name, trace_record(raw_axw, agg_name))
 
         stats.cycles = int(math.ceil(max(engine.drain(), dram.busy_until)))
         tail = stats.cycles - cum_mark

@@ -193,6 +193,18 @@ class SplitBufferPair:
     def size_lines(self) -> int:
         return self.input_buffer.size_lines + self.output_buffer.size_lines
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Snapshot both physical halves (trace replay)."""
+        return {
+            "input": self.input_buffer.snapshot_state(),
+            "output": self.output_buffer.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore both physical halves from :meth:`snapshot_state`."""
+        self.input_buffer.restore_state(state["input"])  # type: ignore[arg-type]
+        self.output_buffer.restore_state(state["output"])  # type: ignore[arg-type]
+
 
 def make_buffer(
     config: HyMMConfig, dram: DRAM, stats: SimStats

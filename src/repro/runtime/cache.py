@@ -261,3 +261,65 @@ class ShardedResultCache(ResultCache):
         yield from self.cache_dir.glob("*.json")
         pattern = "/".join(["?" * self.PREFIX_WIDTH] * self.PREFIX_LEVELS)
         yield from self.cache_dir.glob(f"{pattern}/*.json")
+
+
+class TraceStore(ShardedResultCache):
+    """Sharded store for resolved phase-timing traces (record/replay).
+
+    Keys are the 64-hex chained phase signatures
+    :mod:`repro.sim.replay` computes (same alphabet as job
+    fingerprints, so the two-level hash-prefix sharding applies
+    unchanged); records are raw JSON dicts carrying the phase's
+    resolved timing -- stats delta, output matrix, and post-phase
+    simulator state.  Reuses the sharded layout, the atomic
+    temp-file + ``os.replace`` writes, and the corrupt-record
+    eviction of :class:`ShardedResultCache`; the ``JobSpec``-typed
+    ``load``/``store`` surface of the result cache is not used here.
+    Invalidation is structural: the signature chain hashes the trace
+    schema version, the model fingerprint, and every timing-relevant
+    config knob, so any change simply stops hitting old records.
+    """
+
+    def load_trace(self, sig: str) -> "Optional[Dict[str, object]]":
+        """The stored trace record for ``sig``, or ``None`` (miss).
+
+        Unreadable or non-object records are evicted and reported as
+        misses, same degradation contract as the result cache.
+        """
+        path = self._path(sig)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            if not isinstance(record, dict):
+                raise ValueError("trace record is not a JSON object")
+        except FileNotFoundError:
+            with self._counter_lock:
+                self.misses += 1
+            return None
+        except (json.JSONDecodeError, ValueError, OSError):
+            with self._counter_lock:
+                self.corrupt += 1
+                self.misses += 1
+            self._evict(path)
+            return None
+        with self._counter_lock:
+            self.hits += 1
+        return record
+
+    def store_trace(self, sig: str, record: Dict[str, object]) -> pathlib.Path:
+        """Atomically persist one trace record; returns the path."""
+        path = self._path(sig)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._evict(pathlib.Path(tmp_name))
+            raise
+        with self._counter_lock:
+            self.stores += 1
+        return path

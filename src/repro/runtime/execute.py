@@ -62,6 +62,28 @@ def make_accelerator(
     raise ValueError(f"unknown accelerator kind {kind!r}")
 
 
+def _trace_session() -> Optional[object]:
+    """A fresh :class:`repro.sim.replay.TraceSession` when the
+    ``REPRO_TRACE_REPLAY`` environment variable names a trace
+    directory, else ``None`` (replay off, the default).
+
+    Opt-in by env var so every execution path -- serial runner, pool
+    workers, the serve front end -- can enable phase replay without a
+    signature change anywhere in between; replay is bit-identical to
+    live simulation (see :mod:`repro.sim.replay`), so flipping it on
+    never changes a result, only how fast it is produced.
+    """
+    import os
+
+    trace_dir = os.environ.get("REPRO_TRACE_REPLAY")
+    if not trace_dir:
+        return None
+    from repro.runtime.cache import TraceStore
+    from repro.sim.replay import TraceSession
+
+    return TraceSession(TraceStore(trace_dir))
+
+
 def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
     """Run one job in this process, returning the live result
     (including non-serialisable ``extra`` entries such as the HyMM
@@ -83,7 +105,9 @@ def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
     accelerator = make_accelerator(
         spec.kind, spec.config, spec.sort_mode, seed=spec.seed
     )
-    return accelerator.run_inference(model, tracer=tracer)
+    return accelerator.run_inference(
+        model, tracer=tracer, replay_session=_trace_session()
+    )
 
 
 def execute_job(spec: JobSpec) -> Dict[str, object]:

@@ -36,7 +36,8 @@ order *is* earliest-ready order, exactly.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from itertools import islice, repeat
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -62,6 +63,11 @@ _PARTIAL_IDX = CLASS_INDEX[CLASS_PARTIAL]
 #: Paper eviction order: weights first, then combination results; final
 #: outputs and partial outputs are retained as long as possible.
 DEFAULT_EVICT_PRIORITY = (CLASS_W, CLASS_XW, CLASS_OUT, CLASS_PARTIAL)
+
+#: Sink that exhausts a ``map`` without building a list -- the epoch
+#: commit path uses it to run C-level ``list.__setitem__`` sweeps over
+#: the arena's parallel arrays with no per-element bytecode.
+_drain = deque(maxlen=0).extend
 
 
 class CacheBuffer:
@@ -128,6 +134,11 @@ class CacheBuffer:
         self._free_slots: List[int] = list(range(cap - 1, -1, -1))
         self._class_count: List[int] = [0] * _N_CLASSES
         self._slot_of: Dict[int, int] = {}
+        # Reusable residency-mask scratch for classify_batch (grown on
+        # demand, never shrunk) -- classification runs once per issued
+        # batch on every dataflow, so the per-call bool allocation was
+        # pure overhead.
+        self._mask_scratch: "np.ndarray" = np.empty(0, dtype=bool)
         self._evict_priority: Tuple[str, ...] = ()
         self._evict_order: Tuple[int, ...] = ()
         self.evict_priority = evict_priority
@@ -211,13 +222,27 @@ class CacheBuffer:
         batched engine uses it for stream loads (which never allocate)
         and falls back to per-address probes whenever an access could
         insert or evict lines mid-batch.
+
+        The mask is a view into a per-buffer scratch array: it is only
+        valid until the *next* ``classify_batch`` call on the same
+        buffer.  Callers that need two live masks at once must either
+        classify on distinct buffers (the split pair's halves each own
+        their scratch) or copy -- every engine call site consumes the
+        mask before re-classifying.
         """
+        n = len(addrs)
+        scratch = self._mask_scratch
+        if len(scratch) < n:
+            scratch = self._mask_scratch = np.empty(n, dtype=bool)
+        mask = scratch[:n]
         slot_of = self._slot_of
         if not slot_of:
-            return np.zeros(len(addrs), dtype=bool)
-        return np.fromiter(
-            map(slot_of.__contains__, addrs.tolist()), dtype=bool, count=len(addrs)
+            mask[:] = False
+            return mask
+        mask[:] = np.fromiter(
+            map(slot_of.__contains__, addrs.tolist()), dtype=bool, count=n
         )
+        return mask
 
     def set_tracer(self, tracer: Tracer) -> None:
         """Attach a tracer to this buffer's cold-path events."""
@@ -469,6 +494,86 @@ class CacheBuffer:
         return n
 
     # ------------------------------------------------------------------
+    # State snapshot / restore (trace replay)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able snapshot of all timing-relevant buffer state.
+
+        Captures, per class, the resident lines in LRU order (front =
+        LRU) as ``[addr, dirty, ready]`` triples, plus the spilled
+        partial set, the MSHR file in acquisition order, the ready
+        watermark, and the current eviction priority.  Slot *numbers*
+        are deliberately not captured: they never influence timing or
+        stats, only which arena row a line happens to occupy, so
+        :meth:`restore_state` is free to repack the arena.  All floats
+        in play are dyadic rationals (sums of powers of two), so JSON
+        round-trips them exactly.
+        """
+        slot_addr = self._slot_addr
+        slot_dirty = self._slot_dirty
+        slot_ready = self._slot_ready
+        lines = {
+            cls: [
+                [slot_addr[s], slot_dirty[s], slot_ready[s]]
+                for s in self._lru_ods[CLASS_INDEX[cls]]
+            ]
+            for cls in ALL_CLASSES
+        }
+        return {
+            "lines": lines,
+            "spilled_partials": sorted(self._spilled_partials),
+            "mshr_fifo": [[ready, addr] for ready, addr in self._mshr_fifo],
+            "max_ready": self._max_ready,
+            "evict_priority": list(self._evict_priority),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the buffer from a :meth:`snapshot_state` snapshot.
+
+        The arena is repacked from scratch (slot numbering is not part
+        of the snapshot; see there), every list mutated in place so the
+        bindings captured by ``_evict_ctx`` -- and any hoisted by the
+        batched engine between calls -- stay valid.
+        """
+        self._slot_of.clear()
+        for od in self._lru_ods:
+            od.clear()
+        self._free_slots[:] = range(self.capacity_lines - 1, -1, -1)
+        self._class_count[:] = [0] * _N_CLASSES
+        self._size = 0
+        free = self._free_slots
+        slot_cls = self._slot_cls
+        slot_dirty = self._slot_dirty
+        slot_ready = self._slot_ready
+        slot_addr = self._slot_addr
+        lines: Dict[str, List[List[object]]] = state["lines"]  # type: ignore[assignment]
+        for cls, entries in lines.items():
+            ci = CLASS_INDEX[cls]
+            od = self._lru_ods[ci]
+            for addr, dirty, ready in entries:
+                slot = free.pop()
+                slot_cls[slot] = ci
+                slot_dirty[slot] = bool(dirty)
+                slot_ready[slot] = float(ready)  # type: ignore[arg-type]
+                slot_addr[slot] = int(addr)  # type: ignore[call-overload]
+                od[slot] = None
+                self._slot_of[int(addr)] = slot  # type: ignore[call-overload]
+            self._class_count[ci] = len(entries)
+            self._size += len(entries)
+        self._spilled_partials.clear()
+        self._spilled_partials.update(
+            int(a) for a in state["spilled_partials"]  # type: ignore[union-attr]
+        )
+        self._outstanding.clear()
+        self._mshr_fifo.clear()
+        for ready, addr in state["mshr_fifo"]:  # type: ignore[union-attr]
+            r, a = float(ready), int(addr)
+            self._outstanding[a] = r
+            self._mshr_fifo.append((r, a))
+        self._max_ready = float(state["max_ready"])  # type: ignore[arg-type]
+        self.evict_priority = tuple(state["evict_priority"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _touch_slot(self, slot: int) -> None:
@@ -553,6 +658,107 @@ class CacheBuffer:
         self._size = size + 1
         if ready > self._max_ready:
             self._max_ready = ready
+
+    def _plan_victims(self, ci: int, want: int) -> List[int]:
+        """Victim slots available to an epoch of class-``ci`` inserts.
+
+        Mirrors :meth:`_insert`'s flat victim scan unrolled over up to
+        ``want`` evictions: victims drain the per-class LRU *prefixes*
+        in eviction-priority order.  The walk stops after class ``ci``'s
+        own pre-existing lines -- one eviction further and the flat scan
+        would start victimizing lines the epoch itself inserted (they
+        sit at ``ci``'s MRU end), which is exactly where the epoch must
+        cut.  Classes behind ``ci`` in the priority order are
+        unreachable once the epoch has inserted its first line
+        (``ci`` is then non-empty), so stopping early only ever
+        *shortens* an epoch, never mis-orders a victim.
+
+        Returns at most ``want`` slots, in the exact order the flat
+        scan would evict them.  No state is modified.
+        """
+        counts = self._class_count
+        out: List[int] = []
+        for vc in self._evict_order:
+            cnt = counts[vc]
+            if cnt:
+                need = want - len(out)
+                if cnt >= need:
+                    out.extend(islice(self._lru_ods[vc], need))
+                    return out
+                out.extend(self._lru_ods[vc])
+            if vc == ci:
+                break
+        return out
+
+    def _commit_epoch(
+        self,
+        ci: int,
+        run: List[int],
+        readies: List[float],
+        victims: Sequence[int],
+        victim_dirty: Sequence[bool],
+        fill_dirty: bool,
+    ) -> None:
+        """Bulk-apply one miss epoch's evictions and fills to the arena.
+
+        ``run``/``readies`` are the inserted addresses and their ready
+        times in insert order; ``victims`` the pre-planned victim slots
+        (see :meth:`_plan_victims`) with their dirty flags.  The caller
+        has already played the epoch's *timing* -- MSHR stalls, DRAM
+        channel occupancy including dirty-victim writebacks -- so this
+        frame only moves state: victim removal, writeback/spill stats
+        (one reduction per class), then the fills as C-level ``map``
+        sweeps over the parallel slot arrays plus one ``update`` splice
+        per dict.  Slot assignment replays ``_insert`` exactly: the
+        first ``len(free)`` fills pop the free stack top-down, each
+        remaining fill reuses the slot its own eviction just freed.
+        """
+        slot_of = self._slot_of
+        slot_addr = self._slot_addr
+        free = self._free_slots
+        ods = self._lru_ods
+        counts = self._class_count
+        m = len(run)
+        if victims:
+            slot_cls = self._slot_cls
+            stats = self.stats
+            spilled = self._spilled_partials
+            nbytes = self.line_bytes
+            wb = [0] * _N_CLASSES
+            spill_n = 0
+            for s, dirty in zip(victims, victim_dirty):
+                vc = slot_cls[s]
+                del ods[vc][s]
+                del slot_of[slot_addr[s]]
+                counts[vc] -= 1
+                if dirty:
+                    wb[vc] += 1
+                    if vc == _PARTIAL_IDX:
+                        spilled.add(slot_addr[s])
+                        spill_n += 1
+            for vc, cnt in enumerate(wb):
+                if cnt:
+                    stats.dram_write_bytes[ALL_CLASSES[vc]] += cnt * nbytes
+            if spill_n:
+                stats.partial_spill_bytes += spill_n * nbytes
+            new_slots = free[::-1]
+            new_slots.extend(victims)
+            free.clear()
+        else:
+            new_slots = free[-m:]
+            new_slots.reverse()
+            del free[-m:]
+        _drain(map(self._slot_cls.__setitem__, new_slots, repeat(ci)))
+        _drain(map(self._slot_dirty.__setitem__, new_slots, repeat(fill_dirty)))
+        _drain(map(self._slot_ready.__setitem__, new_slots, readies))
+        _drain(map(slot_addr.__setitem__, new_slots, run))
+        ods[ci].update(zip(new_slots, repeat(None)))
+        slot_of.update(zip(run, new_slots))
+        counts[ci] += m
+        self._size += m - len(victims)
+        last = readies[m - 1]
+        if last > self._max_ready:
+            self._max_ready = last
 
     def _update_partial_peak(self) -> None:
         footprint = (

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, List, Optional, Set
+from itertools import accumulate
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -47,6 +48,11 @@ _PARTIAL_IDX = CLASS_INDEX[CLASS_PARTIAL]
 #: Minimum all-hit prefix length worth routing through the vector lane
 #: (below this the numpy setup costs more than the flat loop saves).
 _LANE_MIN = 48
+
+#: Minimum distinct-miss run length worth processing as one epoch
+#: (below this the run scan + bulk commit cost more than the per-miss
+#: ``_read_miss``/``_insert`` frames they replace).
+_EPOCH_MIN = 8
 
 #: Exactness gate for the vector lanes: every timeline value must sit
 #: on the 2^-16 dyadic grid with magnitude below 2^35.  All simulator
@@ -248,6 +254,38 @@ class AccessExecuteEngine:
         """Finish in-flight work; returns the final cycle of this engine."""
         return max(self.issue_t, self.write_t, self.exec_t)
 
+    # ------------------------------------------------------------------
+    # State snapshot / restore (trace replay)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able snapshot of all engine timing state.
+
+        Every value is a dyadic-rational float (built from the start
+        cycle by ``max`` and additions of on-grid quantities), so JSON
+        round-trips it exactly; the store map is captured in insertion
+        order so the forwarding-window FIFO trim replays identically.
+        """
+        return {
+            "issue_t": self.issue_t,
+            "write_t": self.write_t,
+            "exec_t": self.exec_t,
+            "ring": list(self._ring),
+            "k": self._k,
+            "store_map": [[addr, ready] for addr, ready in self._store_map.items()],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild engine timing state from :meth:`snapshot_state`."""
+        self.issue_t = float(state["issue_t"])  # type: ignore[arg-type]
+        self.write_t = float(state["write_t"])  # type: ignore[arg-type]
+        self.exec_t = float(state["exec_t"])  # type: ignore[arg-type]
+        ring = state["ring"]
+        self._ring[:] = [float(v) for v in ring]  # type: ignore[union-attr]
+        self._k = int(state["k"])  # type: ignore[call-overload]
+        self._store_map.clear()
+        for addr, ready in state["store_map"]:  # type: ignore[union-attr]
+            self._store_map[int(addr)] = float(ready)
+
     def _record_store(self, addr: int, ready: float) -> None:
         if not self.forwarding:
             return
@@ -391,19 +429,24 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
     ``_insert``, so the MSHR/DRAM/eviction machinery has exactly one
     implementation.
 
-    On top of the flat loops, the load-side primitives route **all-hit
-    prefixes** through a numpy vector lane (:meth:`_all_hit_lane`): when
-    pre-classification proves a prefix of the batch entirely resident,
-    ready in time, and outside the forwarding window, the uniform-latency
+    On top of the flat loops, the batch primitives make *lazy* vector
+    attempts at the cursor -- no pre-classification pass over the
+    batch.  Load-side, **all-hit runs** go through a numpy vector lane
+    (:meth:`_all_hit_lane`): when a run is entirely resident, ready in
+    time, and outside the forwarding window, the uniform-latency
     timeline recurrence is computed elementwise in closed form and the
-    LRU touches applied as one run of C-level list splices.  The lane
-    only engages when
-    an exactness gate proves the closed form bit-identical to the
-    sequential loop (all operands on a dyadic grid, see ``_LANE_MAG``);
-    everything else takes the flat loop, which performs the *same scalar
-    operations in the same order* as the reference engine.  Either way
-    every cycle value is bit-identical to the scalar engine -- the
-    equivalence contract ``docs/performance.md`` documents and
+    LRU touches applied as one run of C-level list splices.  **Distinct
+    primary-miss runs** (loads and allocating stores) go through the
+    epoch path (:meth:`_miss_epoch` / :meth:`_store_epoch`), which
+    replays the per-miss float recurrence with bulk state commits.
+    Both verify their own run and decline in O(1) probes, so an
+    attempt is nearly free; the lane additionally only engages when an
+    exactness gate proves the closed form bit-identical to the
+    sequential loop (all operands on a dyadic grid, see ``_LANE_MAG``).
+    Everything else takes the flat loop, which performs the *same
+    scalar operations in the same order* as the reference engine.
+    Either way every cycle value is bit-identical to the scalar engine
+    -- the equivalence contract ``docs/performance.md`` documents and
     ``tests/sim/test_engine_equivalence.py`` enforces.
     """
 
@@ -434,6 +477,17 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             and (self.issue_t * 65536.0).is_integer()
             and (self._stream_slack * 65536.0).is_integer()
         )
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore timing state and rebuild the space-prefix index the
+        batched forwarding filter keys on (derived from the store map,
+        so it is not part of the snapshot wire format)."""
+        super().restore_state(state)
+        spaces = self._store_spaces
+        spaces.clear()
+        for a in self._store_map:
+            sp = a >> _SPACE_BITS
+            spaces[sp] = spaces.get(sp, 0) + 1
 
     # ------------------------------------------------------------------
     # Forwarding-window bookkeeping
@@ -546,10 +600,13 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             slot_list = list(map(slot_of.__getitem__, addr_list))
             m = n
         except KeyError:
-            mask = np.fromiter(
-                map(slot_of.__contains__, addr_list), np.bool_, count=n
-            )
-            m = int(np.argmin(mask))
+            # Some later address is non-resident: find the resident
+            # prefix by direct probing -- the raised KeyError guarantees
+            # the loop stops before the end, so a short prefix costs
+            # O(prefix) probes, never a full-tail residency pass.
+            m = 1
+            while addr_list[m] in slot_of:
+                m += 1
             if m < _LANE_MIN:
                 return 0
             slot_list = list(map(slot_of.__getitem__, addr_list[:m]))
@@ -656,6 +713,301 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         return m
 
     # ------------------------------------------------------------------
+    # Miss epochs
+    # ------------------------------------------------------------------
+    def _miss_epoch(
+        self, buf: CacheBuffer, addr_list: List[int], i: int,
+        cls: str, tag: str, mac: bool,
+    ) -> int:
+        """Process a run of primary read misses as one epoch.
+
+        The run starting at ``addr_list[i]`` extends over consecutive
+        *distinct* addresses that are neither resident nor pending --
+        each one a primary miss whose processing cannot change the
+        classification of the ones after it (a fill only adds lines the
+        run does not revisit; evictions only remove lines the run never
+        holds, because victims are resident and run addresses are not).
+        That independence is the epoch invariant: the timing recurrence
+        below performs *exactly* the float operations of the flat
+        ``_read_miss`` path in the same order -- LSQ slot floor, MSHR
+        retire/capacity stalls against the monotone merged ready list,
+        channel occupancy with the dirty-victim writeback interleaved at
+        its exact position -- so every cycle value is bit-identical; the
+        arena/MSHR *state* mutations are deferred and applied in bulk
+        (:meth:`CacheBuffer._commit_epoch`, one MSHR file rebuild).
+
+        The run is additionally capped at ``free slots + plannable
+        victims`` (:meth:`CacheBuffer._plan_victims`); a capacity-capped
+        epoch simply ends early and the caller retries at the cut, so
+        chunking never loses coverage.  Returns addresses consumed (0 if
+        below ``_EPOCH_MIN``); the caller owns the hit/miss/byte stat
+        counters, exactly as it does around the flat ``_read_miss``.
+        """
+        slot_of = buf._slot_of
+        outstanding = buf._outstanding
+        a = addr_list[i]
+        if a in slot_of or a in outstanding:
+            # Fast decline -- the caller probes lazily, so a resident or
+            # pending cursor address is the common case; bail before any
+            # allocation.
+            return 0
+        n = len(addr_list)
+        run: List[int] = []
+        seen: Set[int] = set()
+        j = i
+        while j < n:
+            a = addr_list[j]
+            if a in slot_of or a in outstanding or a in seen:
+                break
+            run.append(a)
+            seen.add(a)
+            j += 1
+        m = len(run)
+        if m < _EPOCH_MIN:
+            return 0
+        free0 = len(buf._free_slots)
+        ci = CLASS_INDEX[cls]
+        victims: Sequence[int] = ()
+        if m > free0:
+            victims = buf._plan_victims(ci, m - free0)
+            cap = free0 + len(victims)
+            if cap < m:
+                if cap < _EPOCH_MIN:
+                    return 0
+                m = cap
+                del run[m:]
+        slot_dirty = buf._slot_dirty
+        vdirty = [slot_dirty[s] for s in victims]
+        fifo = buf._mshr_fifo
+        merged = [r for r, _ in fifo]
+        pre = len(merged)
+        popped = 0
+        limit = buf.mshr_entries
+        c = buf._line_cost
+        lat = buf._read_latency
+        dram = buf.dram
+        nf = dram.next_free
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        exec_t = self.exec_t
+        readies: List[float] = []
+        rd_append = readies.append
+        mg_append = merged.append
+        for idx in range(m):
+            rk = ring[k]
+            b = issue_t + 1.0
+            if rk > b:
+                b = rk
+            # Retire completed misses, then stall for MSHR capacity:
+            # the merged ready list is monotone (each fetch's ready is
+            # strictly after its predecessor's), so retiring is a front
+            # pointer and the capacity stall binds at one element.
+            total = pre + idx
+            while popped < total and merged[popped] <= b:
+                popped += 1
+            over = total - limit + 1
+            if over > popped:
+                mo = merged[over - 1]
+                if mo > b:
+                    b = mo
+                popped = over
+            u = nf if nf > b else b
+            t = u + c
+            ready = t + lat
+            ev = idx - free0
+            if ev >= 0 and vdirty[ev]:
+                # Dirty victim: its writeback occupies the channel right
+                # after this fetch (``_insert`` runs after the fetch in
+                # ``_read_miss``, and its ``max(next_free, cycle)``
+                # floor resolves to ``next_free`` there).
+                nf = t + c
+            else:
+                nf = t
+            mg_append(ready)
+            rd_append(ready)
+            issue_t = b
+            if mac:
+                e = exec_t + 1.0
+                if ready > e:
+                    e = ready
+                exec_t = e
+            else:
+                if ready > exec_t:
+                    exec_t = ready
+            ring[k] = exec_t
+            k += 1
+            if k == depth:
+                k = 0
+        dram.next_free = nf
+        self.issue_t = issue_t
+        self.exec_t = exec_t
+        self._k += m
+        # Rebuild the MSHR file: surviving entries keep FIFO==ready
+        # order because every epoch ready exceeds every pre-epoch one
+        # (the channel clock is monotone).
+        if popped:
+            addrs_all = [a for _, a in fifo]
+            addrs_all += run
+            fifo.clear()
+            outstanding.clear()
+            rem_r = merged[popped:]
+            rem_a = addrs_all[popped:]
+            fifo.extend(zip(rem_r, rem_a))
+            outstanding.update(zip(rem_a, rem_r))
+        else:
+            fifo.extend(zip(readies, run))
+            outstanding.update(zip(run, readies))
+        buf._commit_epoch(ci, run, readies, victims, vdirty, False)
+        return m
+
+    def _store_epoch(
+        self, buf: CacheBuffer, addr_list: List[int], i: int,
+        cls: str, tag: str, partial: bool,
+    ) -> int:
+        """Process a run of write-allocate store misses as one epoch.
+
+        Same structure as :meth:`_miss_epoch` without the MSHR/fetch
+        machinery: each miss inserts a dirty line ready at ``issue +
+        hit_latency``, the write timeline advances by the LSQ slot
+        floor alone, and only dirty-victim writebacks touch the DRAM
+        channel.  ``partial=True`` (the accumulate path) additionally
+        excludes spilled addresses from the run (they take the flat
+        refetch path) and reproduces the per-insert partial footprint
+        bookkeeping -- ``partials_produced``, strided timeline samples,
+        and the peak, which within an epoch is the *final* footprint
+        because inserting one partial line per step never shrinks it.
+        The caller must sync ``stats.partials_produced`` /
+        ``partial_peak_bytes`` around the call, exactly as it does
+        around the flat spilled-refetch branch.
+        """
+        slot_of = buf._slot_of
+        spilled = buf._spilled_partials
+        a = addr_list[i]
+        if a in slot_of or (partial and a in spilled):
+            # Fast decline before any allocation; see _miss_epoch.
+            return 0
+        n = len(addr_list)
+        run: List[int] = []
+        seen: Set[int] = set()
+        j = i
+        if partial:
+            while j < n:
+                a = addr_list[j]
+                if a in slot_of or a in seen or a in spilled:
+                    break
+                run.append(a)
+                seen.add(a)
+                j += 1
+        else:
+            while j < n:
+                a = addr_list[j]
+                if a in slot_of or a in seen:
+                    break
+                run.append(a)
+                seen.add(a)
+                j += 1
+        m = len(run)
+        if m < _EPOCH_MIN:
+            return 0
+        free0 = len(buf._free_slots)
+        ci = CLASS_INDEX[cls]
+        victims: Sequence[int] = ()
+        if m > free0:
+            victims = buf._plan_victims(ci, m - free0)
+            cap = free0 + len(victims)
+            if cap < m:
+                if cap < _EPOCH_MIN:
+                    return 0
+                m = cap
+                del run[m:]
+        slot_dirty = buf._slot_dirty
+        vdirty = [slot_dirty[s] for s in victims]
+        c = buf._line_cost
+        hit_lat = buf.hit_latency
+        dram = buf.dram
+        nf = dram.next_free
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        write_t = self.write_t
+        # Stores never advance the backend; the ring sees a constant
+        # exec floor and the forwarded ready value below is constant.
+        exec_t = self.exec_t
+        readies: List[float] = []
+        rd_append = readies.append
+        for idx in range(m):
+            rk = ring[k]
+            b = write_t + 1.0
+            if rk > b:
+                b = rk
+            write_t = b
+            rd_append(b + hit_lat)
+            ev = idx - free0
+            if ev >= 0 and vdirty[ev]:
+                u = nf if nf > b else b
+                nf = u + c
+            r2 = b + 1.0
+            if exec_t > r2:
+                r2 = exec_t
+            ring[k] = r2
+            k += 1
+            if k == depth:
+                k = 0
+        dram.next_free = nf
+        self.write_t = write_t
+        self._k += m
+        if self.forwarding:
+            # In-batch store-map updates (the deferred window trim stays
+            # at the caller's batch end, same as the flat loops).
+            store_map = self._store_map
+            spaces = self._store_spaces
+            for a in run:
+                if a in store_map:
+                    store_map[a] = exec_t
+                    store_map.move_to_end(a)
+                else:
+                    store_map[a] = exec_t
+                    sp = a >> _SPACE_BITS
+                    spaces[sp] = spaces.get(sp, 0) + 1
+        if partial:
+            stats = self.stats
+            counts = buf._class_count
+            line_bytes = buf.line_bytes
+            base_n = counts[_PARTIAL_IDX] + len(spilled)
+            # Only a *clean* partial victim shrinks the footprint (a
+            # dirty one moves resident -> spilled, net zero), so the
+            # per-insert footprint is ``base_n + t + 1`` minus a rare
+            # clean-partial-victim prefix count.
+            cls_arr = buf._slot_cls
+            cpv: Optional[List[int]] = None
+            if victims:
+                flags = [
+                    1 if (cls_arr[s] == _PARTIAL_IDX and not d) else 0
+                    for s, d in zip(victims, vdirty)
+                ]
+                if any(flags):
+                    cpv = list(accumulate(flags))
+            stride = stats.PARTIAL_TIMELINE_STRIDE
+            timeline = stats.partial_timeline
+            pp0 = stats.partials_produced
+            first = pp0 + 1
+            for p in range(first + (-first) % stride, pp0 + m + 1, stride):
+                t = p - pp0 - 1
+                e = t + 1 - free0
+                drop = cpv[e - 1] if (cpv is not None and e > 0) else 0
+                timeline.append((p, (base_n + t + 1 - drop) * line_bytes))
+            e = m - free0
+            drop = cpv[e - 1] if (cpv is not None and e > 0) else 0
+            foot = (base_n + m - drop) * line_bytes
+            if foot > stats.partial_peak_bytes:
+                stats.partial_peak_bytes = foot
+            stats.partials_produced = pp0 + m
+        buf._commit_epoch(ci, run, readies, victims, vdirty, True)
+        return m
+
+    # ------------------------------------------------------------------
     # Batch primitives (inlined fast paths)
     # ------------------------------------------------------------------
     def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
@@ -668,20 +1020,6 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         buf = self.buffer.route(cls)
         addr_list = addrs.tolist()
         fwd = self._forward_active(addr_list)
-        start = 0
-        if not fwd and n >= _LANE_MIN:
-            start = self._all_hit_lane(buf, addr_list, mac=True)
-            if start:
-                stats.requests_issued += start
-                stats.busy_cycles += start
-                stats.buffer_hits[tag] += start
-                if start == n:
-                    if tracer.enabled:
-                        tracer.span(
-                            "mac_load_batch", t0, self.drain(), "engine",
-                            {"n": n, "cls": cls, "tag": tag},
-                        )
-                    return
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         ods = buf._lru_ods
@@ -693,59 +1031,102 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         store_map = self._store_map
         ring = self._ring
         depth = self.lsq_depth
-        k = self._k % depth
-        issue_t = self.issue_t
-        exec_t = self.exec_t
         hits = 0
         misses = 0
         fetches = 0
         forwards = 0
-        for addr in addr_list[start:] if start else addr_list:
-            slot = ring[k]
-            issue = issue_t + 1.0
-            if slot > issue:
-                issue = slot
-            if fwd and addr in store_map:
-                ready = store_map[addr]
-                if issue > ready:
-                    ready = issue
-                forwards += 1
-            else:
-                s = slot_of.get(addr)
-                if s is not None:
-                    if lru:
-                        ods[cls_arr[s]].move_to_end(s)
-                    hits += 1
-                    ready = issue + hit_lat
-                    sr = slot_ready[s]
-                    if sr > ready:
-                        ready = sr
-                else:
-                    misses += 1
-                    pending = outstanding.get(addr)
-                    if pending is not None:
-                        # Secondary miss: merged into the pending MSHR.
-                        ready = issue + hit_lat
-                        if pending > ready:
-                            ready = pending
+        i = 0
+        # Vector attempts are *lazy* -- no pre-classification pass over
+        # the batch.  The lane and the epoch each verify their own run
+        # and decline in O(1) probes when the run at the cursor is
+        # short, so an all-hit batch costs exactly one lane pass and a
+        # cold miss stream goes straight into epochs.  After a decline
+        # the flat loop processes just the short run at the cursor and
+        # the attempts retry; the retry budget (restored by every
+        # consumed run) bounds declined-probe overhead on fragmented
+        # batches, beyond which the remainder takes one flat pass --
+        # the pre-epoch shape.
+        rounds = 0 if fwd else 2
+        while i < n:
+            target = n
+            if rounds and n - i >= _EPOCH_MIN:
+                if n - i >= _LANE_MIN:
+                    consumed = self._all_hit_lane(
+                        buf, addr_list[i:] if i else addr_list, mac=True
+                    )
+                    if consumed:
+                        hits += consumed
+                        i += consumed
+                        rounds = 2
+                        continue
+                consumed = self._miss_epoch(
+                    buf, addr_list, i, cls, tag, mac=True
+                )
+                if consumed:
+                    misses += consumed
+                    fetches += consumed
+                    i += consumed
+                    rounds = 2
+                    continue
+                rounds -= 1
+                if rounds:
+                    j = i + 1
+                    if addr_list[i] in slot_of:
+                        while j < n and addr_list[j] in slot_of:
+                            j += 1
                     else:
-                        fetches += 1
-                        ready, issue = read_miss(issue, addr, cls, tag)
-            issue_t = issue
-            e = exec_t + 1.0
-            if ready > e:
-                e = ready
-            exec_t = e
-            ring[k] = e
-            k += 1
-            if k == depth:
-                k = 0
-        rest = n - start
-        self.issue_t = issue_t
-        self.exec_t = exec_t
-        self._k += rest
-        stats.requests_issued += rest
-        stats.busy_cycles += rest
+                        while j < n and addr_list[j] not in slot_of:
+                            j += 1
+                    target = j
+            k = self._k % depth
+            issue_t = self.issue_t
+            exec_t = self.exec_t
+            for addr in addr_list[i:target]:
+                slot = ring[k]
+                issue = issue_t + 1.0
+                if slot > issue:
+                    issue = slot
+                if fwd and addr in store_map:
+                    ready = store_map[addr]
+                    if issue > ready:
+                        ready = issue
+                    forwards += 1
+                else:
+                    s = slot_of.get(addr)
+                    if s is not None:
+                        if lru:
+                            ods[cls_arr[s]].move_to_end(s)
+                        hits += 1
+                        ready = issue + hit_lat
+                        sr = slot_ready[s]
+                        if sr > ready:
+                            ready = sr
+                    else:
+                        misses += 1
+                        pending = outstanding.get(addr)
+                        if pending is not None:
+                            # Secondary miss: merged into the pending MSHR.
+                            ready = issue + hit_lat
+                            if pending > ready:
+                                ready = pending
+                        else:
+                            fetches += 1
+                            ready, issue = read_miss(issue, addr, cls, tag)
+                issue_t = issue
+                e = exec_t + 1.0
+                if ready > e:
+                    e = ready
+                exec_t = e
+                ring[k] = e
+                k += 1
+                if k == depth:
+                    k = 0
+            self.issue_t = issue_t
+            self.exec_t = exec_t
+            self._k += target - i
+            i = target
+        stats.requests_issued += n
+        stats.busy_cycles += n
         if hits:
             stats.buffer_hits[tag] += hits
         if misses:
@@ -770,19 +1151,6 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         buf = self.buffer.route(cls)
         addr_list = addrs.tolist()
         fwd = self._forward_active(addr_list)
-        start = 0
-        if not fwd and n >= _LANE_MIN:
-            start = self._all_hit_lane(buf, addr_list, mac=False)
-            if start:
-                stats.requests_issued += start
-                stats.buffer_hits[tag] += start
-                if start == n:
-                    if tracer.enabled:
-                        tracer.span(
-                            "load_batch", t0, self.drain(), "engine",
-                            {"n": n, "cls": cls, "tag": tag},
-                        )
-                    return
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         ods = buf._lru_ods
@@ -794,56 +1162,91 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         store_map = self._store_map
         ring = self._ring
         depth = self.lsq_depth
-        k = self._k % depth
-        issue_t = self.issue_t
-        exec_t = self.exec_t
         hits = 0
         misses = 0
         fetches = 0
         forwards = 0
-        for addr in addr_list[start:] if start else addr_list:
-            slot = ring[k]
-            issue = issue_t + 1.0
-            if slot > issue:
-                issue = slot
-            if fwd and addr in store_map:
-                ready = store_map[addr]
-                if issue > ready:
-                    ready = issue
-                forwards += 1
-            else:
-                s = slot_of.get(addr)
-                if s is not None:
-                    if lru:
-                        ods[cls_arr[s]].move_to_end(s)
-                    hits += 1
-                    ready = issue + hit_lat
-                    sr = slot_ready[s]
-                    if sr > ready:
-                        ready = sr
-                else:
-                    misses += 1
-                    pending = outstanding.get(addr)
-                    if pending is not None:
-                        ready = issue + hit_lat
-                        if pending > ready:
-                            ready = pending
+        i = 0
+        # Lazy vector attempts with a decline budget; see
+        # :meth:`mac_load_batch`.
+        rounds = 0 if fwd else 2
+        while i < n:
+            target = n
+            if rounds and n - i >= _EPOCH_MIN:
+                if n - i >= _LANE_MIN:
+                    consumed = self._all_hit_lane(
+                        buf, addr_list[i:] if i else addr_list, mac=False
+                    )
+                    if consumed:
+                        hits += consumed
+                        i += consumed
+                        rounds = 2
+                        continue
+                consumed = self._miss_epoch(
+                    buf, addr_list, i, cls, tag, mac=False
+                )
+                if consumed:
+                    misses += consumed
+                    fetches += consumed
+                    i += consumed
+                    rounds = 2
+                    continue
+                rounds -= 1
+                if rounds:
+                    j = i + 1
+                    if addr_list[i] in slot_of:
+                        while j < n and addr_list[j] in slot_of:
+                            j += 1
                     else:
-                        fetches += 1
-                        ready, issue = read_miss(issue, addr, cls, tag)
-            issue_t = issue
-            # A plain fetch: the backend waits but records no busy MAC.
-            if ready > exec_t:
-                exec_t = ready
-            ring[k] = exec_t
-            k += 1
-            if k == depth:
-                k = 0
-        rest = n - start
-        self.issue_t = issue_t
-        self.exec_t = exec_t
-        self._k += rest
-        stats.requests_issued += rest
+                        while j < n and addr_list[j] not in slot_of:
+                            j += 1
+                    target = j
+            k = self._k % depth
+            issue_t = self.issue_t
+            exec_t = self.exec_t
+            for addr in addr_list[i:target]:
+                slot = ring[k]
+                issue = issue_t + 1.0
+                if slot > issue:
+                    issue = slot
+                if fwd and addr in store_map:
+                    ready = store_map[addr]
+                    if issue > ready:
+                        ready = issue
+                    forwards += 1
+                else:
+                    s = slot_of.get(addr)
+                    if s is not None:
+                        if lru:
+                            ods[cls_arr[s]].move_to_end(s)
+                        hits += 1
+                        ready = issue + hit_lat
+                        sr = slot_ready[s]
+                        if sr > ready:
+                            ready = sr
+                    else:
+                        misses += 1
+                        pending = outstanding.get(addr)
+                        if pending is not None:
+                            ready = issue + hit_lat
+                            if pending > ready:
+                                ready = pending
+                        else:
+                            fetches += 1
+                            ready, issue = read_miss(issue, addr, cls, tag)
+                issue_t = issue
+                # A plain fetch: the backend waits but records no busy MAC.
+                if ready > exec_t:
+                    exec_t = ready
+                ring[k] = exec_t
+                k += 1
+                if k == depth:
+                    k = 0
+            self.issue_t = issue_t
+            self.exec_t = exec_t
+            self._k += target - i
+            i = target
+        stats.requests_issued += n
         if hits:
             stats.buffer_hits[tag] += hits
         if misses:
@@ -866,10 +1269,14 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         t0 = self.drain()
         top = self.buffer
         buf = top.route(cls)
-        # One residency pass against the routed half only; the scalar
-        # reference consults top-level contains(), but the two agree
-        # whenever no address is resident in the *other* half.
-        mask = buf.classify_batch(addrs)
+        addr_list = addrs.tolist()
+        # One residency pass against the routed half only (straight
+        # into a list -- the per-address loop below consumes it
+        # elementwise, so a numpy mask would just round-trip); the
+        # scalar reference consults top-level contains(), but the two
+        # agree whenever no address is resident in the *other* half.
+        slot_of = buf._slot_of
+        res_list = list(map(slot_of.__contains__, addr_list))
         if buf is not top:
             other = (
                 top.output_buffer
@@ -881,13 +1288,16 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             # allocate) in the routed half, changing residency mid-batch
             # and invalidating the plan -- replay exactly, one scalar
             # primitive at a time.
-            if bool(np.any(other.classify_batch(addrs) & ~mask)):
+            oth_of = other._slot_of
+            if oth_of and any(
+                o and not r
+                for o, r in zip(map(oth_of.__contains__, addr_list), res_list)
+            ):
                 AccessExecuteEngine.mac_stream_load_batch(self, addrs, cls, tag)
                 return
         # Residency is invariant across the batch: hits never allocate
         # and streamed lines are never inserted, so the mask stays true.
         stats = self.stats
-        slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         ods = buf._lru_ods
         cls_arr = buf._slot_cls
@@ -907,9 +1317,8 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         misses = 0
         forwards = 0
         nk = 0
-        addr_list = addrs.tolist()
         fwd = self._forward_active(addr_list)
-        for addr, resident in zip(addr_list, mask.tolist()):
+        for addr, resident in zip(addr_list, res_list):
             if resident:
                 slot = ring[k]
                 issue = issue_t + 1.0
@@ -1000,58 +1409,87 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         spaces = self._store_spaces
         ring = self._ring
         depth = self.lsq_depth
-        k = self._k % depth
-        write_t = self.write_t
+        addr_list = addrs.tolist()
         # Stores never advance the backend, so the forwarded ready value
         # (scalar: ``_record_store(addr, self.exec_t)``) is constant.
         exec_t = self.exec_t
         hits = 0
         misses = 0
         posted = 0
-        for addr in addrs.tolist():
-            slot = ring[k]
-            issue = write_t + 1.0
-            if slot > issue:
-                issue = slot
-            s = slot_of.get(addr)
-            if s is not None:
-                hits += 1
-                slot_dirty[s] = True
-                r = issue + hit_lat
-                if r > slot_ready[s]:
-                    slot_ready[s] = r
-                    if r > mr:
-                        mr = r
-                if lru:
-                    ods[cls_arr[s]].move_to_end(s)
-            elif allocate:
-                misses += 1
-                insert(issue, addr, cls, True, issue + hit_lat)
-            else:
-                # Write-through/no-allocate: DRAM.write, inlined; the
-                # byte counter is batched below.
-                misses += 1
-                posted += 1
-                start = dram.next_free
-                if issue > start:
-                    start = issue
-                dram.next_free = start + line_cost
-            write_t = issue
-            r2 = issue + 1.0
-            if exec_t > r2:
-                r2 = exec_t
-            ring[k] = r2
-            k += 1
-            if k == depth:
-                k = 0
-            if fwd:
-                if addr in store_map:
-                    store_map[addr] = exec_t
-                    store_map.move_to_end(addr)
+        i = 0
+        # Lazy epoch attempts with a decline budget; see
+        # :meth:`mac_load_batch` (stores have no all-hit lane).
+        rounds = 2 if allocate else 0
+        while i < n:
+            target = n
+            if rounds and n - i >= _EPOCH_MIN:
+                consumed = self._store_epoch(
+                    buf, addr_list, i, cls, tag, partial=False
+                )
+                if consumed:
+                    misses += consumed
+                    i += consumed
+                    rounds = 2
+                    continue
+                rounds -= 1
+                if rounds:
+                    j = i + 1
+                    if addr_list[i] in slot_of:
+                        while j < n and addr_list[j] in slot_of:
+                            j += 1
+                    else:
+                        while j < n and addr_list[j] not in slot_of:
+                            j += 1
+                    target = j
+            k = self._k % depth
+            write_t = self.write_t
+            for addr in addr_list[i:target]:
+                slot = ring[k]
+                issue = write_t + 1.0
+                if slot > issue:
+                    issue = slot
+                s = slot_of.get(addr)
+                if s is not None:
+                    hits += 1
+                    slot_dirty[s] = True
+                    r = issue + hit_lat
+                    if r > slot_ready[s]:
+                        slot_ready[s] = r
+                        if r > mr:
+                            mr = r
+                    if lru:
+                        ods[cls_arr[s]].move_to_end(s)
+                elif allocate:
+                    misses += 1
+                    insert(issue, addr, cls, True, issue + hit_lat)
                 else:
-                    store_map[addr] = exec_t
-                    sp = addr >> _SPACE_BITS
-                    spaces[sp] = spaces.get(sp, 0) + 1
+                    # Write-through/no-allocate: DRAM.write, inlined; the
+                    # byte counter is batched below.
+                    misses += 1
+                    posted += 1
+                    start = dram.next_free
+                    if issue > start:
+                        start = issue
+                    dram.next_free = start + line_cost
+                write_t = issue
+                r2 = issue + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
+                k += 1
+                if k == depth:
+                    k = 0
+                if fwd:
+                    if addr in store_map:
+                        store_map[addr] = exec_t
+                        store_map.move_to_end(addr)
+                    else:
+                        store_map[addr] = exec_t
+                        sp = addr >> _SPACE_BITS
+                        spaces[sp] = spaces.get(sp, 0) + 1
+            self.write_t = write_t
+            self._k += target - i
+            i = target
         if fwd:
             # Deferred trim: the surviving window is the last lsq_depth
             # distinct addresses in last-store order either way, and no
@@ -1066,8 +1504,6 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     del spaces[sp]
         if mr > buf._max_ready:
             buf._max_ready = mr
-        self.write_t = write_t
-        self._k += n
         stats.requests_issued += n
         if hits:
             stats.buffer_hits[tag] += hits
@@ -1108,8 +1544,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         spaces = self._store_spaces
         ring = self._ring
         depth = self.lsq_depth
-        k = self._k % depth
-        write_t = self.write_t
+        addr_list = addrs.tolist()
         exec_t = self.exec_t
         hits = 0
         misses = 0
@@ -1119,60 +1554,104 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         # evicted or refetched -- all inside the miss branches below --
         # so it is recomputed there and cached across the hits.
         footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
-        for addr in addrs.tolist():
-            slot = ring[k]
-            issue = write_t + 1.0
-            if slot > issue:
-                issue = slot
-            pp += 1
-            s = slot_of.get(addr)
-            if s is not None:
-                hits += 1
-                slot_dirty[s] = True
-                r = issue + hit_lat
-                if r > slot_ready[s]:
-                    slot_ready[s] = r
-                    if r > mr:
-                        mr = r
-                if lru:
-                    ods[cls_arr[s]].move_to_end(s)
-                if footprint > peak:
-                    peak = footprint
-                if pp % stride == 0:
-                    timeline.append((pp, footprint))
-            elif addr in spilled:
-                # Spilled partial: demand refetch + re-merge.  The
-                # scalar accumulate bumps partials_produced and reads/
-                # updates the peak itself: sync the locals around it.
-                stats.partials_produced = pp - 1
-                stats.partial_peak_bytes = peak
-                buf.accumulate(issue, addr, tag)
-                peak = stats.partial_peak_bytes
-                footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
-            else:
-                misses += 1
-                insert(issue, addr, CLASS_PARTIAL, True, issue + hit_lat)
-                footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
-                if footprint > peak:
-                    peak = footprint
-                if pp % stride == 0:
-                    timeline.append((pp, footprint))
-            write_t = issue
-            r2 = issue + 1.0
-            if exec_t > r2:
-                r2 = exec_t
-            ring[k] = r2
-            k += 1
-            if k == depth:
-                k = 0
-            if fwd:
-                if addr in store_map:
-                    store_map[addr] = exec_t
-                    store_map.move_to_end(addr)
+        i = 0
+        # Lazy epoch attempts with a decline budget; see
+        # :meth:`mac_load_batch`.
+        rounds = 2
+        while i < n:
+            target = n
+            if rounds and n - i >= _EPOCH_MIN:
+                consumed = 0
+                a0 = addr_list[i]
+                if a0 not in slot_of and a0 not in spilled:
+                    # The epoch reproduces the per-insert footprint
+                    # bookkeeping against the stats object: sync the
+                    # locals around it, like the flat spilled-refetch
+                    # branch does.
+                    stats.partials_produced = pp
+                    stats.partial_peak_bytes = peak
+                    consumed = self._store_epoch(
+                        buf, addr_list, i, CLASS_PARTIAL, tag, partial=True
+                    )
+                if consumed:
+                    misses += consumed
+                    pp = stats.partials_produced
+                    peak = stats.partial_peak_bytes
+                    footprint = (
+                        counts[_PARTIAL_IDX] + len(spilled)
+                    ) * line_bytes
+                    i += consumed
+                    rounds = 2
+                    continue
+                rounds -= 1
+                if rounds:
+                    j = i + 1
+                    if addr_list[i] in slot_of:
+                        while j < n and addr_list[j] in slot_of:
+                            j += 1
+                    else:
+                        while j < n and addr_list[j] not in slot_of:
+                            j += 1
+                    target = j
+            k = self._k % depth
+            write_t = self.write_t
+            for addr in addr_list[i:target]:
+                slot = ring[k]
+                issue = write_t + 1.0
+                if slot > issue:
+                    issue = slot
+                pp += 1
+                s = slot_of.get(addr)
+                if s is not None:
+                    hits += 1
+                    slot_dirty[s] = True
+                    r = issue + hit_lat
+                    if r > slot_ready[s]:
+                        slot_ready[s] = r
+                        if r > mr:
+                            mr = r
+                    if lru:
+                        ods[cls_arr[s]].move_to_end(s)
+                    if footprint > peak:
+                        peak = footprint
+                    if pp % stride == 0:
+                        timeline.append((pp, footprint))
+                elif addr in spilled:
+                    # Spilled partial: demand refetch + re-merge.  The
+                    # scalar accumulate bumps partials_produced and reads/
+                    # updates the peak itself: sync the locals around it.
+                    stats.partials_produced = pp - 1
+                    stats.partial_peak_bytes = peak
+                    buf.accumulate(issue, addr, tag)
+                    peak = stats.partial_peak_bytes
+                    footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
                 else:
-                    store_map[addr] = exec_t
-                    sp = addr >> _SPACE_BITS
-                    spaces[sp] = spaces.get(sp, 0) + 1
+                    misses += 1
+                    insert(issue, addr, CLASS_PARTIAL, True, issue + hit_lat)
+                    footprint = (counts[_PARTIAL_IDX] + len(spilled)) * line_bytes
+                    if footprint > peak:
+                        peak = footprint
+                    if pp % stride == 0:
+                        timeline.append((pp, footprint))
+                write_t = issue
+                r2 = issue + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
+                k += 1
+                if k == depth:
+                    k = 0
+                if fwd:
+                    if addr in store_map:
+                        store_map[addr] = exec_t
+                        store_map.move_to_end(addr)
+                    else:
+                        store_map[addr] = exec_t
+                        sp = addr >> _SPACE_BITS
+                        spaces[sp] = spaces.get(sp, 0) + 1
+            self.write_t = write_t
+            self._k += target - i
+            i = target
         if fwd:
             while len(store_map) > depth:
                 a, _ = store_map.popitem(last=False)
@@ -1184,8 +1663,6 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     del spaces[sp]
         if mr > buf._max_ready:
             buf._max_ready = mr
-        self.write_t = write_t
-        self._k += n
         stats.partials_produced = pp
         stats.partial_peak_bytes = peak
         stats.requests_issued += n

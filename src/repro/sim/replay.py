@@ -1,0 +1,181 @@
+"""Record/replay of resolved per-phase timing traces.
+
+The second lane of the epoch-vectorization PR (see
+``docs/performance.md``): a live simulation resolves every address
+through the buffer model once and *records*, per accelerator phase, the
+phase's full outcome -- the :class:`~repro.sim.stats.SimStats` delta,
+the output matrix, the end-of-phase occupancy, and the complete
+post-phase simulator state (buffer arena, engine timelines, DRAM
+channel clock).  Any later run that reaches the same phase *with the
+same pre-state* replays the record instead of simulating: restore
+state, merge the stats delta, hand back the output.  Ablation sweeps
+that share a prefix of phases (or differ only in timing-exempt knobs
+like the reporting clock) skip the buffer model entirely for the
+shared phases.
+
+Why this is exact
+-----------------
+The simulator is deterministic: a phase's outcome is a pure function of
+(model operands, timing-relevant config, pre-phase simulator state).
+Phase identity is established by a *chained signature*::
+
+    sig_0 = H(schema || model fingerprint || accelerator || timing cfg)
+    sig_k = H(sig_{k-1} || phase name)
+
+``sig_k`` therefore commits to the entire phase history from reset.  By
+induction, two runs holding the same ``sig_k`` hold bit-identical
+pre-state at phase ``k`` -- same seed inputs, same phases executed --
+so the recorded post-state and stats delta are exactly what the live
+phase would produce.  Every float in the snapshots is a dyadic
+rational (the simulator builds cycle values from ``max`` and additions
+of on-grid quantities), so JSON round-trips the state exactly.
+
+The timing config drops fields with no effect on simulated cycles
+(``engine`` -- the scalar and batched engines are bit-identical by the
+equivalence contract -- and ``clock_ghz``, a pure reporting scale);
+accelerators extend the exemption set via
+``AcceleratorBase.phase_config_exempt`` for knobs their dataflow never
+reads, widening trace sharing across ablation sweeps.
+
+Storage is a :class:`repro.runtime.cache.TraceStore` (sharded layout,
+atomic writes, corrupt-record eviction); invalidation is structural --
+the chain hashes :data:`TRACE_SCHEMA_VERSION`, so any layout change
+simply stops hitting old records.
+
+Replay is read-only by construction: applying a record only calls the
+``restore_state`` methods and merges stats; it never touches buffer
+arena internals directly (the ``buffer-internals`` analyzer rule
+checks this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gcn.model import GCNModel
+from repro.hymm.config import HyMMConfig
+
+#: Bump on any change to the trace record layout or the snapshot wire
+#: formats; hashed into the signature chain so stale records become
+#: structural misses instead of wrong replays.
+TRACE_SCHEMA_VERSION = 1
+
+#: Config fields with no effect on simulated timing for *any*
+#: accelerator: the engine choice (scalar/batched are bit-identical by
+#: the equivalence contract) and the reporting clock.
+BASE_TIMING_EXEMPT = frozenset({"engine", "clock_ghz"})
+
+
+def _hash_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    a = np.ascontiguousarray(arr)
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+
+
+def model_fingerprint(model: GCNModel) -> str:
+    """Content hash of everything the simulator reads from the model:
+    the normalised adjacency, the feature matrix, and per-layer weights
+    plus activation presence.  Two models with equal fingerprints drive
+    byte-identical simulations (given equal config)."""
+    h = hashlib.sha256()
+    h.update(model.dataset.name.encode())
+    adj = model.norm_adj
+    h.update(str(adj.shape).encode())
+    _hash_array(h, adj.rows)
+    _hash_array(h, adj.cols)
+    _hash_array(h, adj.values)
+    feats = model.dataset.features
+    h.update(str(feats.shape).encode())
+    _hash_array(h, feats.indptr)
+    _hash_array(h, feats.indices)
+    _hash_array(h, feats.values)
+    for layer in model.layers:
+        _hash_array(h, layer.weights)
+        h.update(b"act" if layer.activation is not None else b"lin")
+    return h.hexdigest()
+
+
+def timing_config_dict(
+    config: HyMMConfig, exempt: frozenset = BASE_TIMING_EXEMPT
+) -> Dict[str, object]:
+    """``config.to_dict()`` minus the timing-exempt fields."""
+    return {k: v for k, v in config.to_dict().items() if k not in exempt}
+
+
+class TraceSession:
+    """One run's view of the trace store: signature chain + counters.
+
+    Create one per ``run_inference`` call (the chain is stateful), give
+    it the store, then let the run loop drive it::
+
+        session = TraceSession(store)
+        session.open(accelerator.name, config, model, exempt)
+        sig = session.next_signature("layer0.combination")
+        rec = session.lookup(sig)      # None -> simulate live + record
+
+    ``replayed`` / ``recorded`` list the phase names served each way,
+    so callers (and the correctness tests) can assert replay actually
+    happened rather than silently falling back to live simulation.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self._sig: Optional[str] = None
+        self.replayed: List[str] = []
+        self.recorded: List[str] = []
+
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        accelerator: str,
+        config: HyMMConfig,
+        model: GCNModel,
+        exempt: frozenset = BASE_TIMING_EXEMPT,
+    ) -> str:
+        """Seed the signature chain for one inference run."""
+        seed = hashlib.sha256()
+        seed.update(str(TRACE_SCHEMA_VERSION).encode())
+        seed.update(accelerator.encode())
+        seed.update(model_fingerprint(model).encode())
+        seed.update(
+            json.dumps(timing_config_dict(config, exempt), sort_keys=True).encode()
+        )
+        self._sig = seed.hexdigest()
+        return self._sig
+
+    def next_signature(self, phase: str) -> str:
+        """Advance the chain to ``phase`` and return its signature."""
+        if self._sig is None:
+            raise RuntimeError("TraceSession.open() must run before phases")
+        h = hashlib.sha256()
+        h.update(self._sig.encode())
+        h.update(b"|")
+        h.update(phase.encode())
+        self._sig = h.hexdigest()
+        return self._sig
+
+    # ------------------------------------------------------------------
+    def lookup(self, sig: str, phase: str) -> Optional[Dict[str, object]]:
+        """The stored record for ``sig`` if its schema matches, else
+        ``None`` (simulate live).  A hit is tallied in ``replayed``."""
+        record = self.store.load_trace(sig)
+        if record is None:
+            return None
+        if record.get("trace_schema") != TRACE_SCHEMA_VERSION:
+            return None
+        self.replayed.append(phase)
+        return record
+
+    def record(self, sig: str, phase: str, record: Dict[str, object]) -> None:
+        """Persist one phase record under ``sig``."""
+        record = dict(record)
+        record["trace_schema"] = TRACE_SCHEMA_VERSION
+        record["sig"] = sig
+        record["phase"] = phase
+        self.store.store_trace(sig, record)
+        self.recorded.append(phase)

@@ -336,6 +336,36 @@ class TestBufferInternalsRule:
         for name in ARENA_FIELDS | ARENA_METHODS:
             assert hasattr(buf, name), name
 
+    def test_replay_scope_flags_reads_too(self):
+        """In replay-mode modules even reading the arena is a
+        violation: replay is read-only by construction, state flows
+        through snapshot_state/restore_state only."""
+        project = load_fixture("replay_violations.py", "repro.sim.replay")
+        findings = run_rules(project, [BufferInternalsRule()])
+        expected = {
+            line_of("replay_violations.py", "buffer._max_ready"),
+            line_of("replay_violations.py", "buffer._slot_ready[0] = 0.0"),
+            line_of("replay_violations.py", "buffer._commit_epoch"),
+        }
+        assert by_line(findings) == expected
+        assert all("read-only" in f.message for f in findings)
+
+    def test_replay_scope_public_snapshot_api_clean(self):
+        project = load_fixture("replay_violations.py", "repro.sim.replay")
+        findings = run_rules(project, [BufferInternalsRule()])
+        clean = {
+            line_of("replay_violations.py", "buffer.restore_state"),
+            line_of("replay_violations.py", "engine.restore_state"),
+            line_of("replay_violations.py", "buf.snapshot_state()"),
+            line_of("replay_violations.py", "buffer.occupancy_by_class()"),
+        }
+        assert not (by_line(findings) & clean)
+
+    def test_epoch_fields_in_rule_list(self):
+        """The epoch-vectorization additions are covered."""
+        assert "_mask_scratch" in ARENA_FIELDS
+        assert {"_plan_victims", "_commit_epoch"} <= ARENA_METHODS
+
 
 # ----------------------------------------------------------------------
 # obs-hygiene

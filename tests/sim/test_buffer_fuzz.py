@@ -25,7 +25,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.sim.buffer import ALL_CLASSES, CLASS_PARTIAL, CacheBuffer
+from repro.sim.buffer import ALL_CLASSES, CLASS_OUT, CLASS_PARTIAL, CacheBuffer
 from repro.sim.memory import DRAM, DRAMConfig
 from repro.sim.stats import SimStats
 
@@ -144,6 +144,201 @@ def test_differential_fuzz(seed):
     assert _observables(ref) == _observables(arena)
     assert ref_dram.next_free == arena_dram.next_free
     assert [ref.contains(a) for a in addrs] == [arena.contains(a) for a in addrs]
+
+
+def _make_engine_pair(
+    mshr_entries=MSHR_ENTRIES,
+    capacity_lines=CAPACITY_LINES,
+    lsq_depth=16,
+    forwarding=True,
+):
+    """(scalar engine over the legacy reference buffer, batched engine
+    over the arena buffer) with identical geometry -- the full
+    cross-implementation differential: the batched engine's epoch and
+    lane fast paths against the scalar loops over the legacy core."""
+    from repro.sim.engine import make_engine
+
+    out = []
+    for factory, engine_kind in ((_ReferenceBuffer, "scalar"), (CacheBuffer, "batched")):
+        stats = SimStats()
+        dram = DRAM(DRAMConfig(), stats)
+        buf = factory(
+            capacity_lines=capacity_lines,
+            line_bytes=LINE_BYTES,
+            dram=dram,
+            stats=stats,
+            mshr_entries=mshr_entries,
+        )
+        engine = make_engine(
+            engine_kind, buf, dram, stats,
+            lsq_depth=lsq_depth, forwarding=forwarding,
+        )
+        out.append((engine, buf, dram, stats))
+    return out
+
+
+def _assert_engines_agree(pair, context=""):
+    (se, sb, sd, ss), (be, bb, bd, bs) = pair
+    assert ss.to_dict() == bs.to_dict(), f"stats diverge {context}"
+    assert (se.issue_t, se.write_t, se.exec_t) == (
+        be.issue_t, be.write_t, be.exec_t
+    ), f"timelines diverge {context}"
+    assert sd.next_free == bd.next_free, f"DRAM clock diverges {context}"
+    assert _observables(sb) == _observables(bb), f"residency diverges {context}"
+
+
+class TestEpochEngineDifferential:
+    """Drive the epoch-vectorized miss path (batched engine + arena)
+    against the scalar reference loops over the legacy buffer.
+
+    Batches of >= 8 fresh misses engage ``_miss_epoch``/``_store_epoch``
+    (``_EPOCH_MIN``); the cases below force the epoch *cut* conditions
+    -- duplicates inside a run, residency feedback from in-batch fills,
+    MSHR capacity stalls, victim exhaustion -- where the vectorized
+    bookkeeping is most likely to diverge from the sequential truth.
+    """
+
+    # Two disjoint address spaces (bit 40 apart, like AddressMap's
+    # operand spacing) keep loads off the store-forwarding window, so
+    # the load segments reach the epoch path under forwarding=True too.
+    LOAD_BASE = 0x100_0000_0000
+    STORE_BASE = 0x200_0000_0000
+
+    def _laddr(self, i):
+        return self.LOAD_BASE + i * LINE_BYTES
+
+    def _saddr(self, i):
+        return self.STORE_BASE + i * LINE_BYTES
+
+    def _both(self, pair, method, *args):
+        for engine, _, _, _ in pair:
+            getattr(engine, method)(*args)
+
+    def test_miss_burst_then_refeed(self):
+        """A fresh distinct-address burst (pure epoch) followed by the
+        same addresses again (all-hit feedback from the epoch's own
+        fills)."""
+        pair = _make_engine_pair()
+        burst = np.asarray([self._laddr(i) for i in range(16)], dtype=np.int64)
+        self._both(pair, "mac_load_batch", burst, "W", "adj")
+        _assert_engines_agree(pair, "after burst")
+        self._both(pair, "mac_load_batch", burst, "W", "adj")
+        _assert_engines_agree(pair, "after refeed")
+
+    def test_duplicate_inside_miss_run(self):
+        """A duplicate inside a would-be epoch run forces a cut: the
+        second occurrence must see the first's fill."""
+        pair = _make_engine_pair()
+        idx = [0, 1, 2, 3, 4, 5, 6, 7, 8, 3, 9, 10, 11, 12, 13, 14]
+        addrs = np.asarray([self._laddr(i) for i in idx], dtype=np.int64)
+        self._both(pair, "load_batch", addrs, "XW", "feat")
+        _assert_engines_agree(pair)
+
+    def test_mshr_saturation_inside_epoch(self):
+        """More distinct misses in one batch than MSHR entries: the
+        epoch's cumulative capacity walk must stall exactly like the
+        scalar retire loop."""
+        pair = _make_engine_pair(mshr_entries=2)
+        addrs = np.asarray([self._laddr(i) for i in range(20)], dtype=np.int64)
+        self._both(pair, "mac_load_batch", addrs, "W", "adj")
+        _assert_engines_agree(pair)
+
+    def test_capacity_chunking_and_victim_exhaustion(self):
+        """A miss run larger than the whole buffer: the epoch must cut
+        at free+victim exhaustion and chunk through, evicting its own
+        earlier fills."""
+        pair = _make_engine_pair(capacity_lines=12)
+        addrs = np.asarray([self._laddr(i) for i in range(40)], dtype=np.int64)
+        self._both(pair, "mac_load_batch", addrs, "W", "adj")
+        _assert_engines_agree(pair, "after overflow burst")
+        # Second pass: everything was evicted or is LRU-fragile.
+        self._both(pair, "load_batch", addrs, "W", "adj")
+        _assert_engines_agree(pair, "after second pass")
+
+    def test_store_epoch_with_dirty_victims(self):
+        """Store bursts that evict dirty lines: the store epoch's
+        writeback channel bumps must serialize like the scalar path."""
+        pair = _make_engine_pair(capacity_lines=12)
+        first = np.asarray([self._saddr(i) for i in range(12)], dtype=np.int64)
+        second = np.asarray(
+            [self._saddr(i) for i in range(12, 30)], dtype=np.int64
+        )
+        self._both(pair, "store_batch", first, CLASS_OUT, "out")
+        self._both(pair, "store_batch", second, CLASS_OUT, "out")
+        _assert_engines_agree(pair)
+
+    def test_accumulate_epoch_partial_spill(self):
+        """Partial-accumulate bursts past capacity: spilled-partial
+        bookkeeping, footprint peak and timeline must match."""
+        pair = _make_engine_pair(capacity_lines=10)
+        addrs = np.asarray([self._saddr(i) for i in range(32)], dtype=np.int64)
+        self._both(pair, "accumulate_store_batch", addrs, "partial")
+        _assert_engines_agree(pair, "after spill burst")
+        # Re-accumulate into a mix of resident, evicted and spilled
+        # lines -- the epoch run scan must exclude spilled addresses.
+        self._both(pair, "accumulate_store_batch", addrs[:20], "partial")
+        _assert_engines_agree(pair, "after re-accumulate")
+
+    def test_forwarding_disabled_epochs(self):
+        """With forwarding off every load segment is epoch-eligible,
+        even interleaved with stores to the same space."""
+        pair = _make_engine_pair(forwarding=False)
+        stores = np.asarray([self._laddr(i) for i in range(10)], dtype=np.int64)
+        loads = np.asarray([self._laddr(i) for i in range(4, 24)], dtype=np.int64)
+        self._both(pair, "store_batch", stores, CLASS_OUT, "out")
+        self._both(pair, "mac_load_batch", loads, "W", "adj")
+        _assert_engines_agree(pair)
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_adversarial_epoch_fuzz(self, seed):
+        """Randomized batch streams skewed toward epoch-shaped work:
+        long distinct runs, partial overlaps with recent fills,
+        duplicates, store/accumulate pressure, occasional invalidates.
+        Stats, timelines, DRAM clock and residency compared after every
+        batch."""
+        rng = random.Random(seed)
+        pair = _make_engine_pair(mshr_entries=4, capacity_lines=24)
+        hot: list = []
+        for step in range(60):
+            kind = rng.randrange(10)
+            n = rng.randrange(8, 40)
+            if kind < 4:  # loads: fresh run, maybe salted with hot addrs
+                base = rng.randrange(0, 400)
+                idx = list(range(base, base + n))
+                if hot and rng.random() < 0.5:
+                    for _ in range(rng.randrange(1, 5)):
+                        idx.insert(
+                            rng.randrange(len(idx)), rng.choice(hot)
+                        )
+                addrs = np.asarray(
+                    [self._laddr(i) for i in idx], dtype=np.int64
+                )
+                method = "mac_load_batch" if kind < 2 else "load_batch"
+                cls = rng.choice(("W", "XW"))
+                self._both(pair, method, addrs, cls, "adj")
+                hot = idx[-12:]
+            elif kind < 7:  # stores
+                base = rng.randrange(0, 200)
+                addrs = np.asarray(
+                    [self._saddr(base + i) for i in range(n)], dtype=np.int64
+                )
+                allocate = rng.random() < 0.8
+                self._both(pair, "store_batch", addrs, CLASS_OUT, "out", allocate)
+            elif kind < 9:  # partial accumulates
+                base = rng.randrange(0, 100)
+                addrs = np.asarray(
+                    [self._saddr(0x4000 + base + i) for i in range(n)],
+                    dtype=np.int64,
+                )
+                self._both(pair, "accumulate_store_batch", addrs, "partial")
+            else:  # structural ops between batches
+                cls = rng.choice(ALL_CLASSES)
+                for _, buf, _, _ in pair:
+                    buf.invalidate(cls)
+                if rng.random() < 0.5:
+                    for _, buf, _, _ in pair:
+                        buf.drop_spilled_partials()
+            _assert_engines_agree(pair, f"seed {seed} step {step}")
 
 
 def test_mshr_saturation_ordering():
