@@ -43,4 +43,14 @@ fi
 
 run python -m pytest -x -q
 
+# Replay-by-default end to end: a repeated submit against a cache-less
+# server must be served by replaying its recorded phase traces (the
+# smoke asserts it via /metrics) while still streaming progress.
+run python -m repro.serve smoke
+
+# Perf gate over the committed BENCH_sim.json trajectory: the newest
+# entry's replay headline and cold-run engine-only aggregate speedups
+# must not have regressed >10% against the previous same-workload entry.
+run python scripts/bench_sim_speed.py --check-regression
+
 exit "$failed"

@@ -56,6 +56,11 @@ _MEMO_LIMIT = 256
 #: Process-wide execution defaults (set by :func:`configure_runtime`).
 _N_JOBS = 1
 _DISK_CACHE: Optional[ResultCache] = None
+#: Phase-trace record/replay through the shared trace tree.  On (the
+#: production default) every uncached execution records its phase
+#: traces and repeated executions replay them; ``False`` forces every
+#: run fully live (the benchmarks' ``--no-replay`` escape hatch).
+_REPLAY = True
 
 
 def configure_runtime(
@@ -63,6 +68,7 @@ def configure_runtime(
     cache_dir: Optional[str] = None,
     disk_cache: Optional[bool] = None,
     memo_limit: Optional[int] = None,
+    replay: Optional[bool] = None,
 ) -> None:
     """Set process-wide execution defaults (used by the CLI).
 
@@ -70,9 +76,12 @@ def configure_runtime(
     :func:`run_sweep`; ``disk_cache=True`` attaches a persistent
     :class:`ResultCache` (at ``cache_dir`` or the default location),
     ``disk_cache=False`` detaches it; ``memo_limit`` resizes the
-    in-process memo.
+    in-process memo; ``replay=False`` turns phase-trace record/replay
+    off for every execution lane this module drives (replay never
+    changes results -- see :mod:`repro.sim.replay` -- so this is a
+    performance-measurement knob, not a correctness one).
     """
-    global _N_JOBS, _DISK_CACHE, _MEMO_LIMIT
+    global _N_JOBS, _DISK_CACHE, _MEMO_LIMIT, _REPLAY
     if n_jobs is not None:
         _N_JOBS = max(1, int(n_jobs))
     if disk_cache is True or (disk_cache is None and cache_dir is not None):
@@ -85,6 +94,8 @@ def configure_runtime(
         _MEMO_LIMIT = memo_limit
         while len(_CACHE) > _MEMO_LIMIT:
             _CACHE.popitem(last=False)
+    if replay is not None:
+        _REPLAY = bool(replay)
 
 
 def runtime_settings() -> Dict[str, object]:
@@ -94,6 +105,7 @@ def runtime_settings() -> Dict[str, object]:
         "disk_cache": _DISK_CACHE,
         "memo_limit": _MEMO_LIMIT,
         "memo_size": len(_CACHE),
+        "replay": _REPLAY,
     }
 
 
@@ -157,7 +169,10 @@ def run_accelerator(
     if cache and _DISK_CACHE is not None:
         result = _DISK_CACHE.load(spec)
     if result is None:
-        result = execute_spec(spec)
+        if _REPLAY:
+            result = execute_spec(spec)
+        else:
+            result = execute_spec(spec, replay_session=None)
         if cache and _DISK_CACHE is not None:
             _DISK_CACHE.store(spec, result)
     if cache:
@@ -222,6 +237,7 @@ def run_sweep(
             timeout=timeout,
             retries=retries,
             progress=progress,
+            replay=_REPLAY,
         )
         executed = executor.run(todo)
         sweep.manifest = executed.manifest

@@ -47,6 +47,7 @@ ARENA_FIELDS = {
     "_slot_ready",
     "_slot_addr",
     "_lru_ods",
+    "_lru_mte",
     "_free_slots",
     "_class_count",
     "_mshr_fifo",
@@ -70,6 +71,7 @@ ARENA_METHODS = {
     "_update_partial_peak",
     "_plan_victims",
     "_commit_epoch",
+    "_commit_hit_epoch",
 }
 
 

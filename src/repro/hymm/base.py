@@ -235,8 +235,12 @@ class AcceleratorBase:
         state, merge the recorded stats delta -- instead of simulated,
         bit-identically (see the exactness argument in
         :mod:`repro.sim.replay`); misses simulate live and record.
-        Replay is disabled while a tracer is attached (the trace events
-        only exist during live simulation), but recording still runs.
+        Replay is disabled while a full tracer is attached (the engine
+        and buffer events it narrates only exist during live
+        simulation), but recording still runs.  Tracers that consume
+        only phase-boundary events -- :class:`~repro.obs.tracer.
+        PhaseFeed` -- declare ``replay_compatible`` and keep replay on:
+        the run loop emits their phase spans from the recorded deltas.
         """
         wall_start = time.perf_counter()
         tracer = tracer if tracer is not None else NULL_TRACER
@@ -335,9 +339,13 @@ class AcceleratorBase:
         replay = replay_session
         if replay is not None:
             replay.open(self.name, cfg, model, self.phase_config_exempt())
-        # Replay would skip the live simulation the tracer narrates, so
-        # a traced run records but never replays.
-        use_replay = replay is not None and not tracer.enabled
+        # Replay would skip the live simulation a full tracer narrates,
+        # so a traced run records but never replays -- unless the
+        # tracer only consumes phase-boundary events (PhaseFeed), which
+        # close_phase still emits for replayed phases.
+        use_replay = replay is not None and (
+            not tracer.enabled or tracer.replay_compatible
+        )
 
         def apply_trace(name: str, rec: Dict[str, object]) -> np.ndarray:
             """Apply one recorded phase: restore the post-phase

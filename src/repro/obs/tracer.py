@@ -57,6 +57,16 @@ class Tracer:
     #: Whether emission sites should build and send events.
     enabled: bool = False
 
+    #: Whether this tracer's output survives phase replay.  Replaying a
+    #: recorded phase skips the live simulation, so engine-batch,
+    #: buffer, and region events for that phase simply never happen; a
+    #: tracer that consumes only the per-phase boundary events (which
+    #: the run loop still emits from the recorded deltas) can declare
+    #: itself compatible and keep replay enabled.  Full tracers leave
+    #: this ``False`` so a traced run never silently produces a
+    #: skeleton trace.
+    replay_compatible: bool = False
+
     def span(
         self,
         name: str,
@@ -115,6 +125,9 @@ class PhaseFeed(Tracer):
     __slots__ = ("on_phase",)
 
     enabled = True
+    #: Phase-boundary spans are emitted for replayed phases too (from
+    #: the recorded stats deltas), so the feed loses nothing on replay.
+    replay_compatible = True
 
     def __init__(self, on_phase: "Callable[[str, float, Dict[str, Any]], None]") -> None:
         self.on_phase = on_phase

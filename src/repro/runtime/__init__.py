@@ -26,7 +26,15 @@ from repro.runtime.serialize import to_jsonable
 from repro.runtime.cache import ResultCache, ShardedResultCache, default_cache_dir
 from repro.runtime.manifest import JobRecord, RunManifest
 from repro.runtime.executor import SweepExecutor, SweepResult
-from repro.runtime.execute import execute_job, execute_spec, make_accelerator
+from repro.runtime.execute import (
+    execute_job,
+    execute_spec,
+    job_trace_session,
+    make_accelerator,
+    replay_summary,
+    resolve_trace_root,
+    trace_root,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -40,6 +48,10 @@ __all__ = [
     "SweepResult",
     "execute_job",
     "execute_spec",
+    "job_trace_session",
     "make_accelerator",
+    "replay_summary",
+    "resolve_trace_root",
+    "trace_root",
     "to_jsonable",
 ]

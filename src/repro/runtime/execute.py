@@ -62,29 +62,87 @@ def make_accelerator(
     raise ValueError(f"unknown accelerator kind {kind!r}")
 
 
-def _trace_session() -> Optional[object]:
-    """A fresh :class:`repro.sim.replay.TraceSession` when the
-    ``REPRO_TRACE_REPLAY`` environment variable names a trace
-    directory, else ``None`` (replay off, the default).
+#: Sentinel for "resolve the replay session from the default trace
+#: root" -- distinct from ``None``, which means "replay off".
+AUTO_REPLAY = object()
 
-    Opt-in by env var so every execution path -- serial runner, pool
-    workers, the serve front end -- can enable phase replay without a
-    signature change anywhere in between; replay is bit-identical to
-    live simulation (see :mod:`repro.sim.replay`), so flipping it on
-    never changes a result, only how fast it is produced.
+#: ``REPRO_TRACE_DIR`` values that turn replay off process-wide.
+_REPLAY_OFF = frozenset({"0", "off", "none", "no", "false", "disabled"})
+
+
+def trace_root() -> Optional[str]:
+    """Root of the on-disk phase-trace tree, or ``None`` (replay off).
+
+    Replay is the production path: by default traces live under
+    ``<default cache dir>/traces``, next to the result cache, so every
+    execution lane -- serial runner, pool workers, the serve front end
+    -- records phase traces on a miss and replays them on a hit.
+    ``REPRO_TRACE_DIR`` relocates the tree; setting it to ``off`` (or
+    ``0``/``none``/``false``) disables record/replay entirely.  Replay
+    is bit-identical to live simulation (see :mod:`repro.sim.replay`),
+    so the switch only ever changes how fast a result is produced.
     """
     import os
 
-    trace_dir = os.environ.get("REPRO_TRACE_REPLAY")
-    if not trace_dir:
+    raw = os.environ.get("REPRO_TRACE_DIR")
+    if raw is not None:
+        stripped = raw.strip()
+        if stripped.lower() in _REPLAY_OFF or not stripped:
+            return None
+        return stripped
+    from repro.runtime.cache import default_cache_dir
+
+    return os.path.join(str(default_cache_dir()), "traces")
+
+
+def resolve_trace_root(preferred: Optional[str] = None) -> Optional[str]:
+    """The trace root to use given a caller preference.
+
+    The ``REPRO_TRACE_DIR`` environment variable always wins (both as a
+    relocation and as the ``off`` kill-switch); otherwise ``preferred``
+    (e.g. a serve front end colocating traces with its result cache);
+    otherwise the process-wide default.
+    """
+    import os
+
+    if os.environ.get("REPRO_TRACE_DIR") is not None or preferred is None:
+        return trace_root()
+    return preferred
+
+
+def job_trace_session(
+    spec: JobSpec, root: Optional[str] = None
+) -> Optional[object]:
+    """A :class:`repro.sim.replay.TraceSession` over ``spec``'s own
+    trace directory (``JobSpec.trace_dir``), or ``None`` when replay is
+    disabled.  ``root`` overrides the process-wide :func:`trace_root`.
+    """
+    root = root if root is not None else trace_root()
+    if root is None:
         return None
     from repro.runtime.cache import TraceStore
     from repro.sim.replay import TraceSession
 
-    return TraceSession(TraceStore(trace_dir))
+    return TraceSession(TraceStore(spec.trace_dir(root)))
 
 
-def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
+def replay_summary(session: Optional[object]) -> Optional[Dict[str, int]]:
+    """Replay accounting of one finished session: phases replayed from
+    the store vs simulated live and recorded.  ``None`` in, ``None``
+    out (replay was off)."""
+    if session is None:
+        return None
+    return {
+        "replayed": len(session.replayed),
+        "recorded": len(session.recorded),
+    }
+
+
+def execute_spec(
+    spec: JobSpec,
+    tracer: Optional[Tracer] = None,
+    replay_session: object = AUTO_REPLAY,
+) -> RunResult:
     """Run one job in this process, returning the live result
     (including non-serialisable ``extra`` entries such as the HyMM
     region plan).
@@ -92,6 +150,13 @@ def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
     ``tracer`` (optional) receives the run's simulated-time events --
     the ``python -m repro.obs trace`` entry point.  Tracing never
     changes the result: stats are identical with or without it.
+
+    ``replay_session`` defaults to :data:`AUTO_REPLAY`: a per-job
+    session over the shared trace tree (see :func:`trace_root`), so
+    repeated executions of the same spec replay their recorded phases
+    instead of simulating.  Pass ``None`` to force a fully live run, or
+    an explicit :class:`~repro.sim.replay.TraceSession` to direct the
+    traces elsewhere and read the counters afterwards.
     """
     from repro.bench.workloads import make_model
 
@@ -105,16 +170,33 @@ def execute_spec(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunResult:
     accelerator = make_accelerator(
         spec.kind, spec.config, spec.sort_mode, seed=spec.seed
     )
+    if replay_session is AUTO_REPLAY:
+        replay_session = job_trace_session(spec)
     return accelerator.run_inference(
-        model, tracer=tracer, replay_session=_trace_session()
+        model, tracer=tracer, replay_session=replay_session
     )
 
 
-def execute_job(spec: JobSpec) -> Dict[str, object]:
+def execute_job(
+    spec: JobSpec, replay: bool = True, trace_root_dir: Optional[str] = None
+) -> Dict[str, object]:
     """Worker entry point: run one job and return its serialised dict.
 
     Returning the wire form (rather than the live object) keeps the
     pool transport, the disk cache, and serial execution on one code
     path, which is what makes ``n_jobs=4`` bit-identical to serial.
+
+    With ``replay`` (the default) the run records/replays phase traces
+    through the job's directory under ``trace_root_dir`` (or the
+    process-wide :func:`trace_root`), and the returned dict carries a
+    ``"replay"`` side-channel entry -- ``{"replayed": n, "recorded":
+    m}`` -- that :class:`~repro.runtime.executor.SweepExecutor` strips
+    into the run manifest's replay counters before deserialising the
+    result.
     """
-    return execute_spec(spec).to_dict()
+    session = job_trace_session(spec, trace_root_dir) if replay else None
+    doc = execute_spec(spec, replay_session=session).to_dict()
+    summary = replay_summary(session)
+    if summary is not None:
+        doc["replay"] = summary
+    return doc

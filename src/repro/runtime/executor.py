@@ -16,7 +16,12 @@ a :class:`SweepResult` (results keyed by fingerprint + a
 * workers return the *serialised* result dict
   (:func:`repro.runtime.execute.execute_job`), and the parent rebuilds
   the ``RunResult`` through the same ``from_dict`` path the cache uses,
-  so parallel, serial-normalised, and cached results are bit-identical.
+  so parallel, serial-normalised, and cached results are bit-identical;
+* executed jobs record/replay phase traces by default (the production
+  path): each worker replays phases whose chained signature is already
+  in the job's trace directory and records the rest, reporting the
+  counts back through a side channel the parent folds into the
+  manifest's ``replay_hits``/``replay_misses``.
 
 A failed job (after retries) is recorded in the manifest and simply
 absent from the results -- callers decide whether that is fatal.
@@ -32,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.hymm.base import RunResult
-from repro.runtime.execute import execute_job
+from repro.runtime.execute import execute_job, resolve_trace_root
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import JobSpec
 from repro.runtime.manifest import (
@@ -111,6 +116,8 @@ class SweepExecutor:
         runner: Optional[Callable[[JobSpec], object]] = None,
         progress: Optional[ProgressFn] = None,
         batch_by_workload: bool = True,
+        replay: bool = True,
+        trace_root: Optional[str] = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
@@ -120,7 +127,29 @@ class SweepExecutor:
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
-        self.runner = runner if runner is not None else execute_job
+        #: Phase-trace record/replay is the production path: the
+        #: default runner records each executed phase and replays it on
+        #: the next execution of the same signature (see
+        #: :func:`repro.runtime.execute.execute_job`).  ``replay=False``
+        #: forces fully live simulation; ``trace_root`` redirects the
+        #: trace tree (default: next to the result cache).  A custom
+        #: ``runner`` manages its own replay sessions -- both knobs
+        #: apply only to the built-in runner.
+        self.replay = replay
+        if replay and trace_root is None and cache is not None:
+            # Colocate the trace tree with the result cache it serves
+            # (``--cache-dir /x`` must not leak traces into the default
+            # root); ``REPRO_TRACE_DIR`` still wins inside the resolver.
+            trace_root = resolve_trace_root(str(cache.cache_dir / "traces"))
+        self.trace_root = trace_root
+        if runner is not None:
+            self.runner = runner
+        elif replay and trace_root is None:
+            self.runner = execute_job
+        else:
+            self.runner = functools.partial(
+                execute_job, replay=replay, trace_root_dir=trace_root
+            )
         self.progress = progress
         #: Ship jobs sharing a workload (dataset/scale/layers/seed) to
         #: the same worker so its model memo is built once, not once
@@ -198,6 +227,14 @@ class SweepExecutor:
         rss_kb: Optional[int] = None,
     ) -> None:
         if isinstance(raw, Mapping):
+            # Strip the runner's replay side-channel (phases replayed
+            # from the trace store vs recorded live) into the manifest
+            # before handing the wire dict to the deserialiser.
+            raw = dict(raw)
+            replay_info = raw.pop("replay", None)
+            if isinstance(replay_info, Mapping):
+                sweep.manifest.replay_hits += int(replay_info.get("replayed", 0))
+                sweep.manifest.replay_misses += int(replay_info.get("recorded", 0))
             result: object = RunResult.from_dict(raw)
         else:
             result = raw

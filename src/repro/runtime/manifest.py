@@ -82,6 +82,13 @@ class RunManifest:
     started_unix: float = field(default_factory=time.time)
     wall_seconds: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Phase-trace replay accounting across every executed job: phases
+    #: served from the trace store vs simulated live and recorded (the
+    #: record-on-miss, replay-on-hit production path).  Both stay zero
+    #: when replay is disabled (``REPRO_TRACE_DIR=off``) or every job
+    #: was a result-cache hit.
+    replay_hits: int = 0
+    replay_misses: int = 0
 
     # ------------------------------------------------------------------
     def add(self, record: JobRecord) -> None:
@@ -144,6 +151,11 @@ class RunManifest:
         ]
         if self.timeouts:
             parts.append(f"({self.timeouts} timed out)")
+        if self.replay_hits or self.replay_misses:
+            parts.append(
+                f"[replay {self.replay_hits}/"
+                f"{self.replay_hits + self.replay_misses} phases]"
+            )
         rss = self.peak_rss_kb
         if rss is not None:
             parts.append(f"[peak RSS {rss / 1024:.0f} MB]")
@@ -164,6 +176,8 @@ class RunManifest:
             "timeouts": self.timeouts,
             "retries": self.retries,
             "peak_rss_kb": self.peak_rss_kb,
+            "replay_hits": self.replay_hits,
+            "replay_misses": self.replay_misses,
             "cache_stats": dict(self.cache_stats),
             "jobs": [r.to_dict() for r in self.records],
         }

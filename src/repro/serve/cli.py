@@ -21,6 +21,13 @@ Subcommands:
 ``bench-hitpath [--requests N] [--dataset D] [--kind K] ...``
     Measure the warm served-lookup path and append an entry to the
     ``BENCH_serve.json`` trajectory (see :mod:`repro.serve.bench`).
+``smoke``
+    Self-hosted replay smoke: run a cache-less server with a throwaway
+    trace tree, execute a tiny job, force it out of the terminal-job
+    registry, submit it again, and assert via ``/metrics`` that the
+    repeat was *replayed* from its recorded phase traces (and still
+    streamed per-phase progress).  The CI guard for the
+    replay-by-default serving path.
 
 Runtime/bench imports happen inside the handlers -- the CLI must be
 importable (e.g. for ``--help``) without dragging the workload layer
@@ -68,9 +75,17 @@ def _print_payload(payload: Dict[str, Any], as_json: bool) -> None:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
 
     from repro.runtime.cache import ShardedResultCache
     from repro.serve.server import ServeSettings, SweepServer
+
+    # Replay knobs ride on the env var so pool workers (which re-derive
+    # their trace sessions process-locally) see the same setting.
+    if args.no_replay:
+        os.environ["REPRO_TRACE_DIR"] = "off"
+    elif args.trace_dir:
+        os.environ["REPRO_TRACE_DIR"] = args.trace_dir
 
     cache = None if args.no_cache else ShardedResultCache(args.cache_dir)
     settings = ServeSettings(
@@ -152,6 +167,73 @@ def _scrape(args: argparse.Namespace, op: str) -> int:
     return 0
 
 
+def cmd_smoke(args: argparse.Namespace) -> int:
+    """Self-hosted replay smoke (see the module doc)."""
+    import os
+    import tempfile
+
+    from repro.bench.runner import job_spec
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServerThread, ServeSettings
+
+    # Two tiny jobs: the probe, and a second fingerprint whose only
+    # purpose is to evict the probe from the 1-deep terminal-job
+    # registry so the repeated submit re-executes instead of being
+    # answered from memory -- the re-execution is what must replay.
+    probe = job_spec(args.dataset, args.kind, scale=args.scale, n_layers=1, seed=0)
+    evictor = job_spec(args.dataset, args.kind, scale=args.scale, n_layers=1, seed=1)
+    settings = ServeSettings(registry_limit=1)
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        server = ServerThread(
+            cache=None,
+            settings=settings,
+            trace_root=os.path.join(tmp, "traces"),
+        )
+        with server as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                for label, spec in (("probe", probe), ("evictor", evictor)):
+                    response = client.submit(spec.to_dict(), wait=True)
+                    if response.get("status") != "done":
+                        print(
+                            f"SMOKE FAIL: {label} submit did not complete: "
+                            f"{response.get('error')}",
+                            file=sys.stderr,
+                        )
+                        return 1
+                repeat = client.submit(probe.to_dict(), wait=True)
+                metrics = client.request({"op": "metrics"})
+    if repeat.get("status") != "done" or repeat.get("source") != "executed":
+        print(
+            f"SMOKE FAIL: repeated submit was not re-executed "
+            f"(status={repeat.get('status')!r} source={repeat.get('source')!r})",
+            file=sys.stderr,
+        )
+        return 1
+    if not repeat.get("phases"):
+        print(
+            "SMOKE FAIL: repeated submit streamed no per-phase progress",
+            file=sys.stderr,
+        )
+        return 1
+    replay = metrics.get("replay", {})
+    hits, misses = replay.get("hits", 0), replay.get("misses", 0)
+    # The two first executions record every phase (misses); the repeat
+    # must replay every one of its phases (hits).
+    if not replay.get("enabled") or hits < 1 or misses < 1:
+        print(
+            f"SMOKE FAIL: repeated submit did not replay "
+            f"(replay metrics: {replay})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serve smoke ok: repeat of {probe.describe()} re-executed with "
+        f"{hits} phase(s) replayed ({misses} recorded live), "
+        f"{len(repeat['phases'])} progress rows streamed"
+    )
+    return 0
+
+
 def cmd_bench_hitpath(args: argparse.Namespace) -> int:
     from repro.serve.bench import bench_hitpath_main
 
@@ -191,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache directory (default: repo cache)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without a result cache (every submit executes)")
+    p.add_argument("--trace-dir", default=None,
+                   help="phase-trace tree for record/replay (default: "
+                   "<cache dir>/traces)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="disable phase-trace record/replay (every executed "
+                   "job simulates fully live)")
     p.add_argument("--workers", type=int, default=1,
                    help="SweepExecutor width per batch (1 = serial with "
                    "live phase progress)")
@@ -233,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("shutdown", help="stop a running server")
     _add_endpoint_args(p)
     p.set_defaults(fn=lambda args: _scrape(args, "shutdown"))
+
+    p = sub.add_parser(
+        "smoke",
+        help="self-hosted replay smoke: assert a repeated submit replays",
+    )
+    p.add_argument("--dataset", default="cora")
+    p.add_argument("--kind", default="op")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.set_defaults(fn=cmd_smoke)
 
     p = sub.add_parser(
         "bench-hitpath",

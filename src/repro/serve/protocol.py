@@ -22,8 +22,10 @@ endpoints are:
     Liveness: ``{"ok": true, "status": "ok", ...}``.
 ``/metrics``
     Queue depth, in-flight count, cache hit counters and hit rate,
-    hit-path latency percentiles, and worker telemetry aggregated from
-    run manifests (timeouts / retries / peak RSS).
+    phase-replay counters (phases replayed from the trace store vs
+    simulated live and recorded), hit-path latency percentiles, and
+    worker telemetry aggregated from run manifests (timeouts / retries
+    / peak RSS).
 ``/shutdown``
     Ask the server to stop accepting work and exit (local dev/CI
     convenience).

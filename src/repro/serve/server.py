@@ -271,6 +271,11 @@ class ServeMetrics:
         self.timeouts = 0
         self.retries = 0
         self.batches = 0
+        #: Phase-trace replay accounting over executed jobs: phases
+        #: replayed from the trace store vs simulated live and recorded
+        #: (folded in from each batch's run manifest).
+        self.replay_hits = 0
+        self.replay_misses = 0
         self.peak_rss_kb: Optional[int] = None
         self.hitpath_ms: Deque[float] = deque(maxlen=latency_window)
 
@@ -284,6 +289,8 @@ class ServeMetrics:
         self.failed += manifest.failed
         self.timeouts += manifest.timeouts
         self.retries += manifest.retries
+        self.replay_hits += getattr(manifest, "replay_hits", 0)
+        self.replay_misses += getattr(manifest, "replay_misses", 0)
         rss = manifest.peak_rss_kb
         if rss is not None:
             self.peak_rss_kb = max(self.peak_rss_kb or 0, rss)
@@ -298,9 +305,26 @@ class SweepServer:
         settings: Optional[ServeSettings] = None,
         runner: Optional[Callable[[JobSpec], object]] = None,
         executor_factory: Optional[ExecutorFactory] = None,
+        trace_root: Optional[str] = None,
     ) -> None:
         self.cache = cache
         self.settings = settings if settings is not None else ServeSettings()
+        # Phase-trace replay is on by default: traces live next to the
+        # result cache shards (``<cache_dir>/traces``) so the sharded
+        # store and the trace tree move together, or under the
+        # process-wide default for a cache-less server.  The
+        # ``REPRO_TRACE_DIR`` env var still relocates or disables the
+        # tree (it wins over the colocated default); ``trace_root``
+        # pins it explicitly.  ``None`` after resolution = replay off.
+        from repro.runtime.execute import resolve_trace_root
+
+        if trace_root is None:
+            cache_dir = getattr(cache, "cache_dir", None)
+            preferred = (
+                str(cache_dir / "traces") if cache_dir is not None else None
+            )
+            trace_root = resolve_trace_root(preferred)
+        self.trace_root = trace_root
         #: Test seam: forces serial execution through this callable.
         self._runner = runner
         self._executor_factory: ExecutorFactory = (
@@ -594,6 +618,11 @@ class SweepServer:
                 "batches": m.batches,
             },
             "cache": cache_stats,
+            "replay": {
+                "enabled": self.trace_root is not None,
+                "hits": m.replay_hits,
+                "misses": m.replay_misses,
+            },
             "hitpath_ms": {
                 "count": len(m.hitpath_ms),
                 **{
@@ -654,9 +683,14 @@ class SweepServer:
             )
         elif n_jobs <= 1:
             by_fingerprint = {entry.fingerprint: entry for entry in batch}
+            trace_root = self.trace_root
 
             def traced_runner(spec: JobSpec) -> Dict[str, object]:
-                from repro.runtime.execute import execute_spec
+                from repro.runtime.execute import (
+                    execute_spec,
+                    job_trace_session,
+                    replay_summary,
+                )
 
                 entry = by_fingerprint[spec.fingerprint()]
 
@@ -670,8 +704,23 @@ class SweepServer:
                     except RuntimeError:
                         pass  # loop shutting down: drop progress, keep the run
 
+                # PhaseFeed is replay-compatible: live phases stream
+                # their progress rows as they simulate, replayed phases
+                # stream theirs from the recorded deltas -- followers
+                # see per-phase progress either way.
                 feed = PhaseFeed(on_phase)
-                return execute_spec(spec, tracer=feed).to_dict()
+                session = (
+                    job_trace_session(spec, trace_root)
+                    if trace_root is not None
+                    else None
+                )
+                doc = execute_spec(
+                    spec, tracer=feed, replay_session=session
+                ).to_dict()
+                summary = replay_summary(session)
+                if summary is not None:
+                    doc["replay"] = summary
+                return doc
 
             executor = self._executor_factory(
                 n_jobs=1,
@@ -685,6 +734,8 @@ class SweepServer:
                 cache=self.cache,
                 retries=settings.retries,
                 timeout=settings.timeout,
+                replay=self.trace_root is not None,
+                trace_root=self.trace_root,
             )
         return executor.run([entry.spec for entry in batch])
 
@@ -735,6 +786,7 @@ class ServerThread:
         port: int = 0,
         runner: Optional[Callable[[JobSpec], object]] = None,
         executor_factory: Optional[ExecutorFactory] = None,
+        trace_root: Optional[str] = None,
     ) -> None:
         import threading
 
@@ -743,6 +795,7 @@ class ServerThread:
             settings=settings,
             runner=runner,
             executor_factory=executor_factory,
+            trace_root=trace_root,
         )
         self.host = host
         self.port = port

@@ -131,6 +131,10 @@ class CacheBuffer:
         self._lru_ods: List["OrderedDict[int, None]"] = [
             OrderedDict() for _ in range(_N_CLASSES)
         ]
+        # Bound move_to_end per class, hoisting the attribute lookup
+        # out of every LRU touch (the ODs are created once and only
+        # ever mutated in place, so the bindings stay valid).
+        self._lru_mte = [od.move_to_end for od in self._lru_ods]
         self._free_slots: List[int] = list(range(cap - 1, -1, -1))
         self._class_count: List[int] = [0] * _N_CLASSES
         self._slot_of: Dict[int, int] = {}
@@ -758,6 +762,53 @@ class CacheBuffer:
         self._size += m - len(victims)
         last = readies[m - 1]
         if last > self._max_ready:
+            self._max_ready = last
+
+    def _commit_hit_epoch(self, slots: List[int], readies: List[float]) -> None:
+        """Bulk-apply one store-hit run to the arena.
+
+        ``slots``/``readies`` are the (distinct) resident slots a hit
+        epoch wrote and their store-ready times in run order.  The
+        per-hit mutations commute into three bulk sweeps: every slot is
+        marked dirty, its ready is raised to ``max(old, store_ready)``
+        (a write never lowers a ready), and each slot takes one LRU
+        splice in run order -- the same final recency order as the
+        sequential per-hit touches, because a run's slots are distinct
+        and each ends at the MRU tail of its class the moment its frame
+        completes.  ``readies`` is monotone (the write timeline only
+        moves forward), so the watermark update needs only the last
+        element: any epoch ready above the old watermark was
+        necessarily written (old slot readies never exceed it).
+        """
+        slot_ready = self._slot_ready
+        _drain(map(self._slot_dirty.__setitem__, slots, repeat(True)))
+        mr = self._max_ready
+        if mr <= readies[0]:
+            # Every pre-epoch slot ready is bounded by the watermark,
+            # which the whole monotone readies run dominates -- the
+            # per-slot max is always the new value, one C-level sweep.
+            _drain(map(slot_ready.__setitem__, slots, readies))
+        else:
+            _drain(
+                map(
+                    slot_ready.__setitem__,
+                    slots,
+                    map(max, map(slot_ready.__getitem__, slots), readies),
+                )
+            )
+        if self.lru:
+            cls_arr = self._slot_cls
+            c0 = cls_arr[slots[0]]
+            if self._class_count[c0] == self._size:
+                # One class owns every resident line, so every run slot
+                # is that class: one C-level sweep of splices.
+                _drain(map(self._lru_mte[c0], slots))
+            else:
+                mtes = self._lru_mte
+                for s in slots:
+                    mtes[cls_arr[s]](s)
+        last = readies[-1]
+        if last > mr:
             self._max_ready = last
 
     def _update_partial_peak(self) -> None:

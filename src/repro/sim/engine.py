@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from itertools import accumulate
+from itertools import accumulate, repeat
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -53,6 +53,20 @@ _LANE_MIN = 48
 #: (below this the run scan + bulk commit cost more than the per-miss
 #: ``_read_miss``/``_insert`` frames they replace).
 _EPOCH_MIN = 8
+
+#: Minimum merge-*hit* run length.  Hit frames are far cheaper than
+#: miss frames (no MSHR/eviction machinery to skip), so the epoch's
+#: fixed per-attempt cost -- gather, distinctness and residency cuts,
+#: floor gather, window rebuild, bulk commit -- needs a longer run to
+#: amortize; short runs stay on the flat loop, which is already
+#: flat-in-locals.  Tuned on the gcod/cwp merge distributions (runs
+#: cluster at 8-16 with a long tail; the tail is where epochs pay).
+_MERGE_HIT_MIN = 64
+
+#: Minimum store/accumulate *hit* run length, same reasoning as
+#: ``_MERGE_HIT_MIN`` (one leg per frame instead of two, so the
+#: break-even sits lower).
+_HIT_RUN_MIN = 24
 
 #: Exactness gate for the vector lanes: every timeline value must sit
 #: on the 2^-16 dyadic grid with magnitude below 2^35.  All simulator
@@ -706,10 +720,10 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             # Bulk LRU touch in batch order: per-slot C-level list
             # splices; a duplicate slot re-splices to the tail exactly
             # like the sequential per-hit touches would.
-            ods = buf._lru_ods
+            ods = buf._lru_mte
             cls_arr = buf._slot_cls
             for s in slot_list:
-                ods[cls_arr[s]].move_to_end(s)
+                ods[cls_arr[s]](s)
         return m
 
     # ------------------------------------------------------------------
@@ -1008,6 +1022,696 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         return m
 
     # ------------------------------------------------------------------
+    # Merge / steady-state hit epochs
+    # ------------------------------------------------------------------
+    def _hit_run_epoch(
+        self, buf: CacheBuffer, addr_list: List[int], i: int, tag: str,
+        partial: bool,
+    ) -> int:
+        """Process a run of store hits as one epoch.
+
+        The steady-state counterpart of :meth:`_store_epoch`: a run of
+        consecutive *distinct resident* addresses, each a store (or
+        near-memory accumulate) hit.  The exactness cut is residency:
+        within such a run nothing inserts, evicts or spills, so no
+        element's processing can change the classification of the ones
+        after it, the partial footprint is constant, and the only state
+        the run touches is the run's own slots -- distinct, so the
+        dirty/ready/LRU mutations commute into the bulk
+        :meth:`CacheBuffer._commit_hit_epoch`.  The write-timeline
+        recurrence runs flat-in-locals with the exact float op order of
+        the flat hit branch (LSQ slot floor, constant exec floor); the
+        run ends at the first duplicate or non-resident address, where
+        the flat path's insert/refetch machinery takes over.
+
+        ``partial=True`` (the accumulate path) reproduces the per-hit
+        footprint bookkeeping against the stats object at the constant
+        footprint -- the caller syncs ``partials_produced`` /
+        ``partial_peak_bytes`` around the call, exactly as around
+        :meth:`_store_epoch`.  Returns addresses consumed (0 if below
+        ``_EPOCH_MIN``); the caller owns the hit counter.
+
+        On grid-exact configurations the whole write recurrence takes
+        a closed form, the store-side analogue of :meth:`_all_hit_lane`:
+        for the first ``w = min(m, depth)`` frames the slot floors are
+        the pre-epoch ring values ``S_j``, so
+        ``b_f = max(b_(f-1) + 1, S_f)`` unrolls to the prefix maximum
+        ``b_f = (f-1) + max(write_t + 1, max_(j<=f)(S_j - (j-1)))``;
+        past ``depth``
+        every slot floor was written by this run
+        (``ring = max(b_(f-depth) + 1, exec_t)``) and
+        ``b_(f-1) + 1 >= b_(f-depth) + 1`` by monotonicity, so the
+        recurrence collapses to ``b_f = max(b_(f-1) + 1, exec_t)`` --
+        one comparison decides the whole tail: either it never binds
+        (``b_w + 1 >= exec_t``, pure ``+1`` per frame) or it binds once
+        and then advances by 1.  On the 2^-16 dyadic grid with
+        magnitudes below ``_LANE_MAG`` (gated before any mutation)
+        every op is exact real arithmetic, so the numpy evaluation is
+        bit-identical to the flat loop.
+        """
+        slot_of = buf._slot_of
+        if addr_list[i] not in slot_of:
+            # Fast decline before any allocation; see _miss_epoch.
+            return 0
+        n = len(addr_list)
+        tail = addr_list[i:] if i else addr_list
+        try:
+            # C-level gather, same trick as _all_hit_lane: the raised
+            # KeyError finds the resident prefix without a Python loop.
+            slots = list(map(slot_of.__getitem__, tail))
+            run = tail
+            m = n - i
+        except KeyError:
+            j = i + 1
+            while j < n and addr_list[j] in slot_of:
+                j += 1
+            m = j - i
+            if m < _HIT_RUN_MIN:
+                return 0
+            run = addr_list[i:j]
+            slots = list(map(slot_of.__getitem__, run))
+        rset = set(run)
+        if len(rset) != m:
+            # A duplicate cuts the run: rescan for the first repeat.
+            seen: Set[int] = set()
+            seen_add = seen.add
+            m = 0
+            for a in run:
+                if a in seen:
+                    break
+                seen_add(a)
+                m += 1
+            if m < _HIT_RUN_MIN:
+                return 0
+            run = run[:m]
+            slots = slots[:m]
+            rset = seen
+        if m < _HIT_RUN_MIN:
+            return 0
+        hit_lat = buf.hit_latency
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        write_t = self.write_t
+        # Stores never advance the backend: constant exec floor and
+        # constant forwarded ready value, like _store_epoch.
+        exec_t = self.exec_t
+        readies: Optional[List[float]] = None
+        if self._lane_grid_exact and m >= 64:
+            # 64, not _EPOCH_MIN: below that the ~10 numpy dispatches
+            # of the closed form cost more than the flat-in-locals
+            # loop they replace (measured on the hymm/op-tiled
+            # accumulate distributions, which cluster at m = 8..48).
+            # Closed form (see docstring).  Prefix-max over the at most
+            # ``depth`` pre-epoch ring values the run can observe:
+            w = m if m < depth else depth
+            if k + w <= depth:
+                S = np.array(ring[k : k + w], dtype=np.float64)
+            else:
+                cut = depth - k
+                S = np.empty(w, dtype=np.float64)
+                S[:cut] = ring[k:]
+                S[cut:] = ring[: w - cut]
+            idx = self._lane_idx[:w]
+            np.subtract(S, idx, out=S)
+            np.maximum.accumulate(S, out=S)
+            np.maximum(S, write_t + 1.0, out=S)
+            np.add(S, idx, out=S)  # b_f for f = 1..w
+            r = m - w
+            if r:
+                bw = float(S[w - 1])
+                if bw + 1.0 >= exec_t:
+                    tail = np.arange(r, dtype=np.float64) + (bw + 1.0)
+                else:
+                    tail = np.arange(r, dtype=np.float64) + exec_t
+                b_all = np.concatenate([S, tail])
+            else:
+                b_all = S
+            b_last = float(b_all[m - 1])
+            if b_last + 1.0 + hit_lat < _LANE_MAG:
+                # Magnitude gate passed: commit.  Only the last
+                # min(m, depth) ring writes survive; their positions
+                # form at most two contiguous ring segments, so the
+                # fill is two C-level slice assignments.
+                readies = (b_all + float(hit_lat)).tolist()
+                f0 = m - depth + 1 if m > depth else 1
+                wvals = b_all[f0 - 1 :] + 1.0
+                np.maximum(wvals, exec_t, out=wvals)
+                wl = wvals.tolist()
+                c = len(wl)
+                start = (k + f0 - 1) % depth
+                seg = depth - start
+                if c <= seg:
+                    ring[start : start + c] = wl
+                else:
+                    ring[start:] = wl[:seg]
+                    ring[: c - seg] = wl[seg:]
+                k = (k + m) % depth
+                write_t = b_last
+        if readies is None:
+            readies = []
+            rd_append = readies.append
+            for _ in range(m):
+                rk = ring[k]
+                b = write_t + 1.0
+                if rk > b:
+                    b = rk
+                write_t = b
+                rd_append(b + hit_lat)
+                r2 = b + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
+                k += 1
+                if k == depth:
+                    k = 0
+        self.write_t = write_t
+        self._k += m
+        if self.forwarding:
+            # In-batch store-map updates (the deferred window trim stays
+            # at the caller's batch end, same as the flat loops).  The
+            # sequential per-store effect -- existing entries refreshed
+            # and moved to the MRU end, new ones appended, all with the
+            # same constant ``exec_t`` value -- leaves the window as:
+            # non-run survivors in their original order, then the run
+            # in run order.  Deleting the overlap and bulk-appending
+            # the whole run reproduces that exactly, with the Python
+            # loop shrunk to the overlap instead of the full run.
+            store_map = self._store_map
+            spaces = self._store_spaces
+            common = rset.intersection(store_map)
+            nc = len(common)
+            if nc:
+                for a in common:
+                    del store_map[a]
+            store_map.update(zip(run, repeat(exec_t)))
+            sp = run[0] >> _SPACE_BITS
+            if sp == run[m - 1] >> _SPACE_BITS:
+                # Deleted entries re-add in the same space (net zero);
+                # only genuinely new addresses change the count.
+                if m > nc:
+                    spaces[sp] = spaces.get(sp, 0) + (m - nc)
+            else:
+                for a in run:
+                    if a not in common:
+                        sp = a >> _SPACE_BITS
+                        spaces[sp] = spaces.get(sp, 0) + 1
+        if partial:
+            # Hits never change the partial footprint, so every per-hit
+            # peak check and strided timeline sample in the run sees the
+            # same value.
+            stats = self.stats
+            footprint = (
+                buf._class_count[_PARTIAL_IDX] + len(buf._spilled_partials)
+            ) * buf.line_bytes
+            if footprint > stats.partial_peak_bytes:
+                stats.partial_peak_bytes = footprint
+            stride = stats.PARTIAL_TIMELINE_STRIDE
+            timeline = stats.partial_timeline
+            pp0 = stats.partials_produced
+            first = pp0 + 1
+            for p in range(first + (-first) % stride, pp0 + m + 1, stride):
+                timeline.append((p, footprint))
+            stats.partials_produced = pp0 + m
+        buf._commit_hit_epoch(slots, readies)
+        return m
+
+    def _merge_hit_epoch(
+        self, buf: CacheBuffer, addr_list: List[int], i: int,
+        touched: Set[int],
+    ) -> Tuple[int, int]:
+        """Process a run of read-modify-write hits as one epoch.
+
+        The steady-state merge shape: a run of consecutive *distinct
+        resident already-touched* addresses, each one load + adder
+        cycle + store-back.  Residency is again the cut (nothing in the
+        run inserts or evicts, so classification and footprint are
+        frozen) and distinctness makes the slot mutations commute into
+        :meth:`CacheBuffer._commit_hit_epoch` -- the load leg's ready
+        floors are pre-gathered (an earlier frame's store-back only
+        writes its *own* slot, never a later frame's), and the net LRU
+        effect of a frame's load-touch + store-touch of the same slot
+        is one splice.  The coupled issue/write/exec recurrence runs
+        flat-in-locals with the exact float op order of the flat rmw
+        path.
+
+        The forwarding window resolves without declining.  When the
+        window holds *none* of the run's addresses at entry, no load in
+        the run can ever forward -- in-run stores only add run
+        addresses, each distinct from every later load, and trims only
+        remove entries -- so the per-frame probe disappears and the
+        per-store insert/trim sequence commutes into one bulk append +
+        trim at the end (inserting ``m`` distinct new entries one at a
+        time, trimming after each, ends in exactly the same window as
+        inserting all ``m`` and then trimming: the pops take the same
+        entries in the same order either way).
+
+        An *overlapping* run keeps the per-frame probe but defers the
+        dict surgery.  A load forwards iff its address sits in the
+        pre-run window and has not been trimmed yet (in-run stores
+        never serve in-run loads -- the run's addresses are distinct),
+        and its forwarded value is the pre-run entry's, untouched; the
+        frame's store then *refreshes* that entry while a
+        non-forwarding frame's store *inserts* and, past ``lsq_depth``,
+        trims the oldest unconsumed pre-run entry.  Trims never reach
+        in-run entries: ``inserts + refreshes = m <= lsq_depth`` while
+        pops number at most ``inserts``, so unconsumed pre-run entries
+        always suffice.  A ``gone`` set over the (unmutated) pre-run
+        snapshot therefore resolves every probe and pop exactly, and
+        the final window -- unconsumed pre-run survivors in order, then
+        the run in run order -- is rebuilt with bulk deletes and one
+        C-level ``update``.  Timing stays on the flat loop's exact
+        float op order either way; only the window bookkeeping moves.
+
+        Returns ``(consumed, forwards)``; the caller owns every stat
+        counter (the tuple shape mirrors the flat path's accounting:
+        each frame's store-back hits, each unforwarded load hits,
+        forwarded loads count as forwards).
+        """
+        slot_of = buf._slot_of
+        a = addr_list[i]
+        if a not in slot_of or a not in touched:
+            # Fast decline before any allocation; see _miss_epoch.
+            return 0, 0
+        slot_ready = buf._slot_ready
+        n = len(addr_list)
+        # Cap the gather at lsq_depth frames per attempt: a long run
+        # then costs O(depth) per attempt instead of O(remaining
+        # batch) -- re-attempts after each consumed chunk would
+        # otherwise go quadratic -- and the window trim-resolution
+        # argument (docstring) needs ``m <= lsq_depth``.
+        stop = i + self.lsq_depth
+        if stop > n:
+            stop = n
+        tail = addr_list[i:stop] if (i or stop < n) else addr_list
+        try:
+            # C-level gather, same trick as _all_hit_lane.
+            slots = list(map(slot_of.__getitem__, tail))
+            run = tail
+            m = stop - i
+        except KeyError:
+            j = i + 1
+            while j < stop and addr_list[j] in slot_of:
+                j += 1
+            m = j - i
+            if m < _MERGE_HIT_MIN:
+                return 0, 0
+            run = addr_list[i:j]
+            slots = list(map(slot_of.__getitem__, run))
+        if not touched.issuperset(run):
+            # First untouched address cuts the run.
+            mm = 1
+            while mm < m and run[mm] in touched:
+                mm += 1
+            if mm < _MERGE_HIT_MIN:
+                return 0, 0
+            m = mm
+            run = run[:m]
+            slots = slots[:m]
+        if len(set(run)) != m:
+            # A duplicate cuts the run: rescan for the first repeat.
+            seen: Set[int] = set()
+            seen_add = seen.add
+            mm = 0
+            for a in run:
+                if a in seen:
+                    break
+                seen_add(a)
+                mm += 1
+            if mm < _MERGE_HIT_MIN:
+                return 0, 0
+            m = mm
+            run = run[:m]
+            slots = slots[:m]
+        if m < _MERGE_HIT_MIN:
+            return 0, 0
+        fwd = self.forwarding
+        store_map = self._store_map
+        overlap = (
+            fwd
+            and bool(store_map)
+            and not store_map.keys().isdisjoint(run)
+        )
+        if overlap and (
+            len(store_map) > self.lsq_depth
+            or run[0] >> _SPACE_BITS != run[m - 1] >> _SPACE_BITS
+        ):
+            # The trim-resolution argument needs the window at or
+            # below lsq_depth on entry (every in-tree caller keeps it
+            # there), and a mixed-space overlapping run would need
+            # per-frame insert tracking for the space counts.  Both
+            # are vanishing cases: decline to the flat loop.  (Equal
+            # first/last spaces mean the whole single-region run, per
+            # the monotone-address-batch invariant; see
+            # _forward_active.)
+            return 0, 0
+        floors = list(map(slot_ready.__getitem__, slots))
+        hit_lat = buf.hit_latency
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        write_t = self.write_t
+        exec_t = self.exec_t
+        readies: List[float] = []
+        rd_append = readies.append
+        wvals: List[float] = []
+        wv_append = wvals.append
+        nfw = 0
+        if overlap:
+            # Per-frame window resolution against the pre-run snapshot
+            # (dict surgery deferred; see docstring).
+            dels: List[int] = []
+            popped: List[int] = []
+            gone: Set[int] = set()
+            gone_add = gone.add
+            dels_append = dels.append
+            popped_append = popped.append
+            sm_get = store_map.get
+            order_it = None
+            size = len(store_map)
+            for a, f in zip(run, floors):
+                # Load leg (rmw = load + alu_op(1) + store).
+                rk = ring[k]
+                b = issue_t + 1.0
+                if rk > b:
+                    b = rk
+                v = sm_get(a)
+                if v is not None and a not in gone:
+                    # Forwarded from the pre-run entry; the store leg
+                    # below refreshes it (no size change).
+                    ready = v
+                    if b > ready:
+                        ready = b
+                    gone_add(a)
+                    dels_append(a)
+                    nfw += 1
+                else:
+                    ready = b + hit_lat
+                    if f > ready:
+                        ready = f
+                    size += 1
+                    if size > depth:
+                        # Trim the oldest unconsumed pre-run entry.
+                        if order_it is None:
+                            order_it = iter(tuple(store_map))
+                        for a2 in order_it:
+                            if a2 not in gone:
+                                gone_add(a2)
+                                popped_append(a2)
+                                dels_append(a2)
+                                size -= 1
+                                break
+                issue_t = b
+                if ready > exec_t:
+                    exec_t = ready
+                ring[k] = exec_t
+                k += 1
+                if k == depth:
+                    k = 0
+                exec_t += 1.0
+                # Store leg.
+                rk = ring[k]
+                b2 = write_t + 1.0
+                if rk > b2:
+                    b2 = rk
+                write_t = b2
+                rd_append(b2 + hit_lat)
+                r2 = b2 + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
+                k += 1
+                if k == depth:
+                    k = 0
+                wv_append(exec_t)
+        else:
+            for f in floors:
+                # Load leg (rmw = load + alu_op(1) + store).
+                rk = ring[k]
+                b = issue_t + 1.0
+                if rk > b:
+                    b = rk
+                ready = b + hit_lat
+                if f > ready:
+                    ready = f
+                issue_t = b
+                if ready > exec_t:
+                    exec_t = ready
+                ring[k] = exec_t
+                k += 1
+                if k == depth:
+                    k = 0
+                exec_t += 1.0
+                # Store leg.
+                rk = ring[k]
+                b2 = write_t + 1.0
+                if rk > b2:
+                    b2 = rk
+                write_t = b2
+                rd_append(b2 + hit_lat)
+                r2 = b2 + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
+                k += 1
+                if k == depth:
+                    k = 0
+                wv_append(exec_t)
+        self.issue_t = issue_t
+        self.write_t = write_t
+        self.exec_t = exec_t
+        self._k += 2 * m
+        if fwd:
+            spaces = self._store_spaces
+            if overlap:
+                # Rebuild: drop refreshed + popped pre-run entries,
+                # then the run lands at the MRU end in run order.
+                for a2 in dels:
+                    del store_map[a2]
+                store_map.update(zip(run, wvals))
+                ins = m - nfw
+                if ins:
+                    # Single region by the decline above.
+                    sp = run[0] >> _SPACE_BITS
+                    spaces[sp] = spaces.get(sp, 0) + ins
+                for a2 in popped:
+                    sp = a2 >> _SPACE_BITS
+                    c = spaces[sp] - 1
+                    if c:
+                        spaces[sp] = c
+                    else:
+                        del spaces[sp]
+            else:
+                # Bulk window append + trim (see docstring for why
+                # this commutes with the per-store sequence).
+                store_map.update(zip(run, wvals))
+                sp = run[0] >> _SPACE_BITS
+                if sp == run[m - 1] >> _SPACE_BITS:
+                    spaces[sp] = spaces.get(sp, 0) + m
+                else:
+                    for a in run:
+                        sp = a >> _SPACE_BITS
+                        spaces[sp] = spaces.get(sp, 0) + 1
+                over = len(store_map) - depth
+                if over > 0:
+                    pop = store_map.popitem
+                    if len(spaces) == 1:
+                        for _ in repeat(None, over):
+                            pop(last=False)
+                        for sp in spaces:
+                            spaces[sp] = depth
+                    else:
+                        for _ in repeat(None, over):
+                            a2, _ = pop(last=False)
+                            sp = a2 >> _SPACE_BITS
+                            c = spaces[sp] - 1
+                            if c:
+                                spaces[sp] = c
+                            else:
+                                del spaces[sp]
+        buf._commit_hit_epoch(slots, readies)
+        return m, nfw
+
+    def _merge_miss_epoch(
+        self, buf: CacheBuffer, addr_list: List[int], i: int,
+        cls: str, tag: str, touched: Set[int],
+    ) -> int:
+        """Process a run of read-modify-write primary misses as one epoch.
+
+        The thrash-bound merge shape (an already-touched output line
+        evicted between merges): each frame is a primary read miss --
+        the full :meth:`_miss_epoch` machinery of MSHR retire/capacity
+        stalls, channel occupancy and dirty-victim writebacks -- whose
+        fill the same frame's store-back immediately hits, marking it
+        dirty and raising its ready to ``max(fetch_ready, store_ready)``.
+        The epoch-cut argument is :meth:`_miss_epoch`'s verbatim (the
+        store-back touches only the frame's own just-filled line, which
+        no other frame of the run revisits), extended by the forwarding
+        window: a run address found in the window would forward instead
+        of missing, so it cuts the run -- and because the run's stores
+        only *add* its own (distinct) addresses and trims only *remove*
+        entries, an address absent from the window at the gather stays
+        absent until its own frame, keeping the pre-gathered probe
+        exact.  The fill readies fed to the MSHR file and the final
+        slot readies differ here (the store-back raises the latter);
+        both sequences stay monotone, so the FIFO rebuild and the
+        commit's watermark shortcut hold unchanged.
+        """
+        slot_of = buf._slot_of
+        outstanding = buf._outstanding
+        fwd = self.forwarding
+        store_map = self._store_map
+        a = addr_list[i]
+        if (
+            a in slot_of
+            or a in outstanding
+            or a not in touched
+            or (fwd and a in store_map)
+        ):
+            # Fast decline before any allocation; see _miss_epoch.
+            return 0
+        n = len(addr_list)
+        run: List[int] = []
+        seen: Set[int] = set()
+        j = i
+        while j < n:
+            a = addr_list[j]
+            if (
+                a in slot_of
+                or a in outstanding
+                or a in seen
+                or a not in touched
+                or (fwd and a in store_map)
+            ):
+                break
+            run.append(a)
+            seen.add(a)
+            j += 1
+        m = len(run)
+        if m < _EPOCH_MIN:
+            return 0
+        free0 = len(buf._free_slots)
+        ci = CLASS_INDEX[cls]
+        victims: Sequence[int] = ()
+        if m > free0:
+            victims = buf._plan_victims(ci, m - free0)
+            cap = free0 + len(victims)
+            if cap < m:
+                if cap < _EPOCH_MIN:
+                    return 0
+                m = cap
+                del run[m:]
+        slot_dirty = buf._slot_dirty
+        vdirty = [slot_dirty[s] for s in victims]
+        fifo = buf._mshr_fifo
+        merged = [r for r, _ in fifo]
+        pre = len(merged)
+        popped = 0
+        limit = buf.mshr_entries
+        c = buf._line_cost
+        lat = buf._read_latency
+        hit_lat = buf.hit_latency
+        dram = buf.dram
+        nf = dram.next_free
+        ring = self._ring
+        depth = self.lsq_depth
+        k = self._k % depth
+        issue_t = self.issue_t
+        write_t = self.write_t
+        exec_t = self.exec_t
+        spaces = self._store_spaces
+        readies: List[float] = []
+        rd_append = readies.append
+        mg_append = merged.append
+        for idx in range(m):
+            # Load leg: the _miss_epoch recurrence (see there for the
+            # retire/capacity/channel reasoning), with the rmw backend
+            # shape -- exec waits for the fetch, then one adder cycle.
+            rk = ring[k]
+            b = issue_t + 1.0
+            if rk > b:
+                b = rk
+            total = pre + idx
+            while popped < total and merged[popped] <= b:
+                popped += 1
+            over = total - limit + 1
+            if over > popped:
+                mo = merged[over - 1]
+                if mo > b:
+                    b = mo
+                popped = over
+            u = nf if nf > b else b
+            t = u + c
+            ready = t + lat
+            ev = idx - free0
+            if ev >= 0 and vdirty[ev]:
+                nf = t + c
+            else:
+                nf = t
+            mg_append(ready)
+            issue_t = b
+            if ready > exec_t:
+                exec_t = ready
+            ring[k] = exec_t
+            k += 1
+            if k == depth:
+                k = 0
+            exec_t += 1.0
+            # Store leg: hits the just-filled line.
+            rk = ring[k]
+            b2 = write_t + 1.0
+            if rk > b2:
+                b2 = rk
+            write_t = b2
+            r = b2 + hit_lat
+            rd_append(ready if ready > r else r)
+            r2 = b2 + 1.0
+            if exec_t > r2:
+                r2 = exec_t
+            ring[k] = r2
+            k += 1
+            if k == depth:
+                k = 0
+            if fwd:
+                # Every run address is absent from the window until its
+                # own store (see the cut argument), so this is always
+                # the insert-plus-trim branch of _record_store.
+                addr = run[idx]
+                store_map[addr] = exec_t
+                sp = addr >> _SPACE_BITS
+                spaces[sp] = spaces.get(sp, 0) + 1
+                if len(store_map) > depth:
+                    a2, _ = store_map.popitem(last=False)
+                    sp = a2 >> _SPACE_BITS
+                    cnt = spaces[sp] - 1
+                    if cnt:
+                        spaces[sp] = cnt
+                    else:
+                        del spaces[sp]
+        dram.next_free = nf
+        self.issue_t = issue_t
+        self.write_t = write_t
+        self.exec_t = exec_t
+        self._k += 2 * m
+        # Rebuild the MSHR file with the *fetch* readies; see _miss_epoch.
+        if popped:
+            addrs_all = [a for _, a in fifo]
+            addrs_all += run
+            fifo.clear()
+            outstanding.clear()
+            rem_r = merged[popped:]
+            rem_a = addrs_all[popped:]
+            fifo.extend(zip(rem_r, rem_a))
+            outstanding.update(zip(rem_a, rem_r))
+        else:
+            fetch_readies = merged[pre:]
+            fifo.extend(zip(fetch_readies, run))
+            outstanding.update(zip(run, fetch_readies))
+        buf._commit_epoch(ci, run, readies, victims, vdirty, True)
+        return m
+
+    # ------------------------------------------------------------------
     # Batch primitives (inlined fast paths)
     # ------------------------------------------------------------------
     def mac_load_batch(self, addrs: np.ndarray, cls: str, tag: str) -> None:
@@ -1022,7 +1726,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         fwd = self._forward_active(addr_list)
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         outstanding = buf._outstanding
         read_miss = buf._read_miss
@@ -1095,7 +1799,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     s = slot_of.get(addr)
                     if s is not None:
                         if lru:
-                            ods[cls_arr[s]].move_to_end(s)
+                            ods[cls_arr[s]](s)
                         hits += 1
                         ready = issue + hit_lat
                         sr = slot_ready[s]
@@ -1153,7 +1857,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         fwd = self._forward_active(addr_list)
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         outstanding = buf._outstanding
         read_miss = buf._read_miss
@@ -1218,7 +1922,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     s = slot_of.get(addr)
                     if s is not None:
                         if lru:
-                            ods[cls_arr[s]].move_to_end(s)
+                            ods[cls_arr[s]](s)
                         hits += 1
                         ready = issue + hit_lat
                         sr = slot_ready[s]
@@ -1299,7 +2003,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         # and streamed lines are never inserted, so the mask stays true.
         stats = self.stats
         slot_ready = buf._slot_ready
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         lru = buf.lru
         hit_lat = buf.hit_latency
@@ -1332,7 +2036,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                 else:
                     s = slot_of[addr]
                     if lru:
-                        ods[cls_arr[s]].move_to_end(s)
+                        ods[cls_arr[s]](s)
                     hits += 1
                     ready = issue + hit_lat
                     sr = slot_ready[s]
@@ -1396,7 +2100,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         slot_dirty = buf._slot_dirty
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         mr = buf._max_ready
         insert = buf._insert
@@ -1418,19 +2122,32 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         posted = 0
         i = 0
         # Lazy epoch attempts with a decline budget; see
-        # :meth:`mac_load_batch` (stores have no all-hit lane).
-        rounds = 2 if allocate else 0
+        # :meth:`mac_load_batch` (stores have no all-hit lane).  Hit
+        # runs ride `_hit_run_epoch`; write-allocate miss runs ride
+        # `_store_epoch` (no-allocate misses stream flat).
+        rounds = 2
         while i < n:
             target = n
             if rounds and n - i >= _EPOCH_MIN:
-                consumed = self._store_epoch(
-                    buf, addr_list, i, cls, tag, partial=False
-                )
-                if consumed:
-                    misses += consumed
-                    i += consumed
-                    rounds = 2
-                    continue
+                if addr_list[i] in slot_of:
+                    if n - i >= _HIT_RUN_MIN:
+                        consumed = self._hit_run_epoch(
+                            buf, addr_list, i, tag, partial=False
+                        )
+                        if consumed:
+                            hits += consumed
+                            i += consumed
+                            rounds = 2
+                            continue
+                elif allocate:
+                    consumed = self._store_epoch(
+                        buf, addr_list, i, cls, tag, partial=False
+                    )
+                    if consumed:
+                        misses += consumed
+                        i += consumed
+                        rounds = 2
+                        continue
                 rounds -= 1
                 if rounds:
                     j = i + 1
@@ -1458,7 +2175,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                         if r > mr:
                             mr = r
                     if lru:
-                        ods[cls_arr[s]].move_to_end(s)
+                        ods[cls_arr[s]](s)
                 elif allocate:
                     misses += 1
                     insert(issue, addr, cls, True, issue + hit_lat)
@@ -1494,14 +2211,25 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             # Deferred trim: the surviving window is the last lsq_depth
             # distinct addresses in last-store order either way, and no
             # forwarding lookup happens inside a store batch.
-            while len(store_map) > depth:
-                a, _ = store_map.popitem(last=False)
-                sp = a >> _SPACE_BITS
-                c = spaces[sp] - 1
-                if c:
-                    spaces[sp] = c
+            over = len(store_map) - depth
+            if over > 0:
+                pop = store_map.popitem
+                if len(spaces) == 1:
+                    # Every window entry shares one space, so the count
+                    # after trimming is the window size itself.
+                    for _ in repeat(None, over):
+                        pop(last=False)
+                    for sp in spaces:
+                        spaces[sp] = depth
                 else:
-                    del spaces[sp]
+                    for _ in repeat(None, over):
+                        a, _ = pop(last=False)
+                        sp = a >> _SPACE_BITS
+                        c = spaces[sp] - 1
+                        if c:
+                            spaces[sp] = c
+                        else:
+                            del spaces[sp]
         if mr > buf._max_ready:
             buf._max_ready = mr
         stats.requests_issued += n
@@ -1528,7 +2256,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         slot_dirty = buf._slot_dirty
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         mr = buf._max_ready
         insert = buf._insert
@@ -1563,7 +2291,26 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             if rounds and n - i >= _EPOCH_MIN:
                 consumed = 0
                 a0 = addr_list[i]
-                if a0 not in slot_of and a0 not in spilled:
+                if a0 in slot_of:
+                    if n - i >= _HIT_RUN_MIN:
+                        # Hit-run epoch: the epoch reproduces the
+                        # per-hit footprint/timeline bookkeeping
+                        # against the stats object at the constant
+                        # footprint -- sync the locals around it, like
+                        # the flat spilled-refetch branch does.
+                        stats.partials_produced = pp
+                        stats.partial_peak_bytes = peak
+                        consumed = self._hit_run_epoch(
+                            buf, addr_list, i, tag, partial=True
+                        )
+                        if consumed:
+                            hits += consumed
+                            pp = stats.partials_produced
+                            peak = stats.partial_peak_bytes
+                            i += consumed
+                            rounds = 2
+                            continue
+                elif a0 not in spilled:
                     # The epoch reproduces the per-insert footprint
                     # bookkeeping against the stats object: sync the
                     # locals around it, like the flat spilled-refetch
@@ -1573,16 +2320,16 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                     consumed = self._store_epoch(
                         buf, addr_list, i, CLASS_PARTIAL, tag, partial=True
                     )
-                if consumed:
-                    misses += consumed
-                    pp = stats.partials_produced
-                    peak = stats.partial_peak_bytes
-                    footprint = (
-                        counts[_PARTIAL_IDX] + len(spilled)
-                    ) * line_bytes
-                    i += consumed
-                    rounds = 2
-                    continue
+                    if consumed:
+                        misses += consumed
+                        pp = stats.partials_produced
+                        peak = stats.partial_peak_bytes
+                        footprint = (
+                            counts[_PARTIAL_IDX] + len(spilled)
+                        ) * line_bytes
+                        i += consumed
+                        rounds = 2
+                        continue
                 rounds -= 1
                 if rounds:
                     j = i + 1
@@ -1611,7 +2358,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
                         if r > mr:
                             mr = r
                     if lru:
-                        ods[cls_arr[s]].move_to_end(s)
+                        ods[cls_arr[s]](s)
                     if footprint > peak:
                         peak = footprint
                     if pp % stride == 0:
@@ -1653,14 +2400,23 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
             self._k += target - i
             i = target
         if fwd:
-            while len(store_map) > depth:
-                a, _ = store_map.popitem(last=False)
-                sp = a >> _SPACE_BITS
-                c = spaces[sp] - 1
-                if c:
-                    spaces[sp] = c
+            over = len(store_map) - depth
+            if over > 0:
+                pop = store_map.popitem
+                if len(spaces) == 1:
+                    for _ in repeat(None, over):
+                        pop(last=False)
+                    for sp in spaces:
+                        spaces[sp] = depth
                 else:
-                    del spaces[sp]
+                    for _ in repeat(None, over):
+                        a, _ = pop(last=False)
+                        sp = a >> _SPACE_BITS
+                        c = spaces[sp] - 1
+                        if c:
+                            spaces[sp] = c
+                        else:
+                            del spaces[sp]
         if mr > buf._max_ready:
             buf._max_ready = mr
         stats.partials_produced = pp
@@ -1694,7 +2450,7 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         slot_of = buf._slot_of
         slot_ready = buf._slot_ready
         slot_dirty = buf._slot_dirty
-        ods = buf._lru_ods
+        ods = buf._lru_mte
         cls_arr = buf._slot_cls
         mr = buf._max_ready
         insert = buf._insert
@@ -1707,21 +2463,17 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         spaces = self._store_spaces
         ring = self._ring
         depth = self.lsq_depth
-        k = self._k % depth
-        issue_t = self.issue_t
-        write_t = self.write_t
-        exec_t = self.exec_t
-        target = getattr(self.buffer, "output_buffer", self.buffer)
-        target_counts = target._class_count
-        target_spilled = target._spilled_partials
-        target_line_bytes = target.line_bytes
+        out_buf = getattr(self.buffer, "output_buffer", self.buffer)
+        target_counts = out_buf._class_count
+        target_spilled = out_buf._spilled_partials
+        target_line_bytes = out_buf.line_bytes
+        addr_list = addrs.tolist()
         requests = 0
         busy = 0
         hits = 0
         misses = 0
         fetches = 0
         forwards = 0
-        nk = 0
         pp = stats.partials_produced
         peak = stats.partial_peak_bytes
         # Cached like in accumulate_store_batch: only the miss branches
@@ -1729,128 +2481,192 @@ class BatchedAccessExecuteEngine(AccessExecuteEngine):
         footprint = (
             target_counts[_PARTIAL_IDX] + len(target_spilled)
         ) * target_line_bytes
-        for addr in addrs.tolist():
-            pp += 1
-            if addr in touched:
-                # rmw = load + alu_op(1) + store.
-                requests += 1
-                slot = ring[k]
-                issue = issue_t + 1.0
-                if slot > issue:
-                    issue = slot
-                if fwd and addr in store_map:
-                    ready = store_map[addr]
-                    if issue > ready:
-                        ready = issue
-                    forwards += 1
+        # Merge epochs defer the caller's per-frame peak check to one
+        # check per consumed run, which is exact only while the run's
+        # footprint is constant (hit runs) or monotone (partial-class
+        # fills); a non-partial merge with peak tracking -- no in-tree
+        # caller -- stays on the flat loop.
+        epoch_ok = not track_peak or cls == CLASS_PARTIAL
+        i = 0
+        # Lazy epoch attempts with a decline budget; see
+        # :meth:`mac_load_batch`.
+        rounds = 2 if epoch_ok else 0
+        while i < n:
+            target = n
+            if rounds and n - i >= _EPOCH_MIN:
+                consumed = 0
+                a0 = addr_list[i]
+                if a0 in touched:
+                    if a0 in slot_of:
+                        if n - i >= _MERGE_HIT_MIN:
+                            consumed, fw = self._merge_hit_epoch(
+                                buf, addr_list, i, touched
+                            )
+                            if consumed:
+                                hits += 2 * consumed - fw
+                                forwards += fw
+                    else:
+                        consumed = self._merge_miss_epoch(
+                            buf, addr_list, i, cls, tag, touched
+                        )
+                        if consumed:
+                            misses += consumed
+                            fetches += consumed
+                            hits += consumed
+                            footprint = (
+                                target_counts[_PARTIAL_IDX]
+                                + len(target_spilled)
+                            ) * target_line_bytes
+                if consumed:
+                    requests += 2 * consumed
+                    busy += consumed
+                    pp += consumed
+                    if track_peak and footprint > peak:
+                        peak = footprint
+                    i += consumed
+                    rounds = 2
+                    continue
+                rounds -= 1
+                if rounds:
+                    # Flat-chunk to the next frame-shape flip (first
+                    # touch vs rmw, resident vs not) before retrying.
+                    t_flag = a0 in touched
+                    r_flag = a0 in slot_of
+                    j = i + 1
+                    while j < n:
+                        a = addr_list[j]
+                        if (a in touched) != t_flag or (a in slot_of) != r_flag:
+                            break
+                        j += 1
+                    target = j
+            k = self._k % depth
+            issue_t = self.issue_t
+            write_t = self.write_t
+            exec_t = self.exec_t
+            nk = 0
+            for addr in addr_list[i:target]:
+                pp += 1
+                if addr in touched:
+                    # rmw = load + alu_op(1) + store.
+                    requests += 1
+                    slot = ring[k]
+                    issue = issue_t + 1.0
+                    if slot > issue:
+                        issue = slot
+                    if fwd and addr in store_map:
+                        ready = store_map[addr]
+                        if issue > ready:
+                            ready = issue
+                        forwards += 1
+                        probe = True
+                        s = None
+                    else:
+                        probe = False
+                        s = slot_of.get(addr)
+                        if s is not None:
+                            if lru:
+                                ods[cls_arr[s]](s)
+                            hits += 1
+                            ready = issue + hit_lat
+                            sr = slot_ready[s]
+                            if sr > ready:
+                                ready = sr
+                        else:
+                            misses += 1
+                            pending = outstanding.get(addr)
+                            if pending is not None:
+                                # Secondary miss: merged into the pending
+                                # MSHR (the line was evicted while still in
+                                # flight, so it is genuinely absent and the
+                                # store leg write-allocates).
+                                ready = issue + hit_lat
+                                if pending > ready:
+                                    ready = pending
+                            else:
+                                fetches += 1
+                                ready, issue = read_miss(issue, addr, cls, tag)
+                                footprint = (
+                                    target_counts[_PARTIAL_IDX] + len(target_spilled)
+                                ) * target_line_bytes
+                                # The read just allocated the line; the
+                                # store leg below reuses it.
+                                s = slot_of[addr]
+                    issue_t = issue
+                    if ready > exec_t:
+                        exec_t = ready
+                    ring[k] = exec_t
+                    k += 1
+                    if k == depth:
+                        k = 0
+                    nk += 1
+                    exec_t += 1.0
+                    busy += 1
+                else:
+                    touched.add(addr)
                     probe = True
                     s = None
-                else:
-                    probe = False
+                # The (write-allocating) store leg, shared by both
+                # branches; nothing between the load leg's probe and here
+                # can evict, so a line it found (or allocated) is reused.
+                requests += 1
+                slot = ring[k]
+                issue = write_t + 1.0
+                if slot > issue:
+                    issue = slot
+                if probe:
                     s = slot_of.get(addr)
-                    if s is not None:
-                        if lru:
-                            ods[cls_arr[s]].move_to_end(s)
-                        hits += 1
-                        ready = issue + hit_lat
-                        sr = slot_ready[s]
-                        if sr > ready:
-                            ready = sr
-                    else:
-                        misses += 1
-                        pending = outstanding.get(addr)
-                        if pending is not None:
-                            # Secondary miss: merged into the pending
-                            # MSHR (the line was evicted while still in
-                            # flight, so it is genuinely absent and the
-                            # store leg write-allocates).
-                            ready = issue + hit_lat
-                            if pending > ready:
-                                ready = pending
-                        else:
-                            fetches += 1
-                            ready, issue = read_miss(issue, addr, cls, tag)
-                            footprint = (
-                                target_counts[_PARTIAL_IDX] + len(target_spilled)
-                            ) * target_line_bytes
-                            # The read just allocated the line; the
-                            # store leg below reuses it.
-                            s = slot_of[addr]
-                issue_t = issue
-                if ready > exec_t:
-                    exec_t = ready
-                ring[k] = exec_t
+                if s is not None:
+                    hits += 1
+                    slot_dirty[s] = True
+                    r = issue + hit_lat
+                    if r > slot_ready[s]:
+                        slot_ready[s] = r
+                        if r > mr:
+                            mr = r
+                    if lru:
+                        ods[cls_arr[s]](s)
+                else:
+                    misses += 1
+                    insert(issue, addr, cls, True, issue + hit_lat)
+                    footprint = (
+                        target_counts[_PARTIAL_IDX] + len(target_spilled)
+                    ) * target_line_bytes
+                write_t = issue
+                r2 = issue + 1.0
+                if exec_t > r2:
+                    r2 = exec_t
+                ring[k] = r2
                 k += 1
                 if k == depth:
                     k = 0
                 nk += 1
-                exec_t += 1.0
-                busy += 1
-            else:
-                touched.add(addr)
-                probe = True
-                s = None
-            # The (write-allocating) store leg, shared by both
-            # branches; nothing between the load leg's probe and here
-            # can evict, so a line it found (or allocated) is reused.
-            requests += 1
-            slot = ring[k]
-            issue = write_t + 1.0
-            if slot > issue:
-                issue = slot
-            if probe:
-                s = slot_of.get(addr)
-            if s is not None:
-                hits += 1
-                slot_dirty[s] = True
-                r = issue + hit_lat
-                if r > slot_ready[s]:
-                    slot_ready[s] = r
-                    if r > mr:
-                        mr = r
-                if lru:
-                    ods[cls_arr[s]].move_to_end(s)
-            else:
-                misses += 1
-                insert(issue, addr, cls, True, issue + hit_lat)
-                footprint = (
-                    target_counts[_PARTIAL_IDX] + len(target_spilled)
-                ) * target_line_bytes
-            write_t = issue
-            r2 = issue + 1.0
-            if exec_t > r2:
-                r2 = exec_t
-            ring[k] = r2
-            k += 1
-            if k == depth:
-                k = 0
-            nk += 1
-            if fwd:
-                # Loads probe the window inside this batch, so the trim
-                # must happen per store, exactly as _record_store does.
-                if addr in store_map:
-                    store_map[addr] = exec_t
-                    store_map.move_to_end(addr)
-                else:
-                    store_map[addr] = exec_t
-                    sp = addr >> _SPACE_BITS
-                    spaces[sp] = spaces.get(sp, 0) + 1
-                    if len(store_map) > depth:
-                        a, _ = store_map.popitem(last=False)
-                        sp = a >> _SPACE_BITS
-                        c = spaces[sp] - 1
-                        if c:
-                            spaces[sp] = c
-                        else:
-                            del spaces[sp]
-            if track_peak and footprint > peak:
-                peak = footprint
+                if fwd:
+                    # Loads probe the window inside this batch, so the trim
+                    # must happen per store, exactly as _record_store does.
+                    if addr in store_map:
+                        store_map[addr] = exec_t
+                        store_map.move_to_end(addr)
+                    else:
+                        store_map[addr] = exec_t
+                        sp = addr >> _SPACE_BITS
+                        spaces[sp] = spaces.get(sp, 0) + 1
+                        if len(store_map) > depth:
+                            a, _ = store_map.popitem(last=False)
+                            sp = a >> _SPACE_BITS
+                            c = spaces[sp] - 1
+                            if c:
+                                spaces[sp] = c
+                            else:
+                                del spaces[sp]
+                if track_peak and footprint > peak:
+                    peak = footprint
+            self.issue_t = issue_t
+            self.write_t = write_t
+            self.exec_t = exec_t
+            self._k += nk
+            i = target
         if mr > buf._max_ready:
             buf._max_ready = mr
-        self.issue_t = issue_t
-        self.write_t = write_t
-        self.exec_t = exec_t
-        self._k += nk
         stats.partials_produced = pp
         stats.requests_issued += requests
         stats.busy_cycles += busy

@@ -69,6 +69,15 @@ TRACE_SCHEMA_VERSION = 1
 #: the equivalence contract) and the reporting clock.
 BASE_TIMING_EXEMPT = frozenset({"engine", "clock_ghz"})
 
+#: Keys every applicable phase record must carry.  ``lookup`` verifies
+#: them *before* handing the record to the run loop, so a truncated or
+#: hand-edited record (valid JSON, wrong shape) is a clean miss -- the
+#: phase simulates live -- instead of a KeyError halfway through a
+#: state restore.
+RECORD_REQUIRED_KEYS = frozenset(
+    {"stats", "occupancy", "output", "buffer", "engine", "dram_next_free"}
+)
+
 
 def _hash_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
     a = np.ascontiguousarray(arr)
@@ -161,12 +170,21 @@ class TraceSession:
 
     # ------------------------------------------------------------------
     def lookup(self, sig: str, phase: str) -> Optional[Dict[str, object]]:
-        """The stored record for ``sig`` if its schema matches, else
-        ``None`` (simulate live).  A hit is tallied in ``replayed``."""
+        """The stored record for ``sig`` if its schema matches and its
+        shape is complete, else ``None`` (simulate live).  A hit is
+        tallied in ``replayed``.
+
+        Stale (older schema) and structurally incomplete records are
+        misses by design -- replay must fall back to live simulation on
+        anything it cannot apply whole, since a partial restore would
+        corrupt the simulator state the chained signature vouches for.
+        """
         record = self.store.load_trace(sig)
         if record is None:
             return None
         if record.get("trace_schema") != TRACE_SCHEMA_VERSION:
+            return None
+        if not RECORD_REQUIRED_KEYS.issubset(record):
             return None
         self.replayed.append(phase)
         return record

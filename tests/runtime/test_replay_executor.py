@@ -1,0 +1,143 @@
+"""Replay as the production execution path.
+
+``SweepExecutor`` / ``execute_job`` record phase traces on first
+execution and replay them on repeats, with the manifest carrying
+honest ``replay_hits`` / ``replay_misses`` phase counters.  Replay is
+bit-identical to live simulation by contract, so these tests pin three
+things: the counters tell the truth, repeated runs produce identical
+serialised results, and a corrupt or stale trace record degrades to a
+live (still identical) run instead of failing or lying.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import JobSpec, SweepExecutor, execute_job
+from repro.runtime.cache import TraceStore
+from repro.sim.replay import RECORD_REQUIRED_KEYS, TraceSession
+
+
+def _spec(kind="op", **kw):
+    base = dict(dataset="cora", kind=kind, scale=0.05)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+def _trace_files(trace_root):
+    return [p for p in trace_root.rglob("*.json") if not p.name.startswith(".")]
+
+
+def _canon(doc):
+    """Serialised result minus the host-side fields (wall-clock and the
+    replay side-channel) -- everything left must be bit-identical
+    between live and replayed runs."""
+    return {k: v for k, v in doc.items() if k not in ("wall_seconds", "replay")}
+
+
+class TestExecutorRecordThenReplay:
+    def test_second_sweep_replays_bit_identical(self, tmp_path):
+        specs = [_spec(), _spec(kind="rwp")]
+        first = SweepExecutor(n_jobs=1, trace_root=str(tmp_path)).run(specs)
+        assert first.manifest.replay_misses > 0
+        assert first.manifest.replay_hits == 0
+        second = SweepExecutor(n_jobs=1, trace_root=str(tmp_path)).run(specs)
+        # Every phase recorded by the first sweep replays in the second.
+        assert second.manifest.replay_hits == first.manifest.replay_misses
+        assert second.manifest.replay_misses == 0
+        for spec in specs:
+            assert _canon(second.for_spec(spec).to_dict()) == _canon(
+                first.for_spec(spec).to_dict()
+            )
+
+    def test_manifest_serialises_replay_counters(self, tmp_path):
+        sweep = SweepExecutor(n_jobs=1, trace_root=str(tmp_path)).run([_spec()])
+        payload = sweep.manifest.to_dict()
+        assert payload["replay_misses"] == sweep.manifest.replay_misses > 0
+        assert payload["replay_hits"] == 0
+        assert "replay" in SweepExecutor(
+            n_jobs=1, trace_root=str(tmp_path)
+        ).run([_spec()]).manifest.summary()
+
+    def test_traces_colocate_with_result_cache(self, tmp_path):
+        # ``--cache-dir /x`` must keep traces next to the records it
+        # isolates, not leak them into the process-wide default root.
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        sweep = SweepExecutor(n_jobs=1, cache=cache).run([_spec()])
+        assert sweep.manifest.replay_misses > 0
+        assert _trace_files(tmp_path / "c" / "traces")
+
+    def test_replay_disabled_counts_nothing(self, tmp_path):
+        for _ in range(2):
+            sweep = SweepExecutor(n_jobs=1, replay=False).run([_spec()])
+            assert sweep.manifest.replay_hits == 0
+            assert sweep.manifest.replay_misses == 0
+
+    def test_execute_job_side_channel(self, tmp_path):
+        first = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        assert first["replay"]["recorded"] > 0
+        assert first["replay"]["replayed"] == 0
+        second = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        assert second["replay"]["replayed"] == first["replay"]["recorded"]
+        assert second["replay"]["recorded"] == 0
+        assert _canon(first) == _canon(second)
+
+    def test_execute_job_replay_off_has_no_side_channel(self):
+        doc = execute_job(_spec(), replay=False)
+        assert "replay" not in doc
+
+
+class TestFallback:
+    def test_corrupt_traces_fall_back_live(self, tmp_path):
+        baseline = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        files = _trace_files(tmp_path)
+        assert files
+        for path in files:
+            path.write_text("{ not json", encoding="utf-8")
+        rerun = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        # Every phase missed (the store evicted the garbage) and was
+        # re-recorded live; the result is still bit-identical.
+        assert rerun["replay"]["replayed"] == 0
+        assert rerun["replay"]["recorded"] == baseline["replay"]["recorded"]
+        assert _canon(rerun) == _canon(baseline)
+        # The re-recorded tree is healthy again.
+        healed = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        assert healed["replay"]["replayed"] > 0
+
+    @pytest.mark.parametrize("missing", sorted(RECORD_REQUIRED_KEYS))
+    def test_stale_record_missing_key_is_miss(self, tmp_path, missing):
+        baseline = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        for path in _trace_files(tmp_path):
+            record = json.loads(path.read_text(encoding="utf-8"))
+            record.pop(missing, None)
+            path.write_text(json.dumps(record), encoding="utf-8")
+        rerun = execute_job(_spec(), trace_root_dir=str(tmp_path))
+        assert rerun["replay"]["replayed"] == 0
+        assert rerun["replay"]["recorded"] == baseline["replay"]["recorded"]
+        assert _canon(rerun) == _canon(baseline)
+
+    def test_session_lookup_validates_schema_and_shape(self, tmp_path):
+        """Unit-level: ``lookup`` rejects wrong-schema and incomplete
+        records without tallying a replay."""
+        from repro.sim.replay import TRACE_SCHEMA_VERSION
+
+        store = TraceStore(tmp_path)
+        session = TraceSession(store)
+        complete = dict.fromkeys(RECORD_REQUIRED_KEYS, 0)
+        session.record("a" * 64, "phase0", complete)
+        assert session.lookup("a" * 64, "phase0") is not None
+        assert session.replayed == ["phase0"]
+
+        stale = dict(complete, trace_schema=TRACE_SCHEMA_VERSION + 1)
+        store.store_trace("b" * 64, stale)
+        assert session.lookup("b" * 64, "phase1") is None
+
+        truncated = dict(complete, trace_schema=TRACE_SCHEMA_VERSION)
+        del truncated["output"]
+        store.store_trace("c" * 64, truncated)
+        assert session.lookup("c" * 64, "phase2") is None
+        assert session.replayed == ["phase0"]

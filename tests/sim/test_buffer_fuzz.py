@@ -289,6 +289,157 @@ class TestEpochEngineDifferential:
         self._both(pair, "mac_load_batch", loads, "W", "adj")
         _assert_engines_agree(pair)
 
+    # ------------------------------------------------------------------
+    # Merge/RMW epochs (``_merge_hit_epoch`` / ``_merge_miss_epoch``):
+    # runs of >= 64 (``_MERGE_HIT_MIN``) distinct resident
+    # already-touched addresses take the one-commit steady-state path.
+    # ------------------------------------------------------------------
+
+    #: Comfortably past ``_MERGE_HIT_MIN`` so cut runs stay eligible.
+    MERGE_N = 160
+
+    def _merge_pair(self, capacity_lines=256, lsq_depth=128, **kw):
+        """Engine pair plus one ``touched`` set per engine (the caller-
+        owned cross-batch first-touch set; separate objects because the
+        engines mutate it, identical contents by construction).  The
+        hit-epoch gather is capped at ``lsq_depth`` frames per attempt,
+        so the production depth (128 >= ``_MERGE_HIT_MIN``) is the
+        default here -- the suite-wide 16 would never engage it."""
+        pair = _make_engine_pair(
+            capacity_lines=capacity_lines, lsq_depth=lsq_depth, **kw
+        )
+        return pair, [set(), set()]
+
+    def _merge_both(self, pair, touched, addrs, track_peak=True):
+        for (engine, _, _, _), t in zip(pair, touched):
+            engine.merge_rmw_batch(addrs, CLASS_PARTIAL, "partial", t, track_peak)
+
+    def test_merge_first_touch_then_steady_state(self):
+        """First pass write-allocates every line (merge miss epoch);
+        the next two passes are pure RMW-hit runs (merge hit epoch,
+        then again with the LRU order the first epoch left behind)."""
+        pair, touched = self._merge_pair()
+        addrs = np.asarray(
+            [self._saddr(i) for i in range(self.MERGE_N)], dtype=np.int64
+        )
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after first touch")
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after steady-state pass")
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after second steady-state pass")
+
+    def test_merge_duplicate_cuts_hit_run(self):
+        """A duplicate inside a would-be merge-hit run: past the
+        threshold the run is cut at the repeat (second occurrence must
+        see the first frame's store-back); before the threshold the
+        epoch declines entirely to the flat rmw loop."""
+        for dup_at in (80, 10):
+            pair, touched = self._merge_pair()
+            idx = list(range(self.MERGE_N))
+            idx.insert(dup_at, 5)
+            addrs = np.asarray([self._saddr(i) for i in idx], dtype=np.int64)
+            self._merge_both(pair, touched, addrs)
+            _assert_engines_agree(pair, f"first touch dup@{dup_at}")
+            self._merge_both(pair, touched, addrs)
+            _assert_engines_agree(pair, f"steady state dup@{dup_at}")
+
+    def test_merge_untouched_address_cuts_run(self):
+        """An untouched address mid-run cuts the hit run there: the
+        first 100 addresses RMW as one epoch, the rest first-touch."""
+        pair, touched = self._merge_pair()
+        warm = np.asarray([self._saddr(i) for i in range(100)], dtype=np.int64)
+        self._merge_both(pair, touched, warm)
+        _assert_engines_agree(pair, "after warmup")
+        full = np.asarray(
+            [self._saddr(i) for i in range(self.MERGE_N)], dtype=np.int64
+        )
+        self._merge_both(pair, touched, full)
+        _assert_engines_agree(pair, "after cut run")
+
+    def test_merge_forwarding_window_overlap_resolves(self):
+        """The forwarding window still holds the tail of the previous
+        pass's store-backs when the next pass starts: the overlap must
+        resolve (in-run stores never serve in-run loads -- distinct
+        addresses) rather than decline, and match the scalar engine's
+        forwarding accounting exactly."""
+        pair, touched = self._merge_pair()
+        addrs = np.asarray(
+            [self._saddr(i) for i in range(self.MERGE_N)], dtype=np.int64
+        )
+        self._merge_both(pair, touched, addrs)
+        # Immediately re-merge: the window overlaps the run's tail.
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after overlapping steady-state pass")
+        # And a third pass starting *at* the windowed tail.
+        self._merge_both(pair, touched, addrs[-self.MERGE_N // 2:])
+        _assert_engines_agree(pair, "after tail pass")
+
+    def test_merge_mixed_space_run_declines(self):
+        """A monotone run spanning two address spaces while the window
+        overlaps it: the epoch declines to the flat loop (per-space
+        insert tracking is not worth the vanishing case), which must be
+        invisible in the results."""
+        pair, touched = self._merge_pair()
+        lo = [self._laddr(i) for i in range(80)]
+        hi = [self._saddr(i) for i in range(80)]
+        addrs = np.asarray(lo + hi, dtype=np.int64)
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after mixed-space first touch")
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after mixed-space steady state")
+
+    def test_merge_eviction_pressure(self):
+        """Runs far past capacity: touched-but-evicted lines RMW-miss,
+        the epoch cuts at residency boundaries, and the footprint peak
+        tracking must match through the evictions."""
+        pair, touched = self._merge_pair(capacity_lines=24)
+        addrs = np.asarray(
+            [self._saddr(i) for i in range(self.MERGE_N)], dtype=np.int64
+        )
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after overflow merge")
+        self._merge_both(pair, touched, addrs)
+        _assert_engines_agree(pair, "after second overflow merge")
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_adversarial_merge_fuzz(self, seed):
+        """Randomized merge traffic against the scalar truth: long
+        distinct runs re-merged at varying offsets, duplicates and
+        untouched addresses salted in, interleaved loads sharing the
+        buffer, invalidates that turn touched lines into RMW misses."""
+        rng = random.Random(seed)
+        pair, touched = self._merge_pair(capacity_lines=128)
+        for step in range(40):
+            kind = rng.randrange(10)
+            if kind < 6:  # merge runs, mostly long, sometimes offset
+                base = rng.randrange(0, 60)
+                n = rng.randrange(48, 200)
+                idx = list(range(base, base + n))
+                if rng.random() < 0.4:  # salt a duplicate
+                    idx.insert(rng.randrange(len(idx)), rng.choice(idx))
+                addrs = np.asarray(
+                    [self._saddr(i) for i in idx], dtype=np.int64
+                )
+                self._merge_both(pair, touched, addrs, rng.random() < 0.7)
+            elif kind < 8:  # loads sharing the buffer halves
+                base = rng.randrange(0, 200)
+                addrs = np.asarray(
+                    [self._laddr(base + i) for i in range(rng.randrange(8, 40))],
+                    dtype=np.int64,
+                )
+                self._both(pair, "mac_load_batch", addrs, "W", "adj")
+            elif kind < 9:  # invalidate: touched lines now RMW-miss
+                for _, buf, _, _ in pair:
+                    buf.invalidate(CLASS_PARTIAL)
+            else:  # partial-output flush boundary, then spill cleanup
+                for _, buf, _, _ in pair:
+                    buf.flush(float(step), CLASS_PARTIAL)
+                if rng.random() < 0.5:
+                    for _, buf, _, _ in pair:
+                        buf.drop_spilled_partials()
+            _assert_engines_agree(pair, f"seed {seed} step {step}")
+
     @pytest.mark.parametrize("seed", (0, 1, 2))
     def test_adversarial_epoch_fuzz(self, seed):
         """Randomized batch streams skewed toward epoch-shaped work:
