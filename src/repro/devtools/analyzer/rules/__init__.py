@@ -15,6 +15,7 @@ from repro.devtools.analyzer.rules import (  # noqa: F401
     obs_hygiene,
     serve_hygiene,
     stats_conservation,
+    telemetry_hygiene,
     transitive_blocking,
     wire_schema,
 )

@@ -8,11 +8,18 @@ Subcommands:
     the run's SimStats totals land in ``otherData`` (no wall times), so
     the export is byte-deterministic for a given spec.
 ``report FILE [--json]``
-    Per-phase breakdown of a trace, or per-job telemetry of a run
+    Per-phase breakdown of a trace, per-span wall-time breakdown of a
+    ``repro.telemetry`` span file, or per-job telemetry of a run
     manifest (auto-detected).
 ``diff A B``
     Compare two traces (per-phase cycles and DRAM bytes) or two
-    manifests (per-label wall time and status).
+    manifests (per-label wall time and status).  One wall-clock span
+    file against one simulated trace renders the *two clocks* view --
+    host milliseconds next to simulated cycles, joined by correlation
+    ID (see ``docs/observability.md``).
+``slo [--host H] [--port P] [--json]``
+    SLO verdict of a running sweep server (scraped from ``/healthz``);
+    exit 1 when degraded.
 ``validate FILE [FILE ...]``
     Structural check against the in-repo trace schema; exit 1 on any
     problem.
@@ -32,11 +39,14 @@ from repro.obs.report import (
     diff_report,
     is_manifest,
     is_trace,
+    is_wall_trace,
     load_json,
     manifest_report,
     manifest_summary,
     trace_report,
     trace_summary,
+    wall_report,
+    wall_summary,
 )
 from repro.obs.schema import validate_trace
 from repro.obs.tracer import ChromeTracer
@@ -78,6 +88,14 @@ def build_trace(spec: Any) -> Tuple[ChromeTracer, Any, Dict[str, Any]]:
         "accelerator": result.accelerator,
         "totals": totals,
     }
+    # Under a bound correlation (serve workers) the trace carries the
+    # request's corr_id -- the join key of the two-clocks diff.  Plain
+    # CLI runs have none bound, so the export stays byte-deterministic.
+    from repro.telemetry import current_correlation_id
+
+    corr_id = current_correlation_id()
+    if corr_id is not None:
+        metadata["corr_id"] = corr_id
     return tracer, result, metadata
 
 
@@ -92,6 +110,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         sort_mode=args.sort_mode,
     )
+    if args.corr_id:
+        # Adopt the correlation ID a serve response handed the caller,
+        # so this simulated trace joins that request's wall-clock spans
+        # in ``repro.obs diff`` (the corr_id lands in metadata only --
+        # the events and the fingerprint are unchanged).
+        from repro.telemetry import bind_correlation
+
+        bind_correlation(args.corr_id)
     tracer, result, metadata = build_trace(spec)
     out = args.output or f"{args.dataset}-{args.kind}.trace.json"
     tracer.write(out, metadata)
@@ -109,6 +135,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     doc = load_json(args.file)
+    if is_wall_trace(doc):
+        if args.json:
+            print(json.dumps(wall_summary(doc), indent=2, sort_keys=True))
+        else:
+            print(wall_report(doc))
+        return 0
     if is_trace(doc):
         if args.json:
             print(json.dumps(trace_summary(doc), indent=2, sort_keys=True))
@@ -134,6 +166,50 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Scrape a running sweep server's SLO evaluation from /healthz."""
+    from repro.bench.report import format_table
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        payload = client.healthz()
+    slo = payload.get("slo")
+    if not isinstance(slo, dict):
+        print(
+            "server reported no SLO evaluation (telemetry disabled?)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(slo, indent=2, sort_keys=True))
+        return 0 if slo.get("verdict") == "ok" else 1
+    verdict = slo.get("verdict", "?")
+    uptime = payload.get("uptime_s")
+    line = f"verdict: {verdict}"
+    if isinstance(uptime, (int, float)):
+        line += f"  (uptime {uptime:.0f}s)"
+    print(line)
+    headers = ["objective", "kind", "observed", "target", "burn", "events", "ok"]
+    rows = []
+    for obj in slo.get("objectives", []):
+        if not isinstance(obj, dict):
+            continue
+        observed = obj.get("observed")
+        rows.append(
+            [
+                str(obj.get("name", "?")),
+                str(obj.get("kind", "?")),
+                "-" if observed is None else round(float(observed), 4),
+                obj.get("target"),
+                round(float(obj.get("burn_rate", 0.0)), 3),
+                int(obj.get("events", 0)),
+                "yes" if obj.get("ok") else "NO",
+            ]
+        )
+    print(format_table(headers, rows))
+    return 0 if verdict == "ok" else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -166,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--layers", type=int, default=1)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--sort-mode", default=None)
+    trace.add_argument(
+        "--corr-id", default=None,
+        help="stamp a correlation ID (e.g. from a serve response) into "
+        "the trace metadata for the two-clocks diff",
+    )
     trace.add_argument("-o", "--output", default=None, help="trace JSON path")
     trace.set_defaults(func=_cmd_trace)
 
@@ -178,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("a")
     diff.add_argument("b")
     diff.set_defaults(func=_cmd_diff)
+
+    slo = sub.add_parser(
+        "slo", help="SLO verdict of a running sweep server (via /healthz)"
+    )
+    slo.add_argument("--host", default="127.0.0.1")
+    slo.add_argument("--port", type=int, default=7341)
+    slo.add_argument("--json", action="store_true", help="raw SLO payload")
+    slo.set_defaults(func=_cmd_slo)
 
     validate = sub.add_parser("validate", help="schema-check trace files")
     validate.add_argument("files", nargs="+")

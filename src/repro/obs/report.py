@@ -1,15 +1,21 @@
 """Summaries and comparisons of traces and run manifests.
 
-Loaders plus three renderers used by the ``python -m repro.obs`` CLI:
+Loaders plus the renderers used by the ``python -m repro.obs`` CLI:
 
 * :func:`trace_report` -- per-phase cycle / DRAM-byte breakdown of one
   trace, cross-checked against the whole-run totals the obs CLI stores
   in ``otherData`` (the sums must match exactly -- the phase spans carry
   SimStats deltas built with the conservation invariant);
+* :func:`wall_report` -- per-span wall-millisecond breakdown of a
+  host-time trace (the files ``repro.telemetry.SpanRecorder`` writes;
+  detected via ``otherData.clock == "wall"``);
 * :func:`manifest_report` -- per-job host telemetry of one run manifest
   (status, attempts, wall time, peak RSS, timeouts);
 * :func:`diff_report` -- side-by-side comparison of two traces (e.g.
-  scalar vs batched engine, two accelerators) or two manifests.
+  scalar vs batched engine, two accelerators), two manifests, or --
+  the *two clocks* view -- one wall-clock span file against one
+  simulated-time trace, joined by the correlation IDs both carry (see
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -44,6 +50,39 @@ def is_trace(doc: Mapping[str, Any]) -> bool:
 
 def is_manifest(doc: Mapping[str, Any]) -> bool:
     return isinstance(doc.get("jobs"), list)
+
+
+def is_wall_trace(doc: Mapping[str, Any]) -> bool:
+    """A host-time span file (``SpanRecorder`` export): a trace whose
+    declared clock is wall time rather than simulated cycles."""
+    other = doc.get("otherData")
+    return (
+        is_trace(doc)
+        and isinstance(other, dict)
+        and other.get("clock") == "wall"
+    )
+
+
+def trace_corr_ids(doc: Mapping[str, Any]) -> List[str]:
+    """Every correlation ID a trace carries, in first-seen order.
+
+    Wall-clock span files stamp ``corr_id`` into event args; simulated
+    traces recorded under a bound correlation carry one in
+    ``otherData``.  The two-clocks diff joins on the intersection.
+    """
+    seen: List[str] = []
+    other = doc.get("otherData")
+    if isinstance(other, dict) and isinstance(other.get("corr_id"), str):
+        seen.append(other["corr_id"])
+    for event in doc.get("traceEvents", []):
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args")
+        if isinstance(args, dict):
+            cid = args.get("corr_id")
+            if isinstance(cid, str) and cid not in seen:
+                seen.append(cid)
+    return seen
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +177,82 @@ def trace_report(doc: Mapping[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Wall-clock span files (host time)
+# ----------------------------------------------------------------------
+def host_span_rows(doc: Mapping[str, Any]) -> List[Tuple[str, Dict[str, Any]]]:
+    """Aggregate ``cat="host"`` complete events per span name.
+
+    ``ts``/``dur`` are microseconds on the recorder's wall clock; the
+    rows report milliseconds.  Order is first appearance in the file
+    (the recorder sorts events by start time).
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in doc.get("traceEvents", []):
+        if not isinstance(event, dict) or event.get("cat") != "host":
+            continue
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name"))
+        if name not in rows:
+            rows[name] = {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            order.append(name)
+        dur_ms = float(event.get("dur", 0.0)) / 1000.0
+        row = rows[name]
+        row["count"] += 1
+        row["total_ms"] += dur_ms
+        row["max_ms"] = max(row["max_ms"], dur_ms)
+    return [(name, rows[name]) for name in order]
+
+
+def wall_summary(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Structured summary of one wall-clock span file."""
+    rows = host_span_rows(doc)
+    other = doc.get("otherData")
+    summary: Dict[str, Any] = {
+        "clock": "wall",
+        "n_events": len(doc.get("traceEvents", [])),
+        "spans": {
+            name: {
+                "count": fields["count"],
+                "total_ms": round(fields["total_ms"], 4),
+                "mean_ms": round(fields["total_ms"] / fields["count"], 4),
+                "max_ms": round(fields["max_ms"], 4),
+            }
+            for name, fields in rows
+        },
+        "corr_ids": trace_corr_ids(doc),
+    }
+    if isinstance(other, dict) and "epoch_s" in other:
+        summary["epoch_s"] = other["epoch_s"]
+    return summary
+
+
+def wall_report(doc: Mapping[str, Any]) -> str:
+    """Per-span wall-time table of one span file."""
+    rows = host_span_rows(doc)
+    headers = ["span", "count", "total ms", "mean ms", "max ms"]
+    table: List[Sequence[object]] = [
+        [
+            name,
+            fields["count"],
+            round(fields["total_ms"], 3),
+            round(fields["total_ms"] / fields["count"], 3),
+            round(fields["max_ms"], 3),
+        ]
+        for name, fields in rows
+    ]
+    lines = ["clock: wall (host time)", format_table(headers, table)]
+    corr_ids = trace_corr_ids(doc)
+    if corr_ids:
+        lines.append(
+            f"correlation ids: {', '.join(corr_ids[:8])}"
+            + (f" (+{len(corr_ids) - 8} more)" if len(corr_ids) > 8 else "")
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Manifests
 # ----------------------------------------------------------------------
 def manifest_cache_effectiveness(doc: Mapping[str, Any]) -> Dict[str, Any]:
@@ -226,8 +341,15 @@ def manifest_summary(doc: Mapping[str, Any]) -> Dict[str, Any]:
 def diff_report(
     a: Mapping[str, Any], b: Mapping[str, Any], name_a: str, name_b: str
 ) -> str:
-    """Compare two traces (per-phase cycles/bytes) or two manifests
-    (per-label wall time and status)."""
+    """Compare two traces (per-phase cycles/bytes), two manifests
+    (per-label wall time and status), or one wall-clock span file
+    against one simulated-time trace (the two-clocks view)."""
+    if is_wall_trace(a) != is_wall_trace(b) and is_trace(a) and is_trace(b):
+        wall, sim = (a, b) if is_wall_trace(a) else (b, a)
+        wall_name, sim_name = (
+            (name_a, name_b) if is_wall_trace(a) else (name_b, name_a)
+        )
+        return two_clocks_report(wall, sim, wall_name, sim_name)
     if is_trace(a) and is_trace(b):
         return _diff_traces(a, b, name_a, name_b)
     if is_manifest(a) and is_manifest(b):
@@ -237,6 +359,41 @@ def diff_report(
         f"({name_a} is {'trace' if is_trace(a) else 'manifest?'}, "
         f"{name_b} is {'trace' if is_trace(b) else 'manifest?'})"
     )
+
+
+def two_clocks_report(
+    wall: Mapping[str, Any],
+    sim: Mapping[str, Any],
+    wall_name: str,
+    sim_name: str,
+) -> str:
+    """Host wall time next to simulated cycles for one correlated run.
+
+    The two files measure *different clocks*: the span file records how
+    long the host spent (queueing, cache probes, executing the
+    simulator), the trace records how long the modelled hardware would
+    take (cycles).  They join on the correlation ID the serving path
+    mints at ``/submit`` and threads through both recorders.
+    """
+    wall_ids = trace_corr_ids(wall)
+    sim_ids = trace_corr_ids(sim)
+    shared = [cid for cid in wall_ids if cid in sim_ids]
+    lines = [f"two clocks: {wall_name} (host wall) vs {sim_name} (simulated)"]
+    if shared:
+        lines.append(f"correlated: shared corr_id {', '.join(shared)}")
+    elif wall_ids or sim_ids:
+        lines.append(
+            "not correlated: no shared corr_id "
+            f"(wall: {', '.join(wall_ids) or 'none'}; "
+            f"sim: {', '.join(sim_ids) or 'none'})"
+        )
+    lines.append("")
+    lines.append(f"host spans (wall ms) -- {wall_name}:")
+    lines.append(wall_report(wall))
+    lines.append("")
+    lines.append(f"simulated phases (cycles) -- {sim_name}:")
+    lines.append(trace_report(sim))
+    return "\n".join(lines)
 
 
 def _ratio(x: int, y: int) -> str:

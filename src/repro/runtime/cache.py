@@ -124,11 +124,16 @@ class ResultCache:
         """
         fingerprint = spec.fingerprint()
         path = self._path(fingerprint)
+        spec_doc = spec.to_dict()
+        # Cache records are content-addressed and shared across
+        # requests; the telemetry correlation ID of whichever request
+        # happened to compute the result first does not belong in them.
+        spec_doc.pop("corr_id", None)
         record = {
             "fingerprint": fingerprint,
             "schema_version": SCHEMA_VERSION,
             "created_unix": time.time(),
-            "spec": spec.to_dict(),
+            "spec": spec_doc,
             "result": result.to_dict(),
         }
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -8,12 +8,17 @@ without dragging in -- or cyclically re-entering -- ``repro.bench``.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Dict, Optional
 
 from repro.hymm import HyMMAccelerator, HyMMConfig
 from repro.hymm.base import AcceleratorBase, RunResult
 from repro.obs.tracer import Tracer
 from repro.runtime.job import JobSpec
+from repro.telemetry import bind_correlation, get_logger, span
+
+_log = get_logger("runtime.execute")
 
 
 def make_accelerator(
@@ -194,9 +199,44 @@ def execute_job(
     into the run manifest's replay counters before deserialising the
     result.
     """
-    session = job_trace_session(spec, trace_root_dir) if replay else None
-    doc = execute_spec(spec, replay_session=session).to_dict()
-    summary = replay_summary(session)
-    if summary is not None:
-        doc["replay"] = summary
+    # Re-establish the submitting request's correlation context in this
+    # (possibly pool-worker) process: JobSpec.corr_id is how the ID
+    # crosses the pickle boundary.
+    bind_correlation(spec.corr_id)
+    # Telemetry-off contract: skip even building the log payloads (the
+    # fingerprint is a SHA-256) unless a handler actually wants them.
+    chatty = _log.isEnabledFor(logging.INFO)
+    t0 = time.perf_counter()
+    if chatty:
+        _log.info(
+            "job start",
+            extra={"fingerprint": spec.fingerprint(), "job": spec.describe()},
+        )
+    try:
+        session = job_trace_session(spec, trace_root_dir) if replay else None
+        with span("runtime.execute", job=spec.describe()):
+            doc = execute_spec(spec, replay_session=session).to_dict()
+        summary = replay_summary(session)
+        if summary is not None:
+            doc["replay"] = summary
+    except Exception as exc:
+        if _log.isEnabledFor(logging.WARNING):
+            _log.warning(
+                "job failed",
+                extra={
+                    "fingerprint": spec.fingerprint(),
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "wall_s": round(time.perf_counter() - t0, 6),
+                },
+            )
+        raise
+    if chatty:
+        _log.info(
+            "job done",
+            extra={
+                "fingerprint": spec.fingerprint(),
+                "wall_s": round(time.perf_counter() - t0, 6),
+                "replay": summary,
+            },
+        )
     return doc

@@ -30,6 +30,7 @@ absent from the results -- callers decide whether that is fatal.
 from __future__ import annotations
 
 import functools
+import logging
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -48,9 +49,35 @@ from repro.runtime.manifest import (
     RunManifest,
     peak_rss_kb,
 )
+from repro.telemetry import get_logger, get_registry, span
 
 #: ``progress(record, n_finished, n_total)`` callback type.
 ProgressFn = Callable[[JobRecord, int, int], None]
+
+_log = get_logger("runtime.executor")
+
+# Executor instruments live in the process-global registry so any
+# front end (serve, bench) exports them alongside its own.  Registered
+# once, here, at module scope (the telemetry-hygiene convention).
+_registry = get_registry()
+_JOBS_TOTAL = _registry.counter(
+    "repro_runtime_jobs_total",
+    "Sweep jobs by terminal status",
+    labelnames=("status",),
+)
+_BATCHES_TOTAL = _registry.counter(
+    "repro_runtime_pool_batches_total",
+    "Batches submitted to the process pool (retries included)",
+)
+_CACHE_PROBES_TOTAL = _registry.counter(
+    "repro_runtime_cache_probes_total",
+    "Result-cache probes at sweep entry, by outcome",
+    labelnames=("outcome",),
+)
+_JOB_SECONDS = _registry.histogram(
+    "repro_runtime_job_seconds",
+    "Wall seconds per executed (non-cache) job",
+)
 
 
 def run_job_group(runner, specs: Sequence[JobSpec]) -> List[tuple]:
@@ -165,21 +192,28 @@ class SweepExecutor:
         self._total = len(unique)
 
         pending: List[JobSpec] = []
-        for spec in unique:
-            cached = self.cache.load(spec) if self.cache is not None else None
-            if cached is not None:
-                sweep.results[spec.fingerprint()] = cached
-                self._record(sweep, spec, STATUS_CACHE_HIT, worker="cache")
-            else:
-                pending.append(spec)
+        with span("runtime.cache_probe", jobs=len(unique)):
+            for spec in unique:
+                cached = (
+                    self.cache.load(spec) if self.cache is not None else None
+                )
+                if cached is not None:
+                    _CACHE_PROBES_TOTAL.labels("hit").inc()
+                    sweep.results[spec.fingerprint()] = cached
+                    self._record(sweep, spec, STATUS_CACHE_HIT, worker="cache")
+                else:
+                    if self.cache is not None:
+                        _CACHE_PROBES_TOTAL.labels("miss").inc()
+                    pending.append(spec)
 
         if pending:
-            if self.n_jobs > 1:
-                leftover = self._run_pool(pending, sweep)
-            else:
-                leftover = pending
-            if leftover:
-                self._run_serial(leftover, sweep)
+            with span("runtime.sweep", jobs=len(pending)):
+                if self.n_jobs > 1:
+                    leftover = self._run_pool(pending, sweep)
+                else:
+                    leftover = pending
+                if leftover:
+                    self._run_serial(leftover, sweep)
 
         sweep.manifest.wall_seconds = time.perf_counter() - start
         if self.cache is not None:
@@ -211,7 +245,24 @@ class SweepExecutor:
             error=error,
             max_rss_kb=rss_kb,
             timed_out=timed_out,
+            corr_id=spec.corr_id,
         )
+        _JOBS_TOTAL.labels(status).inc()
+        if status != STATUS_CACHE_HIT:
+            _JOB_SECONDS.observe(wall)
+        if _log.isEnabledFor(logging.INFO):
+            _log.info(
+                "job record",
+                extra={
+                    "corr_id": spec.corr_id,
+                    "fingerprint": record.fingerprint,
+                    "status": status,
+                    "worker": worker,
+                    "attempts": attempts,
+                    "wall_s": round(wall, 6),
+                    "job_error": error,
+                },
+            )
         sweep.manifest.add(record)
         if self.progress is not None:
             self.progress(record, len(sweep.manifest.records), self._total)
@@ -300,6 +351,7 @@ class SweepExecutor:
 
         def submit(unit: List[JobSpec], attempt: int) -> None:
             future = pool.submit(functools.partial(run_job_group, self.runner), unit)
+            _BATCHES_TOTAL.inc()
             pending[future] = (unit, attempt, time.monotonic())
 
         try:

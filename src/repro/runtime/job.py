@@ -61,6 +61,12 @@ class JobSpec:
     config: Optional[HyMMConfig] = None
     sort_mode: Optional[str] = None
     feature_length: Optional[int] = None
+    #: Telemetry correlation ID (minted at /submit, carried into worker
+    #: processes so log records and spans join up).  Deliberately
+    #: EXCLUDED from the canonical payload: two submits of the same
+    #: point must share a fingerprint -- and a cache key -- no matter
+    #: which request carried them.
+    corr_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.dataset:
@@ -102,7 +108,7 @@ class JobSpec:
     # Serialisation (manifests, cache records)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "dataset": self.dataset,
             "kind": self.kind,
             "scale": self.scale,
@@ -111,7 +117,13 @@ class JobSpec:
             "config": None if self.config is None else self.config.to_dict(),
             "sort_mode": self.sort_mode,
             "feature_length": self.feature_length,
+            "corr_id": self.corr_id,
         }
+        if self.corr_id is None:
+            # Telemetry off (or a spec that never passed through /submit)
+            # serialises byte-identically to the pre-telemetry format.
+            del doc["corr_id"]
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
@@ -125,6 +137,7 @@ class JobSpec:
             config=None if cfg is None else HyMMConfig.from_dict(cfg),
             sort_mode=data.get("sort_mode"),
             feature_length=data.get("feature_length"),
+            corr_id=data.get("corr_id"),
         )
 
     def trace_dir(self, root: str) -> str:

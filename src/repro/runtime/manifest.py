@@ -58,9 +58,14 @@ class JobRecord:
     #: worker share the worker's peak.  ``None`` for cache hits.
     max_rss_kb: Optional[int] = None
     timed_out: bool = False
+    #: Telemetry correlation ID of the request that caused this job
+    #: (``JobSpec.corr_id``); ``None`` outside the serve path or with
+    #: telemetry off -- and then absent from the serialised record, so
+    #: pre-telemetry manifests are byte-identical.
+    corr_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "fingerprint": self.fingerprint,
             "label": self.label,
             "status": self.status,
@@ -71,6 +76,9 @@ class JobRecord:
             "max_rss_kb": self.max_rss_kb,
             "timed_out": self.timed_out,
         }
+        if self.corr_id is not None:
+            doc["corr_id"] = self.corr_id
+        return doc
 
 
 @dataclass

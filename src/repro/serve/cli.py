@@ -4,18 +4,24 @@ Subcommands:
 
 ``serve [--host H] [--port P] [--cache-dir DIR] [--no-cache]
 [--workers N] [--max-batch N] [--retries N] [--timeout S]
-[--ready-file PATH]``
+[--ready-file PATH] [--log PATH] [--span-file PATH] [--no-telemetry]``
     Run the sweep server in the foreground until SIGINT or a
     ``/shutdown`` request.  ``--ready-file`` writes ``host port`` once
-    the socket is accepting (the CI smoke job's handshake).
+    the socket is accepting (the CI smoke job's handshake).  ``--log``
+    turns on NDJSON structured logging, ``--span-file`` records
+    wall-clock spans into a Chrome-trace file at shutdown, and
+    ``--no-telemetry`` disables correlation IDs for byte-identical
+    pre-telemetry responses (see ``docs/observability.md``).
 ``submit DATASET [--kind hymm] [--scale S] [--layers N] [--seed N]
 [--no-wait] [--include-result] [--json]``
     Build the bench :class:`~repro.runtime.job.JobSpec` and submit it;
     prints the terminal status (or the queued ack with ``--no-wait``).
 ``status JOB_ID [--follow] [--json]``
     One status snapshot, or a live event stream until terminal.
-``healthz`` / ``metrics``
-    Scrape the respective endpoint as JSON.
+``healthz`` / ``metrics [--prom]``
+    Scrape the respective endpoint as JSON; ``metrics --prom`` prints
+    the Prometheus text exposition instead (CI pipes it into the
+    ``python -m repro.telemetry validate -`` checker).
 ``shutdown``
     Ask a running server to exit.
 ``bench-hitpath [--requests N] [--dataset D] [--kind K] ...``
@@ -79,6 +85,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.runtime.cache import ShardedResultCache
     from repro.serve.server import ServeSettings, SweepServer
+    from repro.telemetry import SpanRecorder, configure_logging, install_recorder
 
     # Replay knobs ride on the env var so pool workers (which re-derive
     # their trace sessions process-locally) see the same setting.
@@ -87,12 +94,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     elif args.trace_dir:
         os.environ["REPRO_TRACE_DIR"] = args.trace_dir
 
+    # Telemetry wiring: --log enables NDJSON structured logging (a
+    # path, or '-' for stderr; the REPRO_TELEMETRY_LOG env var is the
+    # equivalent switch for pool workers), --span-file records the
+    # server's wall-clock spans and writes the Chrome-trace file at
+    # shutdown, --no-telemetry restores pre-telemetry byte-identical
+    # submit/status responses (no correlation IDs minted).
+    if args.log:
+        configure_logging(args.log)
+        os.environ.setdefault("REPRO_TELEMETRY_LOG", args.log)
+    recorder = None
+    if args.span_file:
+        recorder = SpanRecorder()
+        install_recorder(recorder)
+
     cache = None if args.no_cache else ShardedResultCache(args.cache_dir)
     settings = ServeSettings(
         workers=args.workers,
         max_batch=args.max_batch,
         retries=args.retries,
         timeout=args.timeout,
+        telemetry=not args.no_telemetry,
     )
     server = SweepServer(cache=cache, settings=settings)
 
@@ -111,6 +133,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    finally:
+        if recorder is not None:
+            recorder.write(args.span_file, tool="repro.serve")
+            print(f"wall-clock spans written to {args.span_file}", flush=True)
     return 0
 
 
@@ -167,6 +193,16 @@ def _scrape(args: argparse.Namespace, op: str) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if not args.prom:
+        return _scrape(args, "metrics")
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        sys.stdout.write(client.metrics_prometheus())
+    return 0
+
+
 def cmd_smoke(args: argparse.Namespace) -> int:
     """Self-hosted replay smoke (see the module doc)."""
     import os
@@ -202,6 +238,7 @@ def cmd_smoke(args: argparse.Namespace) -> int:
                         return 1
                 repeat = client.submit(probe.to_dict(), wait=True)
                 metrics = client.request({"op": "metrics"})
+                exposition = client.metrics_prometheus()
     if repeat.get("status") != "done" or repeat.get("source") != "executed":
         print(
             f"SMOKE FAIL: repeated submit was not re-executed "
@@ -226,10 +263,28 @@ def cmd_smoke(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    # The Prometheus scrape must pass the in-repo validator with real
+    # traffic in the counters (the CI serve-smoke's local twin).
+    from repro.telemetry import ExpositionError, validate_exposition
+
+    try:
+        exposition_stats = validate_exposition(exposition)
+    except ExpositionError as exc:
+        print(f"SMOKE FAIL: prometheus exposition: {exc}", file=sys.stderr)
+        return 1
+    if exposition_stats["samples"] < 10:
+        print(
+            f"SMOKE FAIL: prometheus exposition too thin "
+            f"({exposition_stats['samples']} samples)",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"serve smoke ok: repeat of {probe.describe()} re-executed with "
         f"{hits} phase(s) replayed ({misses} recorded live), "
-        f"{len(repeat['phases'])} progress rows streamed"
+        f"{len(repeat['phases'])} progress rows streamed; prometheus "
+        f"scrape valid ({exposition_stats['families']} families, "
+        f"{exposition_stats['samples']} samples)"
     )
     return 0
 
@@ -287,6 +342,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None)
     p.add_argument("--ready-file", default=None,
                    help="write 'host port' here once accepting")
+    p.add_argument("--log", default=None, metavar="PATH",
+                   help="write NDJSON structured logs here ('-' = stderr)")
+    p.add_argument("--span-file", default=None, metavar="PATH",
+                   help="record wall-clock spans, write the Chrome-trace "
+                   "JSON here at shutdown")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable correlation IDs (pre-telemetry "
+                   "byte-identical submit/status responses)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("submit", help="submit one bench job spec")
@@ -316,7 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("metrics", help="scrape server metrics")
     _add_endpoint_args(p)
-    p.set_defaults(fn=lambda args: _scrape(args, "metrics"))
+    p.add_argument("--prom", action="store_true",
+                   help="print the Prometheus text exposition instead of "
+                   "JSON (pipe into 'python -m repro.telemetry validate -')")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("shutdown", help="stop a running server")
     _add_endpoint_args(p)

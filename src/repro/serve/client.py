@@ -135,5 +135,10 @@ class ServeClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request({"op": "metrics"})
 
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (server + process registries)."""
+        response = self.request({"op": "metrics", "format": "prometheus"})
+        return str(response.get("exposition", ""))
+
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})

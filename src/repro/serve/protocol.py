@@ -25,7 +25,9 @@ endpoints are:
     phase-replay counters (phases replayed from the trace store vs
     simulated live and recorded), hit-path latency percentiles, and
     worker telemetry aggregated from run manifests (timeouts / retries
-    / peak RSS).
+    / peak RSS).  The path form ``/metrics/prometheus`` (or
+    ``"format": "prometheus"``) returns the same registry as Prometheus
+    text exposition in the reply's ``"exposition"`` field.
 ``/shutdown``
     Ask the server to stop accepting work and exit (local dev/CI
     convenience).
@@ -83,6 +85,10 @@ class Request:
     wait: bool = True
     include_result: bool = False
     follow: bool = False
+    #: Response format selector; only ``/metrics`` honours it
+    #: (``"prometheus"`` -> text exposition wrapped in the JSON reply,
+    #: also reachable as the path form ``/metrics/prometheus``).
+    format: Optional[str] = None
 
 
 def encode(payload: Dict[str, Any]) -> bytes:
@@ -115,6 +121,8 @@ def _op_from_path(path: str) -> Dict[str, Any]:
     fields: Dict[str, Any] = {"op": parts[0]}
     if parts[0] == OP_STATUS and len(parts) == 2:
         fields["job_id"] = parts[1]
+    elif parts[0] == OP_METRICS and len(parts) == 2 and parts[1] == "prometheus":
+        fields["format"] = "prometheus"
     elif len(parts) > 1:
         raise ProtocolError(f"unroutable path {path!r}")
     return fields
@@ -140,6 +148,7 @@ def parse_request(doc: Dict[str, Any]) -> Request:
     job_id = merged.get("job_id")
     if op == OP_STATUS and not isinstance(job_id, str):
         raise ProtocolError("status needs a 'job_id'")
+    fmt = merged.get("format")
     return Request(
         op=op,
         spec=spec if isinstance(spec, dict) else None,
@@ -147,6 +156,7 @@ def parse_request(doc: Dict[str, Any]) -> Request:
         wait=bool(merged.get("wait", True)),
         include_result=bool(merged.get("include_result", False)),
         follow=bool(merged.get("follow", False)),
+        format=fmt if isinstance(fmt, str) else None,
     )
 
 

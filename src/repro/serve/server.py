@@ -36,17 +36,31 @@ rule.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
-from collections import OrderedDict, deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.hymm.base import RunResult
 from repro.obs.tracer import PhaseFeed
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import SweepExecutor, SweepResult
-from repro.runtime.job import JobSpec
+from repro.runtime.job import SCHEMA_VERSION, JobSpec
 from repro.runtime.manifest import STATUS_FAILED
+from repro.sim.replay import TRACE_SCHEMA_VERSION
+from repro.telemetry import (
+    MetricsRegistry,
+    Objective,
+    SloTracker,
+    bind_correlation,
+    correlation_scope,
+    get_logger,
+    get_registry,
+    new_correlation_id,
+    render_exposition,
+    span,
+)
 from repro.serve.protocol import (
     JOB_DONE,
     JOB_FAILED,
@@ -85,14 +99,18 @@ PHASE_ROW_FIELDS = (
 #: A SweepExecutor-compatible factory (test seam).
 ExecutorFactory = Callable[..., SweepExecutor]
 
+_log = get_logger("serve.server")
+
 
 def percentiles(
     values: List[float], points: Tuple[float, ...] = (50.0, 90.0, 99.0)
 ) -> Dict[str, float]:
     """Nearest-rank percentiles of ``values`` (e.g. ``{"p50": ...}``).
 
-    Empty input yields an empty dict -- metrics simply omit latencies
-    until the first hit has been served.
+    Empty input yields an empty dict.  Used for *client-side* sample
+    lists (the bench CLI); the server's own ``/metrics`` hit-path
+    figures come from the O(buckets) telemetry histogram instead of
+    sorting a sample window per scrape.
     """
     if not values:
         return {}
@@ -104,6 +122,29 @@ def percentiles(
     out["max"] = ordered[-1]
     out["mean"] = sum(ordered) / len(ordered)
     return out
+
+
+#: Default service-level objectives the server's /healthz verdict
+#: evaluates (rolling 5-minute windows): the cached-lookup hit path
+#: stays under 5 ms at p99, and under 1% of submissions end in failure.
+DEFAULT_SLOS = (
+    Objective(
+        name="hitpath-p99",
+        kind="latency",
+        target=5.0,
+        metric="repro_serve_hitpath_ms",
+        percentile=99.0,
+        window_s=300.0,
+    ),
+    Objective(
+        name="error-rate",
+        kind="error_rate",
+        target=0.01,
+        numerator="repro_serve_jobs_failed_total",
+        denominator="repro_serve_submitted_total",
+        window_s=300.0,
+    ),
+)
 
 
 def phase_rows_from_record(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
@@ -161,8 +202,15 @@ class ServeSettings:
     #: Terminal jobs kept addressable by ``/status`` (LRU-bounded;
     #: in-flight jobs are never evicted).
     registry_limit: int = 512
-    #: Hit-path latency samples retained for ``/metrics`` percentiles.
+    #: Retained for settings compatibility: hit-path latency now lives
+    #: in a fixed-bucket telemetry histogram (O(buckets) per scrape, no
+    #: window to overflow), so this no longer bounds anything.
     latency_window: int = 4096
+    #: Wall-clock telemetry (correlation IDs on jobs/events/records,
+    #: structured log emission, span recording).  ``False`` restores
+    #: pre-telemetry byte-identical submit/status responses; metrics
+    #: counters stay on either way (they are the /metrics payload).
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -177,14 +225,23 @@ class JobEntry:
     """One fingerprint's lifecycle inside the single-flight table."""
 
     __slots__ = (
-        "spec", "fingerprint", "status", "source", "error", "submits",
-        "attempts", "wall_seconds", "phases", "events", "result_record",
-        "done", "_tick",
+        "spec", "fingerprint", "corr_id", "status", "source", "error",
+        "submits", "attempts", "wall_seconds", "phases", "events",
+        "result_record", "done", "_tick",
     )
 
-    def __init__(self, spec: JobSpec, fingerprint: str) -> None:
+    def __init__(
+        self,
+        spec: JobSpec,
+        fingerprint: str,
+        corr_id: Optional[str] = None,
+    ) -> None:
         self.spec = spec
         self.fingerprint = fingerprint
+        #: Telemetry correlation ID minted at /submit (None with
+        #: telemetry off); stamped on every event/status payload and
+        #: carried into workers via ``spec.corr_id``.
+        self.corr_id = corr_id
         self.status = JOB_QUEUED
         self.source: Optional[str] = None
         self.error: Optional[str] = None
@@ -217,6 +274,8 @@ class JobEntry:
     def add_event(self, payload: Dict[str, Any]) -> None:
         payload = dict(payload)
         payload["seq"] = len(self.events)
+        if self.corr_id is not None:
+            payload["corr_id"] = self.corr_id
         self.events.append(payload)
         self._rotate()
 
@@ -255,45 +314,181 @@ class JobEntry:
 
 
 class ServeMetrics:
-    """Counters behind ``/metrics`` (event-loop thread only)."""
+    """The server's typed instruments behind ``/metrics``.
 
-    def __init__(self, latency_window: int = 4096) -> None:
-        self.submitted = 0
+    All counters live in the *per-server* :class:`MetricsRegistry`
+    (``registry``): two ServerThreads in one test process never bleed
+    counts into each other, and a scrape renders this registry plus the
+    process-global one (executor/replay instruments).  The legacy plain
+    ``metrics.submitted``-style reads remain as properties.
+
+    Hit-path latency is a fixed-exponential-bucket histogram: recording
+    a sample is O(log buckets), a scrape summarises O(buckets) -- no
+    4096-sample deque copied and sorted on the event loop per scrape,
+    and no window silently dropping history on overflow.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._submitted = registry.counter(
+            "repro_serve_submitted_total", "Submissions accepted"
+        )
         #: Submissions answered by attaching to an in-flight entry.
-        self.deduped = 0
+        self._deduped = registry.counter(
+            "repro_serve_deduped_total",
+            "Submissions answered by single-flight attach",
+        )
         #: Submissions answered straight from the result cache.
-        self.cache_served = 0
+        self._cache_served = registry.counter(
+            "repro_serve_cache_served_total",
+            "Submissions answered from the result cache or job registry",
+        )
         #: Cache misses served from the terminal-job registry (only
         #: possible on a cache-less server).
-        self.registry_hits = 0
-        self.executed = 0
-        self.failed = 0
-        self.timeouts = 0
-        self.retries = 0
-        self.batches = 0
+        self._registry_hits = registry.counter(
+            "repro_serve_registry_hits_total",
+            "Cache misses answered from the terminal-job registry",
+        )
+        self._executed = registry.counter(
+            "repro_serve_jobs_executed_total", "Jobs simulated to completion"
+        )
+        self._failed = registry.counter(
+            "repro_serve_jobs_failed_total", "Jobs that ended in failure"
+        )
+        self._timeouts = registry.counter(
+            "repro_serve_job_timeouts_total", "Jobs that hit the pool timeout"
+        )
+        self._retries = registry.counter(
+            "repro_serve_job_retries_total",
+            "Extra attempts beyond the first, summed over jobs",
+        )
+        self._batches = registry.counter(
+            "repro_serve_batches_total", "SweepExecutor batch invocations"
+        )
         #: Phase-trace replay accounting over executed jobs: phases
         #: replayed from the trace store vs simulated live and recorded
         #: (folded in from each batch's run manifest).
-        self.replay_hits = 0
-        self.replay_misses = 0
-        self.peak_rss_kb: Optional[int] = None
-        self.hitpath_ms: Deque[float] = deque(maxlen=latency_window)
+        self._replay = registry.counter(
+            "repro_serve_replay_phases_total",
+            "Phases replayed from the trace store vs recorded live",
+            labelnames=("mode",),
+        )
+        self._rss = registry.gauge(
+            "repro_serve_peak_rss_kb",
+            "Highest per-process peak RSS reported by any batch (KiB)",
+        )
+        self._seen_rss = False
+        self._hitpath = registry.histogram(
+            "repro_serve_hitpath_ms",
+            "Wall milliseconds to serve a submission from the result cache",
+        )
+        self._queue_depth = registry.gauge(
+            "repro_serve_queue_depth", "Jobs waiting for an executor batch"
+        )
+        self._in_flight = registry.gauge(
+            "repro_serve_in_flight", "Jobs inside the current executor batch"
+        )
+        self._uptime = registry.gauge(
+            "repro_serve_uptime_seconds", "Seconds since the server started"
+        )
+
+    # -- legacy plain-int reads --------------------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def deduped(self) -> int:
+        return int(self._deduped.value)
+
+    @property
+    def cache_served(self) -> int:
+        return int(self._cache_served.value)
+
+    @property
+    def registry_hits(self) -> int:
+        return int(self._registry_hits.value)
+
+    @property
+    def executed(self) -> int:
+        return int(self._executed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def replay_hits(self) -> int:
+        return int(self._replay.labels("replayed").value)
+
+    @property
+    def replay_misses(self) -> int:
+        return int(self._replay.labels("recorded").value)
+
+    @property
+    def peak_rss_kb(self) -> Optional[int]:
+        return int(self._rss.value) if self._seen_rss else None
+
+    # -- mutation ------------------------------------------------------
+    def inc_submitted(self) -> None:
+        self._submitted.inc()
+
+    def inc_deduped(self) -> None:
+        self._deduped.inc()
+
+    def inc_cache_served(self) -> None:
+        self._cache_served.inc()
+
+    def inc_registry_hits(self) -> None:
+        self._registry_hits.inc()
+
+    def inc_failed(self, n: int = 1) -> None:
+        self._failed.inc(n)
 
     def record_hitpath(self, ms: float) -> None:
-        self.hitpath_ms.append(ms)
+        self._hitpath.observe(ms)
+
+    def hitpath_summary(self) -> Dict[str, float]:
+        """``{"count": n, "p50": ..., "p90": ..., "p99": ..., "max":
+        ..., "mean": ...}`` (just the count when empty)."""
+        return self._hitpath.percentile_summary()
+
+    def set_runtime_gauges(self, queue_depth: int, in_flight: int, uptime_s: float) -> None:
+        """Refresh point-in-time gauges (called at scrape time)."""
+        self._queue_depth.set(queue_depth)
+        self._in_flight.set(in_flight)
+        self._uptime.set(round(uptime_s, 3))
 
     def merge_manifest(self, manifest: Any) -> None:
         """Fold one SweepExecutor run manifest into the aggregates."""
-        self.batches += 1
-        self.executed += manifest.executed
-        self.failed += manifest.failed
-        self.timeouts += manifest.timeouts
-        self.retries += manifest.retries
-        self.replay_hits += getattr(manifest, "replay_hits", 0)
-        self.replay_misses += getattr(manifest, "replay_misses", 0)
+        self._batches.inc()
+        self._executed.inc(manifest.executed)
+        self._failed.inc(manifest.failed)
+        self._timeouts.inc(manifest.timeouts)
+        self._retries.inc(manifest.retries)
+        replay_hits = getattr(manifest, "replay_hits", 0)
+        replay_misses = getattr(manifest, "replay_misses", 0)
+        if replay_hits:
+            self._replay.labels("replayed").inc(replay_hits)
+        if replay_misses:
+            self._replay.labels("recorded").inc(replay_misses)
         rss = manifest.peak_rss_kb
         if rss is not None:
-            self.peak_rss_kb = max(self.peak_rss_kb or 0, rss)
+            self._seen_rss = True
+            if rss > self._rss.value:
+                self._rss.set(rss)
 
 
 class SweepServer:
@@ -330,7 +525,12 @@ class SweepServer:
         self._executor_factory: ExecutorFactory = (
             executor_factory if executor_factory is not None else SweepExecutor
         )
-        self.metrics = ServeMetrics(self.settings.latency_window)
+        #: Per-server instrument namespace: ServerThreads in one test
+        #: process must not bleed counts into each other.  Scrapes
+        #: export this registry plus the process-global one.
+        self.registry = MetricsRegistry()
+        self.metrics = ServeMetrics(self.registry)
+        self.slo = SloTracker(self.registry, list(DEFAULT_SLOS))
         self._jobs: "OrderedDict[str, JobEntry]" = OrderedDict()
         self._queue: "asyncio.Queue[JobEntry]" = asyncio.Queue()
         self._in_flight = 0
@@ -432,7 +632,10 @@ class SweepServer:
         elif request.op == OP_HEALTHZ:
             await self._send(writer, self._healthz_payload())
         elif request.op == OP_METRICS:
-            await self._send(writer, self._metrics_payload())
+            if request.format == "prometheus":
+                await self._send(writer, self._prometheus_payload())
+            else:
+                await self._send(writer, self._metrics_payload())
         elif request.op == OP_SHUTDOWN:
             await self._send(writer, {"ok": True, "stopping": True})
             self.request_stop()
@@ -471,42 +674,77 @@ class SweepServer:
                 error_payload(f"bad spec: {type(exc).__name__}: {exc}"),
             )
             return
-        self.metrics.submitted += 1
+        self.metrics.inc_submitted()
+        telemetry = self.settings.telemetry
 
         prior = self._jobs.get(fingerprint)
         if prior is not None and not prior.terminal:
             # Single-flight: attach to the in-flight entry.
             entry = prior
             entry.submits += 1
-            self.metrics.deduped += 1
+            self.metrics.inc_deduped()
+            if telemetry and _log.isEnabledFor(logging.INFO):
+                _log.info(
+                    "submit join",
+                    extra={
+                        "corr_id": entry.corr_id,
+                        "fingerprint": fingerprint,
+                        "submits": entry.submits,
+                    },
+                )
         else:
-            entry = JobEntry(spec, fingerprint)
+            # Mint (or adopt the client's) correlation ID for this
+            # request and thread it into the spec so pool workers, log
+            # records, the manifest JobRecord, and the replay session
+            # all carry the same ID.
+            corr_id = spec.corr_id
+            if corr_id is None and telemetry:
+                corr_id = new_correlation_id()
+            entry = JobEntry(spec, fingerprint, corr_id=corr_id)
             self._register(entry)
             entry.add_event({"event": "status", "status": JOB_QUEUED})
-            record: Optional[Dict[str, Any]] = None
-            source = ""
-            if self.cache is not None:
-                probe_start = time.perf_counter()
-                record = await asyncio.to_thread(self._cache_lookup, spec)
+            with correlation_scope(corr_id):
+                record: Optional[Dict[str, Any]] = None
+                source = ""
+                if self.cache is not None:
+                    probe_start = time.perf_counter()
+                    with span("serve.cache_probe", job=fingerprint[:12]):
+                        record = await asyncio.to_thread(
+                            self._cache_lookup, spec
+                        )
+                    if record is not None:
+                        self.metrics.record_hitpath(
+                            (time.perf_counter() - probe_start) * 1000.0
+                        )
+                        source = SOURCE_CACHE_DISK
+                if (
+                    record is None
+                    and prior is not None
+                    and prior.status == JOB_DONE
+                    and prior.result_record is not None
+                ):
+                    record = prior.result_record
+                    source = SOURCE_REGISTRY
+                    self.metrics.inc_registry_hits()
                 if record is not None:
-                    self.metrics.record_hitpath(
-                        (time.perf_counter() - probe_start) * 1000.0
+                    self.metrics.inc_cache_served()
+                    entry.complete(record, source)
+                else:
+                    # Tag the spec only when it actually travels to a
+                    # worker (corr_id is excluded from the fingerprint;
+                    # the hit path never needs the copy).
+                    if corr_id is not None and entry.spec.corr_id is None:
+                        entry.spec = dc_replace(spec, corr_id=corr_id)
+                    self._queue.put_nowait(entry)
+                if telemetry and _log.isEnabledFor(logging.INFO):
+                    _log.info(
+                        "submit",
+                        extra={
+                            "corr_id": corr_id,
+                            "fingerprint": fingerprint,
+                            "outcome": source or "queued",
+                        },
                     )
-                    source = SOURCE_CACHE_DISK
-            if (
-                record is None
-                and prior is not None
-                and prior.status == JOB_DONE
-                and prior.result_record is not None
-            ):
-                record = prior.result_record
-                source = SOURCE_REGISTRY
-                self.metrics.registry_hits += 1
-            if record is not None:
-                self.metrics.cache_served += 1
-                entry.complete(record, source)
-            else:
-                self._queue.put_nowait(entry)
 
         if request.wait and not entry.terminal:
             await entry.done.wait()
@@ -560,6 +798,11 @@ class SweepServer:
             "ok": True,
             "job_id": entry.fingerprint,
             "label": entry.spec.describe(),
+            **(
+                {"corr_id": entry.corr_id}
+                if entry.corr_id is not None
+                else {}
+            ),
             "status": entry.status,
             "source": entry.source,
             "submits": entry.submits,
@@ -587,13 +830,23 @@ class SweepServer:
         return payload
 
     def _healthz_payload(self) -> Dict[str, Any]:
+        # The SLO verdict is the load-balancer signal: "ok" only while
+        # every declared objective is inside budget over its rolling
+        # window, so a degraded instance can actually be shed.
+        slo = self.slo.evaluate()
         return {
             "ok": True,
-            "status": "ok",
+            "status": slo["verdict"],
             "protocol": PROTOCOL_VERSION,
+            "versions": {
+                "protocol": PROTOCOL_VERSION,
+                "job_schema": SCHEMA_VERSION,
+                "trace_schema": TRACE_SCHEMA_VERSION,
+            },
             "uptime_s": round(self.uptime_s, 3),
             "queue_depth": self._queue.qsize(),
             "in_flight": self._in_flight,
+            "slo": slo,
         }
 
     def _metrics_payload(self) -> Dict[str, Any]:
@@ -602,6 +855,7 @@ class SweepServer:
         if self.cache is not None:
             cache_stats = dict(self.cache.stats())
             cache_stats["hit_rate"] = round(self.cache.hit_rate, 4)
+        hitpath = m.hitpath_summary()
         return {
             "ok": True,
             "uptime_s": round(self.uptime_s, 3),
@@ -623,12 +877,11 @@ class SweepServer:
                 "hits": m.replay_hits,
                 "misses": m.replay_misses,
             },
+            # O(buckets) summary out of the telemetry histogram -- no
+            # sample window copied/sorted on the event loop per scrape.
             "hitpath_ms": {
-                "count": len(m.hitpath_ms),
-                **{
-                    key: round(value, 4)
-                    for key, value in percentiles(list(m.hitpath_ms)).items()
-                },
+                key: round(value, 4) if key != "count" else value
+                for key, value in hitpath.items()
             },
             "workers": {
                 "pool_jobs": self.settings.workers,
@@ -637,6 +890,20 @@ class SweepServer:
                 "retries": m.retries,
                 "peak_rss_kb": m.peak_rss_kb,
             },
+        }
+
+    def _prometheus_payload(self) -> Dict[str, Any]:
+        """``/metrics/prometheus``: text exposition of the per-server
+        registry plus the process-global one (executor/replay), carried
+        in the JSON reply's ``exposition`` field."""
+        self.metrics.set_runtime_gauges(
+            self._queue.qsize(), self._in_flight, self.uptime_s
+        )
+        self.slo.evaluate()  # refresh the burn-rate gauges pre-scrape
+        return {
+            "ok": True,
+            "content_type": "text/plain; version=0.0.4",
+            "exposition": render_exposition(self.registry, get_registry()),
         }
 
     # ------------------------------------------------------------------
@@ -656,13 +923,24 @@ class SweepServer:
             for entry in batch:
                 entry.set_status(JOB_RUNNING)
             try:
-                sweep = await asyncio.to_thread(self._run_batch, batch, loop)
+                with span("serve.batch", jobs=len(batch)):
+                    sweep = await asyncio.to_thread(
+                        self._run_batch, batch, loop
+                    )
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # executor blew up: fail the batch
                 for entry in batch:
                     entry.fail(f"{type(exc).__name__}: {exc}")
-                self.metrics.failed += len(batch)
+                self.metrics.inc_failed(len(batch))
+                if _log.isEnabledFor(logging.WARNING):
+                    _log.warning(
+                        "batch failed",
+                        extra={
+                            "jobs": len(batch),
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
             else:
                 self._apply_sweep(batch, sweep)
             finally:
@@ -693,6 +971,9 @@ class SweepServer:
                 )
 
                 entry = by_fingerprint[spec.fingerprint()]
+                # The serial lane bypasses execute_job, so it binds the
+                # request's correlation context itself (worker thread).
+                bind_correlation(spec.corr_id)
 
                 def on_phase(
                     name: str, end_cycle: float, args: Dict[str, Any]

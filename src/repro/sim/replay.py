@@ -52,12 +52,37 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.gcn.model import GCNModel
 from repro.hymm.config import HyMMConfig
+from repro.telemetry import get_logger, get_registry
+
+_log = get_logger("sim.replay")
+
+# Record/restore wall-clock accounting (host clock, duration-only:
+# ``perf_counter`` deltas never feed simulated results, matching the
+# determinism rule's explicit exemption).  Registered once at module
+# scope into the process-global registry.
+_registry = get_registry()
+_PHASES_TOTAL = _registry.counter(
+    "repro_replay_phases_total",
+    "Phases served by the trace store (replayed) vs simulated live and "
+    "recorded",
+    labelnames=("mode",),
+)
+_LOOKUP_MS = _registry.histogram(
+    "repro_replay_lookup_ms",
+    "Wall milliseconds to probe the trace store for one phase record",
+)
+_RECORD_MS = _registry.histogram(
+    "repro_replay_record_ms",
+    "Wall milliseconds to persist one phase record",
+)
 
 #: Bump on any change to the trace record layout or the snapshot wire
 #: formats; hashed into the signature chain so stale records become
@@ -133,10 +158,16 @@ class TraceSession:
     """
 
     def __init__(self, store) -> None:
+        from repro.telemetry import current_correlation_id
+
         self.store = store
         self._sig: Optional[str] = None
         self.replayed: List[str] = []
         self.recorded: List[str] = []
+        #: Correlation ID of the request this session serves (bound in
+        #: the worker before the session is created); joins the
+        #: session's log records to the submit that caused them.
+        self.corr_id: Optional[str] = current_correlation_id()
 
     # ------------------------------------------------------------------
     def open(
@@ -179,15 +210,25 @@ class TraceSession:
         anything it cannot apply whole, since a partial restore would
         corrupt the simulator state the chained signature vouches for.
         """
+        t0 = time.perf_counter()
         record = self.store.load_trace(sig)
+        _LOOKUP_MS.observe((time.perf_counter() - t0) * 1e3)
         if record is None:
-            return None
-        if record.get("trace_schema") != TRACE_SCHEMA_VERSION:
-            return None
-        if not RECORD_REQUIRED_KEYS.issubset(record):
-            return None
-        self.replayed.append(phase)
-        return record
+            miss = "absent"
+        elif record.get("trace_schema") != TRACE_SCHEMA_VERSION:
+            miss = "stale-schema"
+        elif not RECORD_REQUIRED_KEYS.issubset(record):
+            miss = "incomplete"
+        else:
+            _PHASES_TOTAL.labels("replayed").inc()
+            self.replayed.append(phase)
+            return record
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "trace miss",
+                extra={"corr_id": self.corr_id, "phase": phase, "why": miss},
+            )
+        return None
 
     def record(self, sig: str, phase: str, record: Dict[str, object]) -> None:
         """Persist one phase record under ``sig``."""
@@ -195,5 +236,8 @@ class TraceSession:
         record["trace_schema"] = TRACE_SCHEMA_VERSION
         record["sig"] = sig
         record["phase"] = phase
+        t0 = time.perf_counter()
         self.store.store_trace(sig, record)
+        _RECORD_MS.observe((time.perf_counter() - t0) * 1e3)
+        _PHASES_TOTAL.labels("recorded").inc()
         self.recorded.append(phase)

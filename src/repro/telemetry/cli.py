@@ -1,0 +1,67 @@
+"""``python -m repro.telemetry`` -- exposition tooling for CI.
+
+``validate FILE|-``
+    Parse a Prometheus text exposition (file or stdin) through the
+    in-repo format validator; prints ``families=N samples=M`` and
+    exits 0, or prints the violation and exits 1.  The serve-smoke CI
+    job pipes the live ``/metrics/prometheus`` scrape through this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .prometheus import ExpositionError, validate_exposition
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    try:
+        stats = validate_exposition(text)
+    except ExpositionError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.min_samples and stats["samples"] < args.min_samples:
+        print(
+            f"INVALID: only {stats['samples']} samples "
+            f"(--min-samples {args.min_samples})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: families={stats['families']} samples={stats['samples']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Wall-clock telemetry tooling (exposition validator).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_val = sub.add_parser(
+        "validate", help="validate a Prometheus text exposition"
+    )
+    p_val.add_argument("file", help="exposition file, or '-' for stdin")
+    p_val.add_argument(
+        "--min-samples",
+        type=int,
+        default=0,
+        help="fail unless at least this many samples parsed",
+    )
+    p_val.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

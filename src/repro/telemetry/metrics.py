@@ -1,0 +1,487 @@
+"""Typed metrics registry: counters, gauges, bucket histograms.
+
+The wall-clock counterpart of ``repro.obs``'s simulated-time metrics:
+one process-local :class:`MetricsRegistry` that every layer (the serve
+front end, the sweep executor, the result cache, phase-trace replay)
+registers typed instruments into, exported two ways -- the JSON
+``/metrics`` payload and Prometheus text exposition (see
+:mod:`repro.telemetry.prometheus`).
+
+Design constraints, in order:
+
+* **exactness under threads** -- counters are hammered from worker
+  threads and the event loop at once; every mutation takes the
+  instrument's lock, so totals are exact, not "close enough" (the
+  concurrency test asserts equality, and the ``loop-affinity`` analyzer
+  rule covers the module);
+* **O(buckets) scrapes** -- the histogram is a fixed-exponential-bucket
+  sketch: ``observe`` is a bisect plus two adds, a scrape copies one
+  small tuple, and no window of raw samples is kept (the previous serve
+  implementation copied a 4096-sample deque and sorted it on the event
+  loop per scrape, and silently dropped history on overflow);
+* **hygiene is static** -- metric names are registered once, from
+  string literals, with bounded literal label schemas (the
+  ``telemetry-hygiene`` analyzer rule enforces the conventions this
+  module documents).
+
+Registration is get-or-create: asking for an existing name with an
+identical schema (kind, help, label names, buckets) returns the
+existing instrument; a conflicting schema raises :class:`MetricError`.
+That makes module-scoped registration idempotent across repeated
+imports without ever letting two call sites disagree about what a name
+means.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Validity of metric and label names (the Prometheus subset the
+#: exposition validator enforces; colons are reserved for rules).
+METRIC_NAME_PATTERN = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+#: Hard ceiling on distinct label-value combinations per instrument --
+#: unbounded cardinality is the classic way a metrics registry eats a
+#: process.  Hitting it raises rather than silently dropping.
+MAX_LABEL_CARDINALITY = 1024
+
+
+class MetricError(ValueError):
+    """Invalid registration or use of an instrument."""
+
+
+def _check_name(name: str, what: str = "metric") -> None:
+    import re
+
+    if re.fullmatch(METRIC_NAME_PATTERN, name) is None:
+        raise MetricError(f"invalid {what} name {name!r}")
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` upper bounds: start, start*factor, ... (strictly
+    increasing; the histogram adds the +Inf overflow bucket itself)."""
+    if start <= 0:
+        raise MetricError("bucket start must be positive")
+    if factor <= 1.0:
+        raise MetricError("bucket factor must be > 1")
+    if count < 1:
+        raise MetricError("bucket count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default histogram buckets: 50µs .. ~6.5s in doublings, a span that
+#: covers sub-millisecond cache probes and multi-second simulations.
+DEFAULT_BUCKETS = exponential_buckets(0.05, 2.0, 17)
+
+
+class _Instrument:
+    """Shared base: identity, label schema, child table, lock."""
+
+    kind = ""
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        _check_name(name)
+        for label in labelnames:
+            _check_name(label, "label")
+        if len(set(labelnames)) != len(labelnames):
+            raise MetricError(f"{name}: duplicate label names {labelnames!r}")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        #: label-value tuple -> child instrument (empty tuple = self).
+        self._children: Dict[Tuple[str, ...], "_Instrument"] = {}
+
+    # ------------------------------------------------------------------
+    def schema(self) -> Tuple[Any, ...]:
+        return (self.kind, self.help, self.labelnames)
+
+    def labels(self, *values: str, **kwvalues: str) -> Any:
+        """The child instrument for one label-value combination."""
+        if kwvalues:
+            if values:
+                raise MetricError(
+                    f"{self.name}: pass label values positionally or by "
+                    "keyword, not both"
+                )
+            try:
+                values = tuple(kwvalues[k] for k in self.labelnames)
+            except KeyError as exc:
+                raise MetricError(
+                    f"{self.name}: missing label {exc.args[0]!r}"
+                ) from None
+            if len(kwvalues) != len(self.labelnames):
+                raise MetricError(
+                    f"{self.name}: unknown labels "
+                    f"{sorted(set(kwvalues) - set(self.labelnames))}"
+                )
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"value(s) {self.labelnames!r}, got {len(values)}"
+            )
+        if not self.labelnames:
+            raise MetricError(f"{self.name}: instrument declares no labels")
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if len(self._children) >= MAX_LABEL_CARDINALITY:
+                    raise MetricError(
+                        f"{self.name}: label cardinality exceeds "
+                        f"{MAX_LABEL_CARDINALITY}"
+                    )
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _make_child(self) -> "_Instrument":
+        raise NotImplementedError
+
+    def _require_unlabelled(self) -> None:
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name}: labelled instrument; call "
+                f".labels({', '.join(self.labelnames)}) first"
+            )
+
+    # ------------------------------------------------------------------
+    def samples(self) -> List[Tuple[Tuple[str, ...], "_Instrument"]]:
+        """(label values, leaf instrument) pairs, deterministic order."""
+        if not self.labelnames:
+            return [((), self)]
+        with self._lock:
+            return sorted(self._children.items())
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "kind": self.kind,
+            "help": self.help,
+        }
+        if self.labelnames:
+            doc["labels"] = list(self.labelnames)
+            doc["values"] = {
+                ",".join(key): child._value_dict()
+                for key, child in self.samples()
+            }
+        else:
+            doc.update(self._value_dict())
+        return doc
+
+    def _value_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters only go up")
+        self._require_unlabelled()
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _value_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that can go either way (queue depth, RSS, burn rate)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        self._require_unlabelled()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_unlabelled()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _value_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    """Fixed-exponential-bucket histogram with an overflow bucket.
+
+    ``observe`` is O(log buckets); a scrape copies the bucket counts
+    (O(buckets)) -- no sample window, so no silent history loss and no
+    per-scrape sort.  Quantiles are estimated by linear interpolation
+    inside the owning bucket; the tracked exact ``max`` both caps the
+    estimate and stands in for the overflow bucket's unbounded edge.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise MetricError(
+                f"{name}: buckets must be strictly increasing and non-empty"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise MetricError(f"{name}: bucket bounds must be finite")
+        self.bounds = bounds
+        #: Per-bucket counts; index len(bounds) is the +Inf overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def schema(self) -> Tuple[Any, ...]:
+        return (self.kind, self.help, self.labelnames, self.bounds)
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, self.bounds)
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        self._require_unlabelled()
+        value = float(value)
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+    def snapshot(self) -> Tuple[Tuple[int, ...], int, float, float]:
+        """(bucket counts incl. overflow, count, sum, max), atomically."""
+        with self._lock:
+            return tuple(self._counts), self._count, self._sum, self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]); 0.0 when empty."""
+        counts, total, _, observed_max = self.snapshot()
+        return quantile_from_counts(
+            counts, self.bounds, q, total=total, observed_max=observed_max
+        )
+
+    def percentile_summary(
+        self, points: Tuple[float, ...] = (50.0, 90.0, 99.0)
+    ) -> Dict[str, float]:
+        """The JSON-payload shape serve exposes: ``{"count": n, "p50":
+        ..., ..., "max": ..., "mean": ...}`` (only ``count`` when
+        empty)."""
+        counts, total, total_sum, observed_max = self.snapshot()
+        out: Dict[str, float] = {"count": total}
+        if not total:
+            return out
+        for point in points:
+            out[f"p{point:g}"] = quantile_from_counts(
+                counts, self.bounds, point / 100.0,
+                total=total, observed_max=observed_max,
+            )
+        out["max"] = observed_max
+        out["mean"] = total_sum / total
+        return out
+
+    def _value_dict(self) -> Dict[str, Any]:
+        counts, total, total_sum, observed_max = self.snapshot()
+        return {
+            "buckets": {
+                f"{bound:g}": count
+                for bound, count in zip(self.bounds, counts)
+            },
+            "overflow": counts[-1],
+            "count": total,
+            "sum": total_sum,
+            "max": observed_max,
+        }
+
+
+def quantile_from_counts(
+    counts: Sequence[int],
+    bounds: Sequence[float],
+    q: float,
+    total: Optional[int] = None,
+    observed_max: Optional[float] = None,
+) -> float:
+    """Quantile estimate from cumulative-able bucket ``counts``.
+
+    ``counts`` has one entry per bound plus the overflow; the estimate
+    interpolates linearly inside the owning bucket (lower edge 0 for
+    the first), and is clamped to ``observed_max`` when known -- for
+    the overflow bucket that exact maximum is the only honest answer.
+    """
+    if total is None:
+        total = sum(counts)
+    if total <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, q))
+    rank = q * total
+    cumulative = 0.0
+    for idx, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            if idx >= len(bounds):  # overflow bucket
+                break
+            lower = bounds[idx - 1] if idx else 0.0
+            upper = bounds[idx]
+            within = (rank - (cumulative - count)) / count
+            estimate = lower + (upper - lower) * within
+            if observed_max is not None:
+                estimate = min(estimate, observed_max)
+            return estimate
+    # Overflow (or rounding tail): the exact max if tracked, else the
+    # last finite bound.
+    if observed_max is not None:
+        return observed_max
+    return float(bounds[-1])
+
+
+class MetricsRegistry:
+    """One namespace of instruments; the exposition unit.
+
+    Thread-safe get-or-create registration.  Layers keep a module- or
+    instance-level reference and register their instruments once at
+    that one site (the ``telemetry-hygiene`` rule checks the "once").
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Instrument]" = {}
+
+    # ------------------------------------------------------------------
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._metrics.get(instrument.name)
+            if existing is not None:
+                if existing.schema() != instrument.schema():
+                    raise MetricError(
+                        f"metric {instrument.name!r} already registered "
+                        f"with a different schema: {existing.schema()!r} "
+                        f"!= {instrument.schema()!r}"
+                    )
+                return existing
+            self._metrics[instrument.name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._register(Counter(name, help, labelnames))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._register(Gauge(name, help, labelnames))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        metric = self._register(Histogram(name, help, buckets, labelnames))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> Iterator[_Instrument]:
+        """Instruments in name order (the exposition order)."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for _, metric in metrics:
+            yield metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form: name -> typed value document."""
+        return {metric.name: metric.to_dict() for metric in self.collect()}
+
+
+#: The process-global default registry.  Library layers (runtime cache,
+#: executor, replay) register here so any in-process front end -- the
+#: serve server, a bench run -- can export them; the serve server keeps
+#: its *own* registry for per-instance counters and exports both.
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL
+
+
+def labels_key(
+    labelnames: Sequence[str], labelvalues: Sequence[str]
+) -> Mapping[str, str]:
+    """Stable mapping form of one label combination (exposition use)."""
+    return dict(zip(labelnames, labelvalues))

@@ -1,0 +1,293 @@
+"""Prometheus text exposition (format 0.0.4) -- render and validate.
+
+No client library: the serve server speaks NDJSON-over-TCP, so the
+exposition is just a string payload on ``/metrics/prometheus``, and a
+hand-rolled validator keeps CI honest about the format without adding
+a dependency.  The validator checks the contract a real scraper relies
+on:
+
+* ``# HELP`` / ``# TYPE`` precede a family's samples, once each;
+* metric and label names match the Prometheus grammar;
+* label values are correctly quoted/escaped; sample values parse as
+  floats (``+Inf``/``-Inf``/``NaN`` included);
+* histograms expose cumulative, non-decreasing ``_bucket`` series
+  ending in ``le="+Inf"``, and ``_count`` equals the +Inf bucket;
+* no family's samples are interleaved with another family's.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+class ExpositionError(ValueError):
+    """The text payload violates the exposition format."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_exposition(*registries: MetricsRegistry) -> str:
+    """The text exposition for one or more registries.
+
+    Families render in name order per registry, registries in argument
+    order; a family name seen in an earlier registry is skipped in
+    later ones (first registration wins) so composing the serve
+    registry with the process-global one can't emit duplicates.
+    """
+    lines: List[str] = []
+    seen: set = set()
+    for registry in registries:
+        for metric in registry.collect():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labelvalues, leaf in metric.samples():
+                base = list(zip(metric.labelnames, labelvalues))
+                if isinstance(leaf, Histogram):
+                    counts, total, total_sum, _ = leaf.snapshot()
+                    cumulative = 0
+                    for bound, count in zip(leaf.bounds, counts):
+                        cumulative += count
+                        lines.append(
+                            f"{metric.name}_bucket"
+                            f"{_format_labels(base + [('le', _format_value(bound))])}"
+                            f" {cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(base + [('le', '+Inf')])}"
+                        f" {cumulative}"
+                    )
+                    lines.append(
+                        f"{metric.name}_sum{_format_labels(base)}"
+                        f" {_format_value(total_sum)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_format_labels(base)} {total}"
+                    )
+                elif isinstance(leaf, (Counter, Gauge)):
+                    lines.append(
+                        f"{metric.name}{_format_labels(base)}"
+                        f" {_format_value(leaf.value)}"
+                    )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Validator
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(lineno, f"unparsable sample value {raw!r}") from None
+
+
+def _base_family(sample_name: str, families: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample name belongs to, if any."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if stem in families:
+                return stem
+    return None
+
+
+def validate_exposition(text: str) -> Dict[str, int]:
+    """Raise :class:`ExpositionError` on format violations.
+
+    Returns ``{"families": n, "samples": m}`` on success so callers
+    (the CI smoke) can assert the scrape was non-trivial.
+    """
+    families: Dict[str, str] = {}  # name -> type
+    helped: set = set()
+    # family -> list of (lineno, labels dict, value) for histogram checks
+    buckets: Dict[str, List[Tuple[int, Dict[str, str], float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    current_family: Optional[str] = None
+    closed: set = set()
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # arbitrary comments are legal
+            if len(parts) < 3 or _NAME_RE.fullmatch(parts[2]) is None:
+                raise ExpositionError(lineno, f"bad {parts[1]} line: {line!r}")
+            name = parts[2]
+            if parts[1] == "HELP":
+                if name in helped:
+                    raise ExpositionError(lineno, f"duplicate HELP for {name}")
+                helped.add(name)
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ExpositionError(lineno, f"unknown TYPE {kind!r} for {name}")
+                if name in families:
+                    raise ExpositionError(lineno, f"duplicate TYPE for {name}")
+                if name in closed:
+                    raise ExpositionError(
+                        lineno, f"family {name} re-opened after other samples"
+                    )
+                families[name] = kind
+                if current_family is not None and current_family != name:
+                    closed.add(current_family)
+                current_family = name
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(lineno, f"unparsable sample line: {line!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(raw_labels):
+                labels[pair.group("name")] = pair.group("value")
+                consumed = pair.end()
+                if consumed < len(raw_labels):
+                    if raw_labels[consumed] != ",":
+                        raise ExpositionError(
+                            lineno, f"malformed labels: {raw_labels!r}"
+                        )
+                    consumed += 1
+            if consumed < len(raw_labels):
+                raise ExpositionError(lineno, f"malformed labels: {raw_labels!r}")
+        value = _parse_value(match.group("value"), lineno)
+        samples += 1
+
+        family = _base_family(sample_name, families)
+        if family is None:
+            raise ExpositionError(
+                lineno, f"sample {sample_name!r} has no preceding TYPE line"
+            )
+        if family != current_family:
+            # Samples must be grouped by family.
+            if family in closed:
+                raise ExpositionError(
+                    lineno,
+                    f"samples for {family} interleaved with another family",
+                )
+            if current_family is not None:
+                closed.add(current_family)
+            current_family = family
+        kind = families[family]
+        if kind == "histogram":
+            if sample_name == f"{family}_bucket":
+                if "le" not in labels:
+                    raise ExpositionError(
+                        lineno, f"{sample_name} missing 'le' label"
+                    )
+                buckets.setdefault(family, []).append((lineno, labels, value))
+            elif sample_name == f"{family}_count":
+                key = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )
+                counts[(family, key)] = value
+            elif sample_name != f"{family}_sum":
+                raise ExpositionError(
+                    lineno,
+                    f"unexpected histogram sample {sample_name!r}",
+                )
+        elif kind == "counter":
+            if value < 0 and not math.isnan(value):
+                raise ExpositionError(
+                    lineno, f"counter {sample_name} has negative value {value}"
+                )
+
+    # Histogram cross-sample checks: per label-set, buckets must be
+    # cumulative/non-decreasing, end at +Inf, and match _count.
+    for family, rows in buckets.items():
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[int, str, float]]] = {}
+        for lineno, labels, value in rows:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            series.setdefault(key, []).append((lineno, labels["le"], value))
+        for key, entries in series.items():
+            prev = -math.inf
+            saw_inf = False
+            last_lineno = entries[-1][0]
+            for lineno, le, value in entries:
+                if le == "+Inf":
+                    saw_inf = True
+                    inf_value = value
+                if value < prev:
+                    raise ExpositionError(
+                        lineno,
+                        f"{family}_bucket not cumulative (le={le!r}: "
+                        f"{value} < {prev})",
+                    )
+                prev = value
+            if not saw_inf:
+                raise ExpositionError(
+                    last_lineno, f"{family}_bucket series missing le=\"+Inf\""
+                )
+            declared = counts.get((family, key))
+            if declared is not None and declared != inf_value:
+                raise ExpositionError(
+                    last_lineno,
+                    f"{family}_count={declared} != +Inf bucket {inf_value}",
+                )
+
+    return {"families": len(families), "samples": samples}

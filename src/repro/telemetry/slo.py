@@ -1,0 +1,227 @@
+"""SLO evaluation over rolling metric windows.
+
+Objectives are declared against instruments in a
+:class:`~repro.telemetry.metrics.MetricsRegistry` -- a latency
+objective names a histogram and a percentile ("hit-path p99 < 5 ms"),
+an error-rate objective names a numerator and denominator counter
+("failed / submitted < 1%").  The tracker snapshots the underlying
+counters/bucket counts and evaluates each objective over the *delta*
+across a rolling window, so a burst of old failures ages out instead
+of poisoning the verdict forever.
+
+Each evaluation publishes a per-objective **burn rate** gauge
+(observed / target; 1.0 = exactly at budget) into the same registry,
+and the aggregate verdict -- ``ok`` or ``degraded`` -- is what the
+serve ``/healthz`` endpoint reports so a load balancer can shed a
+degraded instance.
+
+The clock is injectable (monotonic seconds) so window behaviour is
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_counts,
+)
+
+KIND_LATENCY = "latency"
+KIND_ERROR_RATE = "error_rate"
+
+VERDICT_OK = "ok"
+VERDICT_DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declared objective.
+
+    ``latency``: histogram ``metric`` percentile ``percentile`` must
+    stay below ``target`` (same unit the histogram observes, ms here).
+    ``error_rate``: counter ``numerator`` / counter ``denominator``
+    must stay below ``target`` (a ratio).
+    """
+
+    name: str
+    kind: str
+    target: float
+    metric: str = ""
+    percentile: float = 99.0
+    numerator: str = ""
+    denominator: str = ""
+    window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_LATENCY, KIND_ERROR_RATE):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.target <= 0:
+            raise ValueError(f"objective {self.name}: target must be > 0")
+        if self.kind == KIND_LATENCY and not self.metric:
+            raise ValueError(f"objective {self.name}: latency needs a metric")
+        if self.kind == KIND_ERROR_RATE and not (
+            self.numerator and self.denominator
+        ):
+            raise ValueError(
+                f"objective {self.name}: error_rate needs numerator and "
+                "denominator"
+            )
+
+
+@dataclass
+class _Snapshot:
+    t: float
+    #: histogram name -> (bucket counts incl. overflow, count, max)
+    hists: Dict[str, Tuple[Tuple[int, ...], int, float]] = field(
+        default_factory=dict
+    )
+    #: counter name -> value
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+class SloTracker:
+    """Evaluates objectives against a registry over rolling windows."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: List[Objective],
+        clock: Optional[Callable[[], float]] = None,
+        max_snapshots: int = 256,
+    ) -> None:
+        self.registry = registry
+        self.objectives = list(objectives)
+        self._clock = clock or time.monotonic
+        self._snapshots: Deque[_Snapshot] = deque(maxlen=max_snapshots)
+        self._burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "Observed/target ratio per objective (1.0 = at budget)",
+            labelnames=("objective",),
+        )
+        self._window = max(
+            (o.window_s for o in self.objectives), default=300.0
+        )
+
+    # ------------------------------------------------------------------
+    def _take_snapshot(self) -> _Snapshot:
+        snap = _Snapshot(t=self._clock())
+        names = set()
+        for obj in self.objectives:
+            if obj.kind == KIND_LATENCY:
+                names.add(obj.metric)
+            else:
+                names.add(obj.numerator)
+                names.add(obj.denominator)
+        for name in names:
+            metric = self.registry.get(name)
+            if isinstance(metric, Histogram):
+                counts, total, _, observed_max = metric.snapshot()
+                snap.hists[name] = (counts, total, observed_max)
+            elif isinstance(metric, (Counter, Gauge)):
+                snap.counters[name] = metric.value
+        return snap
+
+    def _baseline(self, now: float, window_s: float) -> Optional[_Snapshot]:
+        """Newest snapshot at or beyond ``window_s`` ago (so the delta
+        spans at least the window), else the oldest one we have."""
+        cutoff = now - window_s
+        chosen: Optional[_Snapshot] = None
+        for snap in self._snapshots:
+            if snap.t <= cutoff:
+                chosen = snap
+            else:
+                break
+        if chosen is None and self._snapshots:
+            chosen = self._snapshots[0]
+        return chosen
+
+    def _prune(self, now: float) -> None:
+        # Keep one snapshot older than the widest window as the
+        # baseline; drop anything staler than that.
+        cutoff = now - self._window
+        while len(self._snapshots) >= 2 and self._snapshots[1].t <= cutoff:
+            self._snapshots.popleft()
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> Dict[str, Any]:
+        """Evaluate every objective; returns the verdict document.
+
+        Also records the current snapshot (so repeated evaluations
+        build the rolling window) and updates the burn-rate gauges.
+        """
+        current = self._take_snapshot()
+        results: List[Dict[str, Any]] = []
+        degraded = False
+        for obj in self.objectives:
+            baseline = self._baseline(current.t, obj.window_s)
+            observed, events = self._observe(obj, baseline, current)
+            burn = observed / obj.target if obj.target else 0.0
+            ok = burn <= 1.0
+            degraded = degraded or (not ok and events > 0)
+            self._burn.labels(obj.name).set(round(burn, 6))
+            results.append(
+                {
+                    "name": obj.name,
+                    "kind": obj.kind,
+                    "target": obj.target,
+                    "observed": round(observed, 6),
+                    "burn_rate": round(burn, 6),
+                    "window_s": obj.window_s,
+                    "events": events,
+                    "ok": ok or events == 0,
+                }
+            )
+        self._snapshots.append(current)
+        self._prune(current.t)
+        return {
+            "verdict": VERDICT_DEGRADED if degraded else VERDICT_OK,
+            "objectives": results,
+        }
+
+    def _observe(
+        self,
+        obj: Objective,
+        baseline: Optional[_Snapshot],
+        current: _Snapshot,
+    ) -> Tuple[float, int]:
+        """(observed value, number of events in the window)."""
+        if obj.kind == KIND_LATENCY:
+            cur = current.hists.get(obj.metric)
+            if cur is None:
+                return 0.0, 0
+            counts, total, observed_max = cur
+            base = baseline.hists.get(obj.metric) if baseline else None
+            if base is not None:
+                counts = tuple(
+                    c - b for c, b in zip(counts, base[0])
+                )
+                total = total - base[1]
+            if total <= 0:
+                return 0.0, 0
+            metric = self.registry.get(obj.metric)
+            assert isinstance(metric, Histogram)
+            value = quantile_from_counts(
+                counts,
+                metric.bounds,
+                obj.percentile / 100.0,
+                total=total,
+                observed_max=observed_max,
+            )
+            return value, total
+        num = current.counters.get(obj.numerator, 0.0)
+        den = current.counters.get(obj.denominator, 0.0)
+        if baseline is not None:
+            num -= baseline.counters.get(obj.numerator, 0.0)
+            den -= baseline.counters.get(obj.denominator, 0.0)
+        if den <= 0:
+            return 0.0, 0
+        return num / den, int(den)

@@ -1,0 +1,73 @@
+"""Fixture for the ``telemetry-hygiene`` rule: every way to register a
+metric badly, plus the clean patterns that must stay silent.
+
+Long lines are deliberate: the rule reports at the ``Call`` node's
+line, so each registration sits on one line the tests can point at.
+"""
+
+
+class FakeRegistry:
+    def counter(self, name, help="", labelnames=()):
+        return self
+
+    def gauge(self, name, help="", labelnames=()):
+        return self
+
+    def histogram(self, name, help="", labelnames=()):
+        return self
+
+    def labels(self, *values):
+        return self
+
+    def inc(self, amount=1):
+        return None
+
+
+registry = FakeRegistry()
+
+
+def dynamic_names(kind, computed):
+    registry.counter(f"repro_{kind}_total", "f-string metric name")
+    registry.gauge("repro_" + computed, "concatenated metric name")
+    name = "repro_var_total"
+    registry.histogram(name, "variable metric name")
+    registry.counter()
+
+
+def bad_name_shapes():
+    registry.counter("repro_bad-name_total", "dash violates the grammar")
+    registry.gauge("queue_depth", "missing the repo prefix")
+
+
+def duplicate_sites():
+    first = registry.counter("repro_dup_total", "first registration site")
+    second = registry.counter("repro_dup_total", "duplicate registration site")
+    return first, second
+
+
+def bad_labelnames(dims):
+    registry.counter("repro_l1_total", "computed labelnames", labelnames=dims)
+    registry.counter("repro_l2_total", "non-literal entry", labelnames=("a", dims))
+    registry.counter("repro_l3_total", "too many", labelnames=("a", "b", "c", "d", "e"))
+
+
+def inline_label_values(counter, job_id):
+    counter.labels(f"job-{job_id}").inc()
+    counter.labels("job-" + job_id).inc()
+
+
+def clean_patterns(status):
+    good = registry.counter("repro_ok_total", "literal, prefixed, once", labelnames=("status",))
+    good.labels(status).inc()
+    good.labels("hit").inc()
+    return good
+
+
+def suppressed(kind):
+    registry.counter(f"repro_{kind}_sup", "by design")  # analyzer: allow[telemetry-hygiene]
+
+
+def non_registry_receiver(tracer):
+    # The Tracer API's counter() is simulated-time tracing, not a
+    # metrics registration -- obs-hygiene territory, not this rule's.
+    tracer.counter("occupancy", 0, {"lines": 1})

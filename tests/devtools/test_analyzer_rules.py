@@ -21,6 +21,7 @@ from repro.devtools.analyzer.rules.mutable_state import MutableStateRule
 from repro.devtools.analyzer.rules.obs_hygiene import ObsHygieneRule
 from repro.devtools.analyzer.rules.serve_hygiene import ServeHygieneRule
 from repro.devtools.analyzer.rules.stats_conservation import StatsConservationRule
+from repro.devtools.analyzer.rules.telemetry_hygiene import TelemetryHygieneRule
 from repro.devtools.analyzer.rules.wire_schema import (
     WireSchemaRule,
     reachable_wire_classes,
@@ -471,6 +472,68 @@ class TestServeHygieneRule:
         assert "asyncio.sleep" in messages
         assert "asyncio.to_thread" in messages
         assert "worker thread" in messages
+
+    def test_severity_is_error(self, findings):
+        assert {f.severity for f in findings} == {"error"}
+
+
+# ----------------------------------------------------------------------
+# telemetry-hygiene
+# ----------------------------------------------------------------------
+class TestTelemetryHygieneRule:
+    @pytest.fixture()
+    def findings(self):
+        project = load_fixture(
+            "telemetry_violations.py", "repro.fake.telem_fixture"
+        )
+        return run_rules(project, [TelemetryHygieneRule()])
+
+    def test_every_finding_location(self, findings):
+        expected = {
+            line_of("telemetry_violations.py", 'registry.counter(f"repro_'),
+            line_of("telemetry_violations.py", 'registry.gauge("repro_" + computed'),
+            line_of("telemetry_violations.py", "registry.histogram(name"),
+            line_of("telemetry_violations.py", "registry.counter()"),
+            line_of("telemetry_violations.py", "repro_bad-name_total"),
+            line_of("telemetry_violations.py", '"queue_depth"'),
+            line_of("telemetry_violations.py", "duplicate registration site"),
+            line_of("telemetry_violations.py", '"repro_l1_total"'),
+            line_of("telemetry_violations.py", '"repro_l2_total"'),
+            line_of("telemetry_violations.py", '"repro_l3_total"'),
+            line_of("telemetry_violations.py", 'counter.labels(f"job-'),
+            line_of("telemetry_violations.py", 'counter.labels("job-" +'),
+        }
+        assert by_line(findings) == expected
+        assert all(f.rule == "telemetry-hygiene" for f in findings)
+
+    def test_clean_patterns_pass(self, findings):
+        fine = {
+            line_of("telemetry_violations.py", "first registration site"),
+            line_of("telemetry_violations.py", '"repro_ok_total"'),
+            line_of("telemetry_violations.py", "good.labels(status)"),
+            line_of("telemetry_violations.py", 'good.labels("hit")'),
+            line_of("telemetry_violations.py", 'tracer.counter("occupancy"'),
+        }
+        assert fine.isdisjoint(by_line(findings))
+
+    def test_duplicate_names_first_site(self, findings):
+        dup = [f for f in findings if "also registered at" in f.message]
+        assert len(dup) == 1
+        first_line = line_of("telemetry_violations.py", "first registration site")
+        assert f":{first_line}" in dup[0].message
+
+    def test_inline_suppression_honoured(self, findings):
+        suppressed = line_of(
+            "telemetry_violations.py", "analyzer: allow[telemetry-hygiene]"
+        )
+        assert suppressed not in by_line(findings)
+
+    def test_messages_name_the_fix(self, findings):
+        messages = " | ".join(f.message for f in findings)
+        assert "string literals" in messages
+        assert "cardinality" in messages
+        assert "bounded categorical set" in messages
+        assert "prefix" in messages
 
     def test_severity_is_error(self, findings):
         assert {f.severity for f in findings} == {"error"}

@@ -141,6 +141,38 @@ class TestCli:
         assert main(["diff", str(a), str(b)]) == 0
         assert "TOTAL" in capsys.readouterr().out
 
+    def test_corr_id_flag_lands_in_metadata_only(self, tmp_path, capsys):
+        from repro.telemetry import bind_correlation
+
+        plain = tmp_path / "plain.json"
+        tagged = tmp_path / "tagged.json"
+        spec_args = ["cora", "--scale", "0.1", "--layers", "2", "--seed", "1"]
+        try:
+            assert main(["trace", *spec_args, "-o", str(plain)]) == 0
+            assert (
+                main(
+                    [
+                        "trace",
+                        *spec_args,
+                        "-o",
+                        str(tagged),
+                        "--corr-id",
+                        "feedface00000042",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            bind_correlation(None)
+        capsys.readouterr()
+        plain_doc = json.loads(plain.read_text())
+        tagged_doc = json.loads(tagged.read_text())
+        assert "corr_id" not in plain_doc["otherData"]
+        assert tagged_doc["otherData"]["corr_id"] == "feedface00000042"
+        # The corr_id is metadata only: the events are unchanged.
+        assert tagged_doc["traceEvents"] == plain_doc["traceEvents"]
+        assert main(["validate", str(tagged)]) == 0
+
     def test_validate_rejects_malformed(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))

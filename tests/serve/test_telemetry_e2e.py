@@ -1,0 +1,228 @@
+"""Telemetry through the serve stack, end to end.
+
+One cold submit against a real (smallest-workload) simulation must
+leave the SAME correlation ID in every observability surface: the
+submit response, the event stream, the NDJSON log records, the
+recorded wall-clock spans, and the executor's manifest JobRecord --
+that join key is the whole point of the spine.
+
+And the inverse contract: with ``telemetry=False`` the wire responses
+carry no correlation material at all (byte-level check), so a
+pre-telemetry client sees byte-identical payloads.
+"""
+
+import io
+import json
+import logging
+import re
+
+import pytest
+
+from repro.obs.schema import validate_trace
+from repro.runtime import JobSpec, ShardedResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeSettings, ServerThread
+from repro.telemetry import (
+    SpanRecorder,
+    bind_correlation,
+    configure_logging,
+    install_recorder,
+)
+
+CORR_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+@pytest.fixture()
+def spec():
+    return JobSpec(dataset="cora", kind="rwp", scale=0.05)
+
+
+@pytest.fixture()
+def log_stream():
+    buf = io.StringIO()
+    handler = configure_logging(stream=buf)
+    yield buf
+    logging.getLogger("repro").removeHandler(handler)
+
+
+@pytest.fixture()
+def recorder():
+    rec = SpanRecorder()
+    previous = install_recorder(rec)
+    bind_correlation(None)
+    yield rec
+    install_recorder(previous)
+    bind_correlation(None)
+
+
+def log_records(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestEndToEndCorrelation:
+    def test_one_id_across_every_surface(
+        self, tmp_path, spec, log_stream, recorder
+    ):
+        cache = ShardedResultCache(tmp_path / "cache")
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                cold = client.submit(spec.to_dict())
+                corr_id = cold["corr_id"]
+                assert CORR_RE.match(corr_id)
+
+                # Surface 1: the status payload re-reads the same ID.
+                assert client.status(cold["job_id"])["corr_id"] == corr_id
+
+                # Surface 2: every streamed event (status transitions
+                # AND live PhaseFeed progress rows) is stamped.
+                events = list(client.follow(cold["job_id"]))
+        stamped = [e for e in events if "corr_id" in e]
+        assert stamped, "no stamped events in the stream"
+        assert {e["corr_id"] for e in stamped} == {corr_id}
+        phase_events = [e for e in events if e.get("event") == "phase"]
+        assert phase_events, "expected live phase progress events"
+        assert all(e["corr_id"] == corr_id for e in phase_events)
+
+        # Surface 3: NDJSON log records from the submit path carry it.
+        matching = [
+            r for r in log_records(log_stream) if r.get("corr_id") == corr_id
+        ]
+        assert any(r["event"] == "submit" for r in matching)
+
+        # Surface 4: the recorded wall-clock spans carry it in args,
+        # and the exported file is a valid (wall-clock) Chrome trace.
+        path = tmp_path / "wall.json"
+        recorder.write(str(path), tool="test")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_trace(doc) == []
+        assert doc["otherData"]["clock"] == "wall"
+        span_ids = {
+            e["args"]["corr_id"]
+            for e in doc["traceEvents"]
+            if "corr_id" in e.get("args", {})
+        }
+        assert corr_id in span_ids
+
+        # Surface 5 (negative): the cached record on disk is shared
+        # across submitters and must NOT embed the first caller's ID.
+        fp = spec.fingerprint()
+        shard = tmp_path / "cache" / fp[:2] / fp[2:4] / f"{fp}.json"
+        assert shard.exists()
+        assert "corr_id" not in shard.read_text(encoding="utf-8")
+
+    def test_warm_hit_gets_a_fresh_id(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                cold = client.submit(spec.to_dict())
+                warm = client.submit(spec.to_dict())
+        assert CORR_RE.match(warm["corr_id"])
+        # A new request is a new correlation, even on the hit path.
+        assert warm["corr_id"] != cold["corr_id"]
+
+    def test_client_supplied_id_is_adopted(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        doc = spec.to_dict()
+        doc["corr_id"] = "feedface00000007"
+        with ServerThread(cache=cache) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                response = client.submit(doc)
+        assert response["corr_id"] == "feedface00000007"
+
+
+class TestManifestJobRecord:
+    def test_executor_manifest_carries_spec_corr_id(self, tmp_path, spec):
+        corr = "feedface00000009"
+        tagged = JobSpec(
+            dataset=spec.dataset, kind=spec.kind, scale=spec.scale,
+            corr_id=corr,
+        )
+        cache = ShardedResultCache(tmp_path)
+        executor = SweepExecutor(n_jobs=1, cache=cache)
+        sweep = executor.run([tagged])
+        [record] = sweep.manifest.records
+        assert record.corr_id == corr
+        assert record.to_dict()["corr_id"] == corr
+
+    def test_untagged_spec_serialises_without_the_key(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        sweep = SweepExecutor(n_jobs=1, cache=cache).run([spec])
+        [record] = sweep.manifest.records
+        assert record.corr_id is None
+        assert "corr_id" not in record.to_dict()
+
+
+class TestTelemetryOffByteIdentity:
+    def test_no_correlation_material_on_the_wire(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        settings = ServeSettings(telemetry=False)
+        with ServerThread(cache=cache, settings=settings) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                cold = client.request_raw(
+                    {"op": "submit", "spec": spec.to_dict(), "wait": True}
+                )
+                assert b"corr_id" not in cold
+                job_id = json.loads(cold)["job_id"]
+                status = client.request_raw(
+                    {"op": "status", "job_id": job_id}
+                )
+                assert b"corr_id" not in status
+                warm = client.request_raw(
+                    {"op": "submit", "spec": spec.to_dict(), "wait": True}
+                )
+                assert b"corr_id" not in warm
+                events = list(client.follow(job_id))
+        assert all("corr_id" not in e for e in events)
+
+    def test_off_and_on_serve_identical_results(self, tmp_path, spec):
+        """The simulated answer itself is clock-free: telemetry on/off
+        must not change a byte of the result record (wall_seconds is
+        real measured host time, nondeterministic since before this
+        subsystem, and excluded)."""
+        payloads = {}
+        for mode, telemetry in (("off", False), ("on", True)):
+            cache = ShardedResultCache(tmp_path / mode)
+            settings = ServeSettings(telemetry=telemetry)
+            with ServerThread(cache=cache, settings=settings) as srv:
+                with ServeClient(srv.host, srv.port) as client:
+                    response = client.submit(
+                        spec.to_dict(), include_result=True
+                    )
+                    record = dict(response["result"])
+                    record.pop("wall_seconds", None)
+                    payloads[mode] = json.dumps(record, sort_keys=True)
+        assert payloads["off"] == payloads["on"]
+
+    def test_metrics_still_counted_with_telemetry_off(self, tmp_path, spec):
+        cache = ShardedResultCache(tmp_path)
+        settings = ServeSettings(telemetry=False)
+        with ServerThread(cache=cache, settings=settings) as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                client.submit(spec.to_dict())
+                client.submit(spec.to_dict())
+                metrics = client.metrics()
+                health = client.healthz()
+        assert metrics["jobs"]["submitted"] == 2
+        assert metrics["hitpath_ms"]["count"] == 1
+        # /healthz keeps its SLO verdict either way.
+        assert health["status"] == "ok"
+        assert health["versions"]["protocol"] == health["protocol"]
+
+
+class TestHealthzShape:
+    def test_versions_uptime_and_slo_objectives(self):
+        with ServerThread() as srv:
+            with ServeClient(srv.host, srv.port) as client:
+                health = client.healthz()
+        assert set(health["versions"]) == {
+            "protocol", "job_schema", "trace_schema",
+        }
+        assert health["uptime_s"] >= 0
+        slo = health["slo"]
+        assert slo["verdict"] == "ok"
+        names = {o["name"] for o in slo["objectives"]}
+        assert names == {"hitpath-p99", "error-rate"}
+        for objective in slo["objectives"]:
+            assert objective["ok"] is True
+            assert objective["events"] == 0

@@ -1,0 +1,173 @@
+"""Structured NDJSON logging and correlation-ID propagation."""
+
+import asyncio
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.telemetry.logs import (
+    NDJSONFormatter,
+    bind_correlation,
+    configure_logging,
+    correlation_scope,
+    current_correlation_id,
+    get_logger,
+    new_correlation_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_correlation():
+    bind_correlation(None)
+    yield
+    bind_correlation(None)
+
+
+@pytest.fixture()
+def stream():
+    buf = io.StringIO()
+    handler = configure_logging(stream=buf)
+    yield buf
+    logging.getLogger("repro").removeHandler(handler)
+
+
+def records(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestCorrelation:
+    def test_new_ids_are_16_hex_and_unique(self):
+        ids = {new_correlation_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_bind_and_read(self):
+        assert current_correlation_id() is None
+        bind_correlation("feedface00000001")
+        assert current_correlation_id() == "feedface00000001"
+
+    def test_scope_restores(self):
+        bind_correlation("outer")
+        with correlation_scope("inner") as cid:
+            assert cid == "inner"
+            assert current_correlation_id() == "inner"
+        assert current_correlation_id() == "outer"
+
+    def test_propagates_into_to_thread(self):
+        seen = {}
+
+        async def main():
+            bind_correlation("feedface00000002")
+            await asyncio.to_thread(
+                lambda: seen.setdefault("worker", current_correlation_id())
+            )
+
+        asyncio.run(main())
+        assert seen["worker"] == "feedface00000002"
+
+    def test_threads_do_not_inherit_ambient_binding(self):
+        # A raw thread starts from a fresh context copy made at start()
+        # time; bind_correlation in the worker must not leak back.
+        bind_correlation("parent")
+        seen = {}
+
+        def worker():
+            bind_correlation("child")
+            seen["inner"] = current_correlation_id()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["inner"] == "child"
+        assert current_correlation_id() == "parent"
+
+
+class TestNDJSON:
+    def test_record_shape(self, stream):
+        log = get_logger("test.shape")
+        log.warning("something happened", extra={"detail": 42})
+        [doc] = records(stream)
+        assert doc["event"] == "something happened"
+        assert doc["level"] == "warning"
+        assert doc["logger"] == "repro.test.shape"
+        assert doc["detail"] == 42
+        assert isinstance(doc["ts"], float)
+        assert "corr_id" not in doc
+
+    def test_contextvar_corr_id_stamped(self, stream):
+        bind_correlation("feedface00000003")
+        get_logger("test.corr").warning("hello")
+        [doc] = records(stream)
+        assert doc["corr_id"] == "feedface00000003"
+
+    def test_record_attr_wins_over_contextvar(self, stream):
+        bind_correlation("ambient")
+        get_logger("test.corr2").warning(
+            "hello", extra={"corr_id": "explicit"}
+        )
+        [doc] = records(stream)
+        assert doc["corr_id"] == "explicit"
+
+    def test_non_serialisable_extra_falls_back_to_repr(self, stream):
+        get_logger("test.repr").warning("x", extra={"obj": object()})
+        [doc] = records(stream)
+        assert "object object" in doc["obj"]
+
+    def test_exception_name_captured(self, stream):
+        log = get_logger("test.exc")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            log.exception("failed")
+        [doc] = records(stream)
+        assert doc["exc"] == "RuntimeError"
+        assert doc["level"] == "error"
+
+    def test_lines_are_json_parseable_sorted_keys(self, stream):
+        get_logger("test.sort").warning("x", extra={"zz": 1, "aa": 2})
+        line = stream.getvalue().splitlines()[0]
+        assert line.index('"aa"') < line.index('"zz"')
+
+    def test_formatter_standalone(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "msg %s", ("arg",), None
+        )
+        doc = json.loads(NDJSONFormatter().format(record))
+        assert doc["event"] == "msg arg"
+
+
+class TestConfiguration:
+    def test_reconfigure_replaces_handler(self):
+        a, b = io.StringIO(), io.StringIO()
+        configure_logging(stream=a)
+        handler = configure_logging(stream=b)
+        try:
+            get_logger("test.swap").warning("only in b")
+            assert a.getvalue() == ""
+            assert "only in b" in b.getvalue()
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_silent_without_configuration(self, capsys):
+        # The NullHandler on the "repro" root keeps unconfigured
+        # loggers off stderr (no logging.lastResort spray).
+        logging.getLogger("repro.test.silent").warning("quiet")
+        captured = capsys.readouterr()
+        assert "quiet" not in captured.err
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        handler = configure_logging(str(path))
+        try:
+            get_logger("test.file").warning("to disk")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+            handler.close()
+        [doc] = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert doc["event"] == "to disk"

@@ -1,0 +1,205 @@
+"""The typed metrics registry: instruments, labels, histograms,
+get-or-create registration."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MAX_LABEL_CARDINALITY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    exponential_buckets,
+    quantile_from_counts,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+class TestCounterGauge:
+    def test_counter_accumulates(self, registry):
+        c = registry.counter("repro_t_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        c = registry.counter("repro_t_total", "help")
+        with pytest.raises(MetricError, match="only go up"):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        g = registry.gauge("repro_t_depth", "help")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3.0
+
+    def test_labelled_children_are_independent(self, registry):
+        c = registry.counter("repro_t_total", "help", labelnames=("status",))
+        c.labels("hit").inc(3)
+        c.labels("miss").inc()
+        assert c.labels("hit").value == 3.0
+        assert c.labels("miss").value == 1.0
+        assert c.labels(status="hit") is c.labels("hit")
+
+    def test_labelled_instrument_rejects_direct_mutation(self, registry):
+        c = registry.counter("repro_t_total", "help", labelnames=("status",))
+        with pytest.raises(MetricError, match="labels"):
+            c.inc()
+
+    def test_unlabelled_instrument_rejects_labels(self, registry):
+        c = registry.counter("repro_t_total", "help")
+        with pytest.raises(MetricError, match="expected 0 label"):
+            c.labels("hit")
+
+    def test_unknown_keyword_label_rejected(self, registry):
+        c = registry.counter("repro_t_total", "help", labelnames=("status",))
+        with pytest.raises(MetricError):
+            c.labels(nope="x")
+
+    def test_cardinality_cap_raises(self, registry):
+        c = registry.counter("repro_t_total", "help", labelnames=("k",))
+        for i in range(MAX_LABEL_CARDINALITY):
+            c.labels(str(i))
+        with pytest.raises(MetricError, match="cardinality"):
+            c.labels("one-too-many")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError, match="invalid metric name"):
+            registry.counter("bad-name", "help")
+        with pytest.raises(MetricError, match="invalid label name"):
+            registry.counter("repro_ok", "help", labelnames=("bad-label",))
+        with pytest.raises(MetricError, match="duplicate label"):
+            registry.counter("repro_ok", "help", labelnames=("a", "a"))
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_observe_tracks_count_sum_max(self, registry):
+        h = registry.histogram("repro_t_ms", "help", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(15.0)
+        assert h.max == 10.0
+
+    def test_bucket_placement_and_overflow(self, registry):
+        h = registry.histogram("repro_t_ms", "help", buckets=(1.0, 2.0))
+        h.observe(0.1)   # <= 1
+        h.observe(1.0)   # boundary counts in its own bucket
+        h.observe(1.5)   # <= 2
+        h.observe(99.0)  # overflow
+        counts, total, _, _ = h.snapshot()
+        assert counts == (2, 1, 1)
+        assert total == 4
+
+    def test_quantiles_interpolate_and_clamp_to_max(self, registry):
+        h = registry.histogram("repro_t_ms", "help", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.2, 1.4, 3.9):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 0.0 < p50 <= 2.0
+        # The p100 estimate must never exceed the exact tracked max.
+        assert h.quantile(1.0) <= 3.9
+
+    def test_overflow_quantile_is_observed_max(self, registry):
+        h = registry.histogram("repro_t_ms", "help", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 50.0
+
+    def test_percentile_summary_shape(self, registry):
+        h = registry.histogram("repro_t_ms", "help")
+        assert h.percentile_summary() == {"count": 0}
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        summary = h.percentile_summary()
+        assert set(summary) == {"count", "p50", "p90", "p99", "max", "mean"}
+        assert summary["count"] == 3
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= 3.0
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(MetricError, match="strictly increasing"):
+            registry.histogram("repro_t_ms", "help", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError, match="strictly increasing"):
+            registry.histogram("repro_t2_ms", "help", buckets=())
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 3) == (1.0, 2.0, 4.0)
+        assert len(DEFAULT_BUCKETS) == 17
+        with pytest.raises(MetricError):
+            exponential_buckets(0.0, 2.0, 3)
+        with pytest.raises(MetricError):
+            exponential_buckets(1.0, 1.0, 3)
+        with pytest.raises(MetricError):
+            exponential_buckets(1.0, 2.0, 0)
+
+    def test_quantile_from_counts_empty(self):
+        assert quantile_from_counts((0, 0), (1.0,), 0.5) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        a = registry.counter("repro_t_total", "help")
+        b = registry.counter("repro_t_total", "help")
+        assert a is b
+
+    def test_conflicting_schema_raises(self, registry):
+        registry.counter("repro_t_total", "help")
+        with pytest.raises(MetricError, match="different schema"):
+            registry.gauge("repro_t_total", "help")
+        with pytest.raises(MetricError, match="different schema"):
+            registry.counter("repro_t_total", "other help")
+        with pytest.raises(MetricError, match="different schema"):
+            registry.counter("repro_t_total", "help", labelnames=("x",))
+
+    def test_conflicting_histogram_buckets_raise(self, registry):
+        registry.histogram("repro_t_ms", "help", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError, match="different schema"):
+            registry.histogram("repro_t_ms", "help", buckets=(1.0, 4.0))
+
+    def test_collect_is_name_ordered(self, registry):
+        registry.counter("repro_z_total", "help")
+        registry.counter("repro_a_total", "help")
+        assert [m.name for m in registry.collect()] == [
+            "repro_a_total", "repro_z_total",
+        ]
+
+    def test_to_dict_shapes(self, registry):
+        registry.counter("repro_c_total", "c help").inc(2)
+        labelled = registry.gauge("repro_g", "g help", labelnames=("k",))
+        labelled.labels("a").set(1)
+        registry.histogram("repro_h_ms", "h help", buckets=(1.0,)).observe(0.5)
+        doc = registry.to_dict()
+        assert doc["repro_c_total"] == {
+            "kind": "counter", "help": "c help", "value": 2.0,
+        }
+        assert doc["repro_g"]["labels"] == ["k"]
+        assert doc["repro_g"]["values"]["a"]["value"] == 1.0
+        h = doc["repro_h_ms"]
+        assert h["kind"] == "histogram"
+        assert h["buckets"] == {"1": 1}
+        assert h["overflow"] == 0
+        assert h["count"] == 1
+
+    def test_instruments_constructible_without_registry(self):
+        # The classes are usable directly (the registry is the
+        # namespace, not the factory of record).
+        assert Counter("repro_x_total", "h").value == 0.0
+        assert Gauge("repro_x", "h").value == 0.0
+        assert Histogram("repro_x_ms", "h", buckets=(1.0,)).count == 0

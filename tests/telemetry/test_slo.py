@@ -1,0 +1,201 @@
+"""SLO evaluation: rolling windows, verdicts, burn-rate gauges."""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import (
+    KIND_ERROR_RATE,
+    KIND_LATENCY,
+    VERDICT_DEGRADED,
+    VERDICT_OK,
+    Objective,
+    SloTracker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def latency_tracker(registry, clock, target=5.0, window_s=60.0):
+    registry.histogram("repro_hit_ms", "Hit path", buckets=(1.0, 2.0, 4.0, 8.0, 64.0))
+    return SloTracker(
+        registry,
+        [
+            Objective(
+                name="hitpath-p99",
+                kind=KIND_LATENCY,
+                target=target,
+                metric="repro_hit_ms",
+                percentile=99.0,
+                window_s=window_s,
+            )
+        ],
+        clock=clock,
+    )
+
+
+class TestLatencyObjective:
+    def test_empty_window_is_ok(self, registry, clock):
+        tracker = latency_tracker(registry, clock)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        [obj] = verdict["objectives"]
+        assert obj["events"] == 0
+        assert obj["ok"] is True
+
+    def test_fast_traffic_is_ok(self, registry, clock):
+        tracker = latency_tracker(registry, clock)
+        hist = registry.get("repro_hit_ms")
+        for _ in range(100):
+            hist.observe(0.8)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        [obj] = verdict["objectives"]
+        assert obj["observed"] <= 1.0
+        assert obj["burn_rate"] <= 1.0
+        assert obj["events"] == 100
+
+    def test_slow_burst_degrades(self, registry, clock):
+        tracker = latency_tracker(registry, clock)
+        hist = registry.get("repro_hit_ms")
+        for _ in range(100):
+            hist.observe(50.0)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_DEGRADED
+        [obj] = verdict["objectives"]
+        assert obj["observed"] > 5.0
+        assert obj["burn_rate"] > 1.0
+        assert obj["ok"] is False
+
+    def test_burst_ages_out_of_window(self, registry, clock):
+        tracker = latency_tracker(registry, clock, window_s=60.0)
+        hist = registry.get("repro_hit_ms")
+        for _ in range(100):
+            hist.observe(50.0)
+        assert tracker.evaluate()["verdict"] == VERDICT_DEGRADED
+        # A window later with no new traffic: the delta vs the
+        # post-burst baseline is empty, so the verdict recovers.
+        clock.advance(61.0)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        assert verdict["objectives"][0]["events"] == 0
+
+    def test_recovery_with_fresh_fast_traffic(self, registry, clock):
+        tracker = latency_tracker(registry, clock, window_s=60.0)
+        hist = registry.get("repro_hit_ms")
+        for _ in range(50):
+            hist.observe(50.0)
+        tracker.evaluate()
+        clock.advance(61.0)
+        for _ in range(50):
+            hist.observe(0.5)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        [obj] = verdict["objectives"]
+        assert obj["events"] == 50
+        assert obj["observed"] <= 1.0
+
+    def test_burn_gauge_published(self, registry, clock):
+        tracker = latency_tracker(registry, clock)
+        registry.get("repro_hit_ms").observe(50.0)
+        tracker.evaluate()
+        burn = registry.get("repro_slo_burn_rate")
+        assert burn.labels("hitpath-p99").value > 1.0
+
+
+class TestErrorRateObjective:
+    def make(self, registry, clock, target=0.01):
+        registry.counter("repro_failed_total", "Failed")
+        registry.counter("repro_submitted_total", "Submitted")
+        return SloTracker(
+            registry,
+            [
+                Objective(
+                    name="error-rate",
+                    kind=KIND_ERROR_RATE,
+                    target=target,
+                    numerator="repro_failed_total",
+                    denominator="repro_submitted_total",
+                    window_s=60.0,
+                )
+            ],
+            clock=clock,
+        )
+
+    def test_no_traffic_is_ok(self, registry, clock):
+        tracker = self.make(registry, clock)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        assert verdict["objectives"][0]["events"] == 0
+
+    def test_clean_traffic_is_ok(self, registry, clock):
+        tracker = self.make(registry, clock)
+        registry.get("repro_submitted_total").inc(200)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        [obj] = verdict["objectives"]
+        assert obj["observed"] == 0.0
+        assert obj["events"] == 200
+
+    def test_failures_above_budget_degrade(self, registry, clock):
+        tracker = self.make(registry, clock)
+        registry.get("repro_submitted_total").inc(100)
+        registry.get("repro_failed_total").inc(5)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_DEGRADED
+        [obj] = verdict["objectives"]
+        assert obj["observed"] == pytest.approx(0.05)
+        assert obj["burn_rate"] == pytest.approx(5.0)
+
+    def test_delta_based_window(self, registry, clock):
+        tracker = self.make(registry, clock)
+        registry.get("repro_submitted_total").inc(100)
+        registry.get("repro_failed_total").inc(5)
+        tracker.evaluate()
+        clock.advance(61.0)
+        # 100 clean requests later the old failures are out of window.
+        registry.get("repro_submitted_total").inc(100)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == VERDICT_OK
+        assert verdict["objectives"][0]["observed"] == 0.0
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective kind"):
+            Objective(name="x", kind="nope", target=1.0)
+
+    def test_latency_needs_metric(self):
+        with pytest.raises(ValueError, match="needs a metric"):
+            Objective(name="x", kind=KIND_LATENCY, target=1.0)
+
+    def test_error_rate_needs_both_counters(self):
+        with pytest.raises(ValueError, match="numerator and"):
+            Objective(
+                name="x", kind=KIND_ERROR_RATE, target=0.1,
+                numerator="repro_a_total",
+            )
+
+    def test_target_must_be_positive(self):
+        with pytest.raises(ValueError, match="target must be > 0"):
+            Objective(
+                name="x", kind=KIND_LATENCY, target=0.0, metric="repro_m",
+            )

@@ -1,0 +1,132 @@
+"""Wall-clock spans: recorder output, schema validity, correlation
+stamping, and the no-recorder no-op contract."""
+
+import pytest
+
+from repro.obs.schema import validate_trace
+from repro.telemetry.logs import bind_correlation
+from repro.telemetry.spans import (
+    HOST_CATEGORY,
+    SpanRecorder,
+    active_recorder,
+    install_recorder,
+    instant,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_recorder_or_correlation():
+    previous = install_recorder(None)
+    bind_correlation(None)
+    yield
+    install_recorder(previous)
+    bind_correlation(None)
+
+
+class TestRecorder:
+    def test_span_records_complete_event(self):
+        rec = SpanRecorder(pid=7)
+        with rec.span("runtime.execute", job="cora/hymm"):
+            pass
+        doc = rec.trace_dict()
+        [event] = doc["traceEvents"]
+        assert event["name"] == "runtime.execute"
+        assert event["cat"] == HOST_CATEGORY
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["pid"] == 7
+        assert event["args"]["job"] == "cora/hymm"
+
+    def test_instant_event(self):
+        rec = SpanRecorder()
+        rec.instant("serve.ready", port=1234)
+        [event] = rec.trace_dict()["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert event["args"]["port"] == 1234
+
+    def test_trace_validates_under_obs_schema(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        rec.instant("mark")
+        assert validate_trace(rec.trace_dict(tool="test")) == []
+
+    def test_corr_id_stamped_from_context(self):
+        rec = SpanRecorder()
+        bind_correlation("feedface00000042")
+        with rec.span("probe"):
+            pass
+        rec.instant("mark")
+        events = rec.trace_dict()["traceEvents"]
+        assert all(
+            e["args"]["corr_id"] == "feedface00000042" for e in events
+        )
+
+    def test_no_corr_id_when_unbound(self):
+        rec = SpanRecorder()
+        with rec.span("probe"):
+            pass
+        [event] = rec.trace_dict()["traceEvents"]
+        assert "corr_id" not in event.get("args", {})
+
+    def test_metadata_and_clock_declared(self):
+        rec = SpanRecorder()
+        doc = rec.trace_dict(tool="serve", extra=1)
+        assert doc["otherData"]["clock"] == "wall"
+        assert doc["otherData"]["tool"] == "serve"
+        assert doc["otherData"]["extra"] == 1
+        assert doc["otherData"]["epoch_s"] > 0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_events_sorted_by_start(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):       # closes last -> appended last
+            with rec.span("inner"):
+                pass
+        names = [e["name"] for e in rec.trace_dict()["traceEvents"]]
+        assert names == ["outer", "inner"]
+
+    def test_write_round_trips(self, tmp_path):
+        import json
+
+        rec = SpanRecorder()
+        with rec.span("x"):
+            pass
+        path = tmp_path / "spans.json"
+        rec.write(str(path), tool="test")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_trace(doc) == []
+        assert len(doc["traceEvents"]) == 1
+
+    def test_len_counts_events(self):
+        rec = SpanRecorder()
+        assert len(rec) == 0
+        rec.instant("a")
+        assert len(rec) == 1
+
+
+class TestModuleLevel:
+    def test_span_is_noop_without_recorder(self):
+        assert active_recorder() is None
+        with span("anything", key="value"):
+            pass
+        instant("also nothing")
+
+    def test_span_routes_to_installed_recorder(self):
+        rec = SpanRecorder()
+        install_recorder(rec)
+        with span("routed"):
+            pass
+        instant("routed too")
+        assert len(rec) == 2
+
+    def test_install_returns_previous(self):
+        first = SpanRecorder()
+        second = SpanRecorder()
+        assert install_recorder(first) is None
+        assert install_recorder(second) is first
+        assert active_recorder() is second
